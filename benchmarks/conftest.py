@@ -1,0 +1,69 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+prints the same rows/series the paper reports (and saves them under
+``benchmarks/results/``) while pytest-benchmark times the core operation
+behind that experiment.
+
+Scale note: the paper's captures contain 10^5-10^6 messages per cell; we
+regenerate each artefact from 10^3-10^4 synthetic messages so the whole
+harness runs in minutes.  Shapes, not absolute counts, are the target
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.suite import SuiteInputs
+from repro.vehicles.dataset import capture_session
+from repro.vehicles.profiles import sterling_acterra, vehicle_a, vehicle_b
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it to results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def veh_a():
+    return vehicle_a()
+
+
+@pytest.fixture(scope="session")
+def veh_b():
+    return vehicle_b()
+
+
+@pytest.fixture(scope="session")
+def sterling():
+    return sterling_acterra()
+
+
+@pytest.fixture(scope="session")
+def session_a(veh_a):
+    """~20 s of Vehicle A traffic shared by the Table 4.x benches."""
+    return capture_session(veh_a, 20.0, seed=1000)
+
+
+@pytest.fixture(scope="session")
+def session_b(veh_b):
+    """~20 s of Vehicle B traffic."""
+    return capture_session(veh_b, 20.0, seed=1001)
+
+
+@pytest.fixture(scope="session")
+def inputs_a(session_a):
+    return SuiteInputs.from_session(session_a, train_fraction=0.5, seed=7)
+
+
+@pytest.fixture(scope="session")
+def inputs_b(session_b):
+    return SuiteInputs.from_session(session_b, train_fraction=0.5, seed=7)

@@ -1,0 +1,102 @@
+"""Baseline comparison (paper Section 1.2.1, qualitative claims).
+
+Runs the same Vehicle A capture through the related-work identifiers and
+vProfile, reporting sender-identification accuracy and per-message
+prediction cost.  The paper's qualitative ordering — Murvay & Groza weak,
+Viden/Scission/SIMPLE strong but heavier, vProfile accurate with a
+single lightweight feature — should reproduce.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.baselines import (
+    MurvayGrozaIdentifier,
+    ScissionIdentifier,
+    SimpleAuthenticator,
+    VidenIdentifier,
+    VoltageIdsIdentifier,
+)
+from repro.core.detection import Detector
+from repro.core.edge_extraction import ExtractionConfig, extract_edge_set, extract_many
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+
+
+@pytest.fixture(scope="module")
+def comparison_data(session_a):
+    train, test = session_a.split(0.5, seed=13)
+    train, test = train[:1500], test[:600]
+    return (
+        train,
+        [t.metadata["sender"] for t in train],
+        test,
+        [t.metadata["sender"] for t in test],
+        ExtractionConfig.for_trace(train[0]),
+    )
+
+
+def _vprofile_identifier(train, labels, config, sa_clusters):
+    edge_sets = extract_many(train, config)
+    model = train_model(
+        TrainingData.from_edge_sets(edge_sets),
+        metric=Metric.MAHALANOBIS,
+        sa_clusters=sa_clusters,
+    )
+    detector = Detector(model, margin=5.0)
+
+    def predict_one(trace):
+        result = detector.classify(extract_edge_set(trace, config))
+        return model.clusters[result.predicted_cluster].name
+
+    return predict_one
+
+
+def test_baseline_comparison(benchmark, comparison_data, veh_a):
+    train, y_train, test, y_test, config = comparison_data
+    threshold = config.threshold
+
+    identifiers = {
+        "murvay-mse": MurvayGrozaIdentifier("mse", prefix_samples=1500).fit(
+            train, y_train
+        ).predict_one,
+        "viden": VidenIdentifier(threshold).fit(train, y_train).predict_one,
+        "scission": ScissionIdentifier(threshold, epochs=150)
+        .fit(train, y_train)
+        .predict_one,
+        "simple": SimpleAuthenticator(threshold).fit(train, y_train).predict_one,
+        "voltageids": VoltageIdsIdentifier(threshold, epochs=12)
+        .fit(train, y_train)
+        .predict_one,
+        "vprofile": _vprofile_identifier(train, y_train, config, veh_a.sa_clusters),
+    }
+
+    lines = [
+        "=== Baseline comparison: sender identification on Vehicle A ===",
+        f"{'method':>12} {'accuracy':>9} {'us/message':>11}",
+    ]
+    accuracy = {}
+    for name, predict_one in identifiers.items():
+        start = time.perf_counter()
+        predictions = [predict_one(trace) for trace in test]
+        elapsed = time.perf_counter() - start
+        accuracy[name] = float(
+            np.mean([p == t for p, t in zip(predictions, y_test)])
+        )
+        lines.append(
+            f"{name:>12} {accuracy[name]:>9.4f} {elapsed / len(test) * 1e6:>11.1f}"
+        )
+    report("baseline_comparison", "\n".join(lines))
+
+    # Qualitative ordering from the paper's related-work discussion.
+    assert accuracy["vprofile"] >= 0.99
+    assert accuracy["simple"] >= 0.95
+    assert accuracy["scission"] >= 0.90
+    assert accuracy["viden"] >= 0.90
+    assert accuracy["voltageids"] >= 0.90
+    assert accuracy["murvay-mse"] < accuracy["vprofile"]
+
+    benchmark(identifiers["vprofile"], test[0])

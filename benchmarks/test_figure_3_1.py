@@ -1,0 +1,55 @@
+"""Figure 3.1: effect of sampling rate and resolution on one edge set.
+
+Prints the reduced-rate and reduced-resolution renderings of a single
+Sterling Acterra edge set (the paper's "10 MS/s and 8 bits is the limit"
+observation) and benchmarks the software requantisation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.acquisition.adc import reduce_resolution
+from repro.eval.figures import sampling_effects
+
+
+def test_figure_3_1(benchmark, sterling):
+    effects = sampling_effects(
+        sterling, rate_divisors=(1, 2, 4, 8), resolutions=(16, 12, 8, 6, 4), seed=31
+    )
+
+    lines = ["=== Figure 3.1a: one edge set at reduced sampling rates ==="]
+    for rate in sorted(effects.by_rate, reverse=True):
+        vector = effects.by_rate[rate]
+        lines.append(
+            f"{rate / 1e6:>5g} MS/s: {vector.size:>3} samples, "
+            f"range [{vector.min():.0f}, {vector.max():.0f}] counts"
+        )
+    lines.append("")
+    lines.append("=== Figure 3.1b: one edge set at reduced resolutions ===")
+    reference = None
+    for bits in sorted(effects.by_resolution, reverse=True):
+        vector = effects.by_resolution[bits].astype(float)
+        normalised = vector / max(vector.max(), 1)
+        if reference is None:
+            reference = normalised
+            distortion = 0.0
+        else:
+            distortion = float(np.abs(normalised - reference).mean())
+        lines.append(
+            f"{bits:>2} bit: range [{vector.min():.0f}, {vector.max():.0f}], "
+            f"normalised distortion vs 16 bit = {distortion:.4f}"
+        )
+    report("figure_3_1", "\n".join(lines))
+
+    # Shape: distortion grows as resolution falls, sharply below 8 bits.
+    v16 = effects.by_resolution[16].astype(float)
+    v16n = v16 / v16.max()
+
+    def distortion(bits):
+        v = effects.by_resolution[bits].astype(float)
+        return float(np.abs(v / max(v.max(), 1) - v16n).mean())
+
+    assert distortion(8) < distortion(6) < distortion(4)
+
+    counts = effects.by_rate[sorted(effects.by_rate)[-1]].astype(np.int64)
+    benchmark(reduce_resolution, counts, 16, 8)

@@ -1,0 +1,45 @@
+"""Figure 4.2: voltage profiles of Vehicle A's five ECUs.
+
+Prints each ECU's mean edge-set profile summary (the five visually
+distinct waveforms) and benchmarks profile (cluster-mean) computation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.eval.figures import vehicle_voltage_profiles
+
+
+def test_figure_4_2(benchmark, veh_a):
+    profiles = vehicle_voltage_profiles(veh_a, duration_s=4.0, seed=420)
+
+    lines = ["=== Figure 4.2: Vehicle A ECU voltage profiles ==="]
+    for name, profile in profiles.items():
+        lines.append(
+            f"{name}: dominant plateau ~{profile.max():.0f} counts, "
+            f"recessive ~{profile.min():.0f} counts, {profile.size} samples"
+        )
+    names = sorted(profiles)
+    lines.append("pairwise profile distances (counts):")
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            lines.append(
+                f"  {a} vs {b}: {np.linalg.norm(profiles[a] - profiles[b]):.1f}"
+            )
+    from repro.eval.plotting import ascii_chart
+
+    lines.append("")
+    lines.append(ascii_chart(profiles, width=64, height=14, title="edge-set profiles"))
+    report("figure_4_2", "\n".join(lines))
+
+    assert sorted(profiles) == [f"ECU{i}" for i in range(5)]
+    # ECU1 and ECU4 are the most similar pair, as in the paper.
+    gaps = {
+        (a, b): np.linalg.norm(profiles[a] - profiles[b])
+        for i, a in enumerate(names)
+        for b in names[i + 1 :]
+    }
+    assert min(gaps, key=gaps.get) == ("ECU1", "ECU4")
+
+    stacked = np.stack([profiles[n] for n in names])
+    benchmark(lambda: stacked.mean(axis=0))

@@ -1,0 +1,43 @@
+"""Figure 4.4: per-sample-index standard deviation of ECU 0's edge sets.
+
+The motivation for the Mahalanobis metric: edge samples are an order of
+magnitude noisier than steady-state samples while contributing little to
+the profile.  Benchmarks the per-index std computation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.eval.figures import sample_stddev_profile
+from repro.vehicles.dataset import capture_session
+from repro.core.edge_extraction import extract_many
+
+
+def test_figure_4_4(benchmark, veh_a):
+    profile = sample_stddev_profile(veh_a, "ECU0", duration_s=4.0, seed=44)
+
+    lines = [
+        "=== Figure 4.4: per-sample-index std for ECU0 ===",
+        f"edge sample indices (dashed lines): {profile.edge_indices}",
+        f"edge/steady std ratio: {profile.edge_to_steady_ratio:.1f}x",
+        "index: std (counts)",
+    ]
+    for index, std in enumerate(profile.per_index_std):
+        marker = "  <-- edge" if index in profile.edge_indices else ""
+        lines.append(f"{index:>4}: {std:>9.2f}{marker}")
+    from repro.eval.plotting import ascii_chart
+
+    lines.append("")
+    lines.append(
+        ascii_chart(
+            profile.per_index_std, width=64, height=12,
+            title="per-sample-index standard deviation (counts)",
+        )
+    )
+    report("figure_4_4", "\n".join(lines))
+
+    assert profile.edge_to_steady_ratio > 3.0
+
+    session = capture_session(veh_a, 2.0, seed=45)
+    vectors = np.stack([e.vector for e in extract_many(session.traces)])
+    benchmark(lambda: vectors.std(axis=0))

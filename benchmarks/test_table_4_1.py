@@ -1,0 +1,40 @@
+"""Table 4.1: Vehicle A confusion matrices with Euclidean distance.
+
+Regenerates the three detection experiments and benchmarks the
+Euclidean batch-classification kernel behind them.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.detection import Detector
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.eval.reporting import format_suite
+from repro.eval.suite import run_detection_suite
+
+
+def test_table_4_1(benchmark, inputs_a, veh_a):
+    result = run_detection_suite(inputs_a, Metric.EUCLIDEAN, seed=11)
+    report("table_4_1", format_suite(result))
+
+    # Sanity: the paper's shape — clean FP/hijack, foreign slips through.
+    assert result.false_positive.accuracy > 0.99
+    assert result.hijack.f_score > 0.97
+    assert result.foreign.f_score < 0.3
+    assert {result.foreign_scenario.imposter, result.foreign_scenario.victim} == {
+        "ECU1",
+        "ECU4",
+    }
+
+    model = train_model(
+        TrainingData.from_edge_sets(inputs_a.train),
+        metric=Metric.EUCLIDEAN,
+        sa_clusters=veh_a.sa_clusters,
+    )
+    detector = Detector(model, margin=result.false_positive.margin)
+    vectors = np.stack([e.vector for e in inputs_a.test])
+    sas = np.array([e.source_address for e in inputs_a.test])
+
+    batch = benchmark(detector.classify_batch, vectors, sas)
+    assert batch.anomalies().mean() < 0.01

@@ -1,0 +1,37 @@
+"""Table 4.2: Vehicle B confusion matrices with Euclidean distance.
+
+The paper's negative result: on the vehicle with less distinct voltage
+profiles, the Euclidean metric degrades badly (accuracy ~0.89, hijack
+F ~0.81, foreign F ~0.42, and no margin removes all false positives).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.detection import Detector
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.eval.reporting import format_suite
+from repro.eval.suite import run_detection_suite
+
+
+def test_table_4_2(benchmark, inputs_b, veh_b):
+    result = run_detection_suite(inputs_b, Metric.EUCLIDEAN, seed=11)
+    report("table_4_2", format_suite(result))
+
+    # Shape: clearly degraded relative to Vehicle A / Mahalanobis.
+    assert 0.6 < result.false_positive.accuracy < 0.97
+    assert 0.5 < result.hijack.f_score < 0.95
+    assert result.foreign.f_score < 0.7
+    # "We could not find a margin that removed all false positives."
+    assert result.foreign.zero_fp_score is None
+
+    model = train_model(
+        TrainingData.from_edge_sets(inputs_b.train),
+        metric=Metric.EUCLIDEAN,
+        sa_clusters=veh_b.sa_clusters,
+    )
+    detector = Detector(model, margin=result.false_positive.margin)
+    vectors = np.stack([e.vector for e in inputs_b.test])
+    sas = np.array([e.source_address for e in inputs_b.test])
+    benchmark(detector.classify_batch, vectors, sas)

@@ -1,0 +1,33 @@
+"""Table 4.3: Vehicle A confusion matrices with Mahalanobis distance.
+
+The paper's headline: near-perfect scores on all three experiments.
+Benchmarks the Mahalanobis batch-classification kernel.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.detection import Detector
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.eval.reporting import format_suite
+from repro.eval.suite import run_detection_suite
+
+
+def test_table_4_3(benchmark, inputs_a, veh_a):
+    result = run_detection_suite(inputs_a, Metric.MAHALANOBIS, seed=11)
+    report("table_4_3", format_suite(result))
+
+    assert result.false_positive.accuracy >= 0.999
+    assert result.hijack.f_score >= 0.999
+    assert result.foreign.f_score >= 0.99
+
+    model = train_model(
+        TrainingData.from_edge_sets(inputs_a.train),
+        metric=Metric.MAHALANOBIS,
+        sa_clusters=veh_a.sa_clusters,
+    )
+    detector = Detector(model, margin=result.false_positive.margin)
+    vectors = np.stack([e.vector for e in inputs_a.test])
+    sas = np.array([e.source_address for e in inputs_a.test])
+    benchmark(detector.classify_batch, vectors, sas)

@@ -1,0 +1,39 @@
+"""Table 4.5 / Figure 4.5: Euclidean vs Mahalanobis distance quotients.
+
+A held-out ECU 0 edge set is compared against both cluster means.  Both
+metrics pick the right cluster, but the Mahalanobis wrong/right quotient
+is an order of magnitude larger — the paper's argument for the switch.
+Benchmarks a single Mahalanobis distance evaluation.
+"""
+
+from benchmarks.conftest import report
+from repro.core.distances import mahalanobis_distance
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.core.edge_extraction import ExtractionConfig, extract_many
+from repro.eval.figures import distance_comparison
+from repro.eval.reporting import format_distance_comparison
+from repro.vehicles.dataset import capture_session
+
+
+def test_table_4_5(benchmark, sterling):
+    comparison = distance_comparison(sterling, duration_s=6.0, seed=42)
+    report("table_4_5", format_distance_comparison(comparison))
+
+    assert comparison.euclidean["ECU0"] < comparison.euclidean["ECU1"]
+    assert comparison.mahalanobis["ECU0"] < comparison.mahalanobis["ECU1"]
+    assert comparison.quotient("mahalanobis") > 3 * comparison.quotient("euclidean")
+
+    # Benchmark: one Mahalanobis evaluation against a trained cluster.
+    session = capture_session(sterling, 3.0, seed=43)
+    edge_sets = extract_many(
+        session.traces, ExtractionConfig.for_trace(session.traces[0])
+    )
+    model = train_model(
+        TrainingData.from_edge_sets(edge_sets),
+        metric=Metric.MAHALANOBIS,
+        sa_clusters=sterling.sa_clusters,
+    )
+    cluster = model.clusters[0]
+    vector = edge_sets[0].vector
+    benchmark(mahalanobis_distance, vector, cluster.mean, cluster.inv_covariance)

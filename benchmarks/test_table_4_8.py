@@ -1,0 +1,49 @@
+"""Table 4.8 + Figure 4.6: temperature variance experiment.
+
+Trains on the -5..0 degC bin, replays 0..25 degC, reports the confusion
+matrix (a handful of hot-bin false positives that vanish once 20 degC
+data joins the training set) and the per-ECU distance-drift series with
+99 % confidence intervals.  Benchmarks the drift computation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.distances import mahalanobis_distances
+from repro.eval.environment import temperature_experiment
+from repro.eval.reporting import format_temperature
+
+
+def test_table_4_8_figure_4_6(benchmark, veh_a):
+    result = temperature_experiment(
+        veh_a, trials=2, duration_per_capture_s=2.5, seed=77
+    )
+    from repro.eval.plotting import drift_bars
+
+    hottest = result.drift[-1].condition
+    report(
+        "table_4_8",
+        format_temperature(result) + "\n\n" + drift_bars(result.drift, hottest),
+    )
+
+    # Table 4.8 shape: rare false positives, none after warm data.
+    assert result.confusion.false_positive_rate < 0.01
+    assert (
+        result.confusion_with_warm_data.false_positive
+        <= result.confusion.false_positive
+    )
+
+    # Figure 4.6 shape: drift grows with temperature; ECUs 0 and 2 lead.
+    final_bin = {}
+    for point in result.drift:
+        final_bin[point.ecu] = point.percent_delta
+    ranked = sorted(final_bin, key=final_bin.get, reverse=True)
+    assert set(ranked[:2]) == {"ECU0", "ECU2"}
+    assert final_bin["ECU0"] > 5.0
+
+    # Benchmark the kernel behind the drift series.
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(1000, 64))
+    mean = np.zeros(64)
+    inv_cov = np.eye(64)
+    benchmark(mahalanobis_distances, points, mean, inv_cov)

@@ -1,0 +1,58 @@
+"""Table 4.9 + Figures 4.7/4.8: high-power vehicle function experiment.
+
+Trains on accessory-mode data, replays lights / A/C / both / engine
+events: detection is essentially unaffected, the largest drift appears
+with lights + A/C, and a model trained only on trial 1 drifts upward
+over the later trials (the paper's creeping-temperature conjecture).
+Benchmarks a full capture-to-verdict pass for one message.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.core.detection import Detector
+from repro.core.edge_extraction import ExtractionConfig, extract_edge_set, extract_many
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.eval.environment import voltage_experiment
+from repro.eval.reporting import format_voltage
+from repro.vehicles.dataset import capture_session
+
+
+def test_table_4_9_figures_4_7_4_8(benchmark, veh_a):
+    result = voltage_experiment(veh_a, trials=3, duration_per_capture_s=1.5, seed=78)
+    report("table_4_9", format_voltage(result))
+
+    # Table 4.9: high-power loads barely affect detection.
+    assert result.confusion.false_positive_rate < 0.005
+
+    # Figure 4.7: all deltas small; lights+ac is the largest load event.
+    by_event = {}
+    for p in result.event_drift:
+        by_event.setdefault(p.condition, []).append(p.percent_delta)
+    means = {k: float(np.mean(v)) for k, v in by_event.items()}
+    assert all(abs(v) < 10.0 for v in means.values())
+    assert means["lights+ac"] >= means["lights"] - 0.5
+    assert means["lights+ac"] >= means["ac"] - 0.5
+
+    # Figure 4.8: overall increase over the later trials.
+    last_trial = max(p.condition for p in result.trial_drift)
+    last = [p.percent_delta for p in result.trial_drift if p.condition == last_trial]
+    assert float(np.mean(last)) > 0.0
+
+    # Benchmark: one message through extraction + detection.
+    session = capture_session(veh_a, 4.0, seed=79)
+    config = ExtractionConfig.for_trace(session.traces[0])
+    edge_sets = extract_many(session.traces, config)
+    model = train_model(
+        TrainingData.from_edge_sets(edge_sets),
+        metric=Metric.MAHALANOBIS,
+        sa_clusters=veh_a.sa_clusters,
+    )
+    detector = Detector(model, margin=5.0)
+    trace = session.traces[0]
+
+    def classify_one():
+        return detector.classify(extract_edge_set(trace, config))
+
+    benchmark(classify_one)

@@ -1,0 +1,36 @@
+"""Table 5.1: fixed vs per-cluster extraction thresholds (Section 5.1).
+
+The per-cluster threshold (mean of the first half's max and min) moves
+each ECU's intra-cluster statistics in both directions without changing
+the headline detection rates — reproducing the paper's mixed result.
+Benchmarks the per-cluster threshold computation.
+"""
+
+from benchmarks.conftest import report
+from repro.core.edge_extraction import cluster_threshold
+from repro.eval.enhancements import threshold_enhancement
+from repro.eval.reporting import format_enhancement
+from repro.vehicles.dataset import capture_session
+
+
+def test_table_5_1(benchmark, veh_a):
+    session = capture_session(veh_a, 10.0, seed=51, truncate_bits=85)
+    result = threshold_enhancement(session.traces)
+    report(
+        "table_5_1",
+        format_enhancement(result, "Table 5.1: static vs cluster thresholds"),
+    )
+
+    pairs = result.paired()
+    assert len(pairs) == 5
+    # The enhancement changes the statistics...
+    assert any(
+        abs(b.std - e.std) > 1e-9 or abs(b.max_distance - e.max_distance) > 1e-9
+        for b, e in pairs
+    )
+    # ...but not catastrophically (same order of magnitude everywhere).
+    for base, enhanced in pairs:
+        assert 0.5 < enhanced.std / base.std < 2.0
+        assert 0.3 < enhanced.max_distance / base.max_distance < 3.0
+
+    benchmark(cluster_threshold, session.traces[0])

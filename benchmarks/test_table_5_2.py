@@ -1,0 +1,27 @@
+"""Table 5.2: one vs three extracted edge sets (Section 5.2).
+
+Averaging three edge sets 25 us apart lowers every cluster's per-sample
+standard deviation and (measured in the single-edge metric) its maximum
+distance — the paper's latency-for-stability trade.  Benchmarks triple
+edge-set extraction against single extraction cost.
+"""
+
+from benchmarks.conftest import report
+from repro.core.edge_extraction import ExtractionConfig, extract_edge_set
+from repro.eval.enhancements import multi_edge_enhancement
+from repro.eval.reporting import format_enhancement
+from repro.vehicles.dataset import capture_session
+
+
+def test_table_5_2(benchmark, veh_a):
+    session = capture_session(veh_a, 10.0, seed=52, truncate_bits=85)
+    result = multi_edge_enhancement(session.traces)
+    report("table_5_2", format_enhancement(result, "Table 5.2: 1 vs 3 edge sets"))
+
+    pairs = result.paired()
+    assert all(e.std < b.std for b, e in pairs)
+    improved = sum(1 for b, e in pairs if e.max_distance < b.max_distance)
+    assert improved >= len(pairs) - 1  # paper: all but ECU 1
+
+    config = ExtractionConfig.for_trace(session.traces[0], n_edge_sets=3)
+    benchmark(extract_edge_set, session.traces[0], config)

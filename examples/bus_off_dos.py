@@ -1,0 +1,58 @@
+"""The bus-off denial-of-service attack, and who notices it.
+
+One of the attack classes the paper's introduction cites (fault
+induction, [6]): an adversary that forces bit errors on a victim's
+frames walks its transmit error counter to 256 in exactly 32 messages —
+the victim then disconnects itself, per the CAN fault-confinement rules.
+vProfile cannot see this attack (no forged frames appear); the *period
+monitor* of the combined IDS does, because the victim's cadence dies.
+"""
+
+from repro.attacks import (
+    minimum_messages_to_bus_off,
+    simulate_bus_off_attack,
+    victim_timeline_with_bus_off,
+)
+from repro.ids import PeriodMonitor
+
+
+def main() -> None:
+    print("Simulating the classic bus-off attack (every frame destroyed)...")
+    result = simulate_bus_off_attack(attack_every=1, victim_period_s=0.02)
+    print(f"  victim reaches error-passive after "
+          f"{result.reached_error_passive_at} frames")
+    print(f"  victim is BUS-OFF after {result.messages_to_bus_off} frames "
+          f"({result.time_to_bus_off_s * 1e3:.0f} ms at a 20 ms period)")
+    print(f"  textbook minimum: {minimum_messages_to_bus_off()} frames")
+    print(f"  TEC trajectory: {result.tec_trajectory[:8]} ... "
+          f"{result.tec_trajectory[-3:]}")
+
+    print("\nA sparser attacker (every 9th frame) never wins:")
+    sparse = simulate_bus_off_attack(attack_every=9, max_attempts=20_000)
+    print(f"  bus-off reached: {sparse.messages_to_bus_off}")
+    print("  (the victim's TEC decays -1 per successful frame, so +8/9 "
+          "frames loses to -8/9 frames of decay)")
+
+    print("\nDetection: the period monitor sees the victim go silent.")
+    clean = victim_timeline_with_bus_off(
+        period_s=0.02, horizon_s=2.0, bus_off_at_s=100.0
+    )
+    monitor = PeriodMonitor().fit([(t, 0x0CF00400) for t in clean])
+    attacked = victim_timeline_with_bus_off(
+        period_s=0.02, horizon_s=6.0, bus_off_at_s=3.0,
+        recovery=True, bitrate=5_000.0,
+    )
+    alerts = [
+        alert
+        for t in attacked
+        if t >= 2.0 and (alert := monitor.observe(t, 0x0CF00400)) is not None
+    ]
+    for alert in alerts:
+        print(f"  ALERT at t={alert.timestamp_s:.2f}s: {alert.reason} "
+              f"({alert.detail})")
+    if not alerts:
+        print("  no alerts (unexpected)")
+
+
+if __name__ == "__main__":
+    main()

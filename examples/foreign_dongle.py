@@ -1,0 +1,75 @@
+"""Foreign-device scenario: an attacker plugs a dongle into the OBD port.
+
+Goes beyond the paper's replay methodology: a synthetic attack device
+with its own (never-trained) transceiver crafts J1939 frames claiming
+the engine controller's source address and transmits them through the
+full analog path.  The example contrasts the Euclidean and Mahalanobis
+metrics on the same injections — the paper's Table 4.1c vs 4.3c story.
+"""
+
+import numpy as np
+
+from repro.analog import EdgeDynamics, TransceiverParams
+from repro.attacks import ForeignDongle
+from repro.core import (
+    Detector,
+    ExtractionConfig,
+    Metric,
+    TrainingData,
+    extract_many,
+    train_model,
+)
+from repro.vehicles import capture_session, vehicle_a
+
+
+def main() -> None:
+    vehicle = vehicle_a()
+    print("Capturing 8 s of clean Vehicle A traffic for training...")
+    session = capture_session(vehicle, duration_s=8.0, seed=3)
+    extraction = ExtractionConfig.for_trace(session.traces[0])
+    train_sets = extract_many(session.traces, extraction)
+
+    # The dongle imitates ECU4's electrical fingerprint imperfectly: its
+    # dominant level is 5 mV off and its edge dynamics slightly faster.
+    # Claiming the SA of the ECU it most resembles is the attacker's best
+    # move: the nearest-cluster check then agrees with the claimed SA and
+    # only the distance threshold stands in the way.
+    victim_sa = 0x21  # ECU4, the body controller
+    dongle = ForeignDongle(
+        transceiver=TransceiverParams(
+            name="obd-dongle",
+            v_dominant=2.065,
+            v_recessive=0.007,
+            rise=EdgeDynamics(2.15e6, 0.76),
+            fall=EdgeDynamics(1.18e6, 1.03),
+        ),
+        victim_sa=victim_sa,
+    )
+    rng = np.random.default_rng(3)
+    injected = dongle.inject(vehicle.capture_chain(), count=300, rng=rng)
+    injected_sets = extract_many(injected, extraction)
+    print(f"Dongle injected {len(injected_sets)} forged frames claiming "
+          f"SA 0x{victim_sa:02X}")
+
+    for metric in (Metric.EUCLIDEAN, Metric.MAHALANOBIS):
+        model = train_model(
+            TrainingData.from_edge_sets(train_sets),
+            metric=metric,
+            sa_clusters=vehicle.sa_clusters,
+        )
+        detector = Detector(model, margin=0.1 * model.max_distances.mean())
+        vectors = np.stack([e.vector for e in injected_sets])
+        sas = np.array([e.source_address for e in injected_sets])
+        flags = detector.classify_batch(vectors, sas).anomalies()
+        print(f"\n{metric.value:>12}: detected {int(flags.sum())}/{len(flags)} "
+              f"forged frames ({flags.mean():.1%})")
+        if flags.mean() < 0.5:
+            print("             -> the dongle slips under the jitter-inflated "
+                  "Euclidean thresholds")
+        else:
+            print("             -> the covariance-aware metric sees the "
+                  "fingerprint mismatch")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""vProfile: voltage-based sender identification for CAN buses.
+
+A full reproduction of "vProfile: Voltage-Based Anomaly Detection in
+Controller Area Networks" (Liu, Moreno, Dunne, Fischmeister — DATE 2021,
+extended in Liu's 2021 MASc thesis).  The package contains:
+
+* :mod:`repro.core` — the vProfile algorithms: edge-set extraction,
+  training, detection, and the online model update;
+* :mod:`repro.can` — a CAN 2.0 / SAE J1939 protocol substrate;
+* :mod:`repro.analog` — a physics-based transceiver / bus-voltage model
+  standing in for the paper's test vehicles;
+* :mod:`repro.acquisition` — the digitizer (ADC) model;
+* :mod:`repro.vehicles` — synthetic "Vehicle A" / "Vehicle B" presets;
+* :mod:`repro.attacks` — hijack and foreign-device intruders;
+* :mod:`repro.eval` — runners regenerating every table and figure;
+* :mod:`repro.baselines` — the related-work comparators.
+
+Quickstart::
+
+    from repro.vehicles import vehicle_a, capture_session
+    from repro.core import VProfilePipeline, PipelineConfig
+
+    vehicle = vehicle_a()
+    session = capture_session(vehicle, duration_s=5.0, seed=0)
+    train, test = session.split(train_fraction=0.5)
+
+    pipeline = VProfilePipeline(PipelineConfig(margin=1.0,
+                                               sa_clusters=vehicle.sa_clusters))
+    pipeline.train(train)
+    for trace in test:
+        result = pipeline.process(trace)
+"""
+
+from repro.errors import (
+    AcquisitionError,
+    CanError,
+    DatasetError,
+    DetectionError,
+    ExtractionError,
+    ReproError,
+    SingularCovarianceError,
+    TrainingError,
+    WaveformError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcquisitionError",
+    "CanError",
+    "DatasetError",
+    "DetectionError",
+    "ExtractionError",
+    "ReproError",
+    "SingularCovarianceError",
+    "TrainingError",
+    "WaveformError",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Acquisition substrate: ADC model, traces and the capture chain."""
+
+from repro.acquisition.adc import (
+    DEFAULT_V_MAX,
+    DEFAULT_V_MIN,
+    AdcConfig,
+    downsample,
+    reduce_resolution,
+)
+from repro.acquisition.archive import load_traces, save_traces
+from repro.acquisition.sampler import CaptureChain
+from repro.acquisition.segmentation import (
+    SegmentationConfig,
+    assemble_stream,
+    segment_capture,
+)
+from repro.acquisition.trace import VoltageTrace
+
+__all__ = [
+    "load_traces",
+    "save_traces",
+    "SegmentationConfig",
+    "assemble_stream",
+    "segment_capture",
+    "DEFAULT_V_MAX",
+    "DEFAULT_V_MIN",
+    "AdcConfig",
+    "downsample",
+    "reduce_resolution",
+    "CaptureChain",
+    "VoltageTrace",
+]

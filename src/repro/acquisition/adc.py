@@ -1,0 +1,107 @@
+"""ADC model: offset-binary quantisation and resolution reduction.
+
+The paper's captures are raw ADC counts in offset binary (hence the "good
+starting point" edge threshold of 38,000 on 16-bit data, roughly 1 V of
+differential signal on a +/-5 V front end).  We reproduce that numeric
+convention: 0 counts = negative full scale, mid-scale = 0 V.
+
+Resolution reduction follows the paper's method of dropping least
+significant bits (Section 3.2.1, Figure 3.1b), and rate reduction is
+plain decimation of an oversampled capture (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AcquisitionError
+
+#: Differential full-scale range of the capture front end, volts.
+DEFAULT_V_MIN = -5.0
+DEFAULT_V_MAX = 5.0
+
+
+@dataclass(frozen=True)
+class AdcConfig:
+    """Digitizer configuration.
+
+    Attributes
+    ----------
+    resolution_bits:
+        ADC word width; the paper uses 16 bits (AlazarTech card, Vehicle
+        A) and 12 bits (custom board, Vehicle B).
+    v_min / v_max:
+        Differential input range mapped onto the code space.
+    """
+
+    resolution_bits: int = 16
+    v_min: float = DEFAULT_V_MIN
+    v_max: float = DEFAULT_V_MAX
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.resolution_bits <= 24:
+            raise AcquisitionError(
+                f"resolution must be 2..24 bits, got {self.resolution_bits}"
+            )
+        if self.v_max <= self.v_min:
+            raise AcquisitionError("v_max must exceed v_min")
+
+    @property
+    def full_scale_counts(self) -> int:
+        """Largest representable code."""
+        return (1 << self.resolution_bits) - 1
+
+    @property
+    def volts_per_count(self) -> float:
+        """LSB size in volts."""
+        return (self.v_max - self.v_min) / self.full_scale_counts
+
+    def quantize(self, volts: np.ndarray) -> np.ndarray:
+        """Convert a voltage vector to offset-binary counts (clipping)."""
+        volts = np.asarray(volts, dtype=float)
+        codes = np.rint((volts - self.v_min) / self.volts_per_count)
+        return np.clip(codes, 0, self.full_scale_counts).astype(np.int32)
+
+    def to_volts(self, counts: np.ndarray) -> np.ndarray:
+        """Convert counts back to volts (code centre)."""
+        return np.asarray(counts, dtype=float) * self.volts_per_count + self.v_min
+
+    def volts_to_counts(self, volts: float) -> float:
+        """Map a voltage to its (unrounded) position on the code axis.
+
+        Useful for expressing thresholds: 1.0 V on a 16-bit +/-5 V front
+        end sits near code 39,321 — the paper's "38,000 is a good
+        starting point".
+        """
+        return (volts - self.v_min) / self.volts_per_count
+
+
+def reduce_resolution(counts: np.ndarray, from_bits: int, to_bits: int) -> np.ndarray:
+    """Drop least-significant bits, as the paper does in software.
+
+    The result stays on the *reduced* code scale (0..2^to_bits-1); the
+    paper's Figure 3.1b conversion artefacts come from rescaling these
+    codes back to volts with the original offset.
+    """
+    if to_bits > from_bits:
+        raise AcquisitionError(
+            f"cannot raise resolution from {from_bits} to {to_bits} bits"
+        )
+    if to_bits < 1:
+        raise AcquisitionError("resolution must be at least 1 bit")
+    shift = from_bits - to_bits
+    return np.asarray(counts, dtype=np.int64) >> shift
+
+
+def downsample(samples: np.ndarray, factor: int) -> np.ndarray:
+    """Keep every ``factor``-th sample (software decimation).
+
+    The paper downsamples 20 MS/s captures to 10/5/2.5 MS/s this way; no
+    anti-alias filter is applied because the signal of interest is far
+    below Nyquist even at the lowest rate.
+    """
+    if factor < 1:
+        raise AcquisitionError(f"downsample factor must be >= 1, got {factor}")
+    return np.asarray(samples)[::factor]

@@ -1,0 +1,115 @@
+"""Trace archives: persist captures as ``.npz`` files.
+
+The paper's methodology records bus captures once and replays them into
+vProfile for every experiment ("For test repeatability, we recorded the
+CAN bus traffic of each vehicle and replayed it", Section 4.1).  This
+module gives the library the same workflow: a capture session can be
+saved to a single compressed archive and replayed later by the CLI, the
+experiments, or a user's own harness.
+
+All traces in one archive must share their capture parameters and sample
+count (which they do when produced by one capture chain with a fixed
+``max_frame_bits``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.acquisition.trace import VoltageTrace
+from repro.can.frame import CanFrame
+from repro.errors import AcquisitionError
+
+#: Archive format version, stored for forward compatibility.
+ARCHIVE_VERSION = 1
+
+
+def save_traces(path: str | Path, traces: list[VoltageTrace]) -> None:
+    """Save a homogeneous list of traces to a compressed ``.npz``.
+
+    Ground-truth metadata (``sender`` and the frame's id/payload) is
+    preserved so that replayed experiments can still be scored.
+    """
+    if not traces:
+        raise AcquisitionError("refusing to save an empty capture")
+    lengths = {len(t) for t in traces}
+    if len(lengths) != 1:
+        raise AcquisitionError(
+            f"traces have mixed lengths {sorted(lengths)}; archives require "
+            "a fixed truncation"
+        )
+    rates = {t.sample_rate for t in traces}
+    bits = {t.resolution_bits for t in traces}
+    bitrates = {t.bitrate for t in traces}
+    if len(rates) != 1 or len(bits) != 1 or len(bitrates) != 1:
+        raise AcquisitionError("traces have mixed capture parameters")
+
+    senders = np.array([t.metadata.get("sender", "") for t in traces])
+    frames = [t.metadata.get("frame") for t in traces]
+    can_ids = np.array(
+        [f.can_id if isinstance(f, CanFrame) else -1 for f in frames],
+        dtype=np.int64,
+    )
+    extended = np.array(
+        [bool(f.extended) if isinstance(f, CanFrame) else True for f in frames]
+    )
+    payloads = np.array(
+        [f.data.hex() if isinstance(f, CanFrame) else "" for f in frames]
+    )
+    np.savez_compressed(
+        Path(path),
+        version=np.array(ARCHIVE_VERSION),
+        counts=np.stack([t.counts for t in traces]),
+        start_s=np.array([t.start_s for t in traces]),
+        sample_rate=np.array(traces[0].sample_rate),
+        resolution_bits=np.array(traces[0].resolution_bits),
+        bitrate=np.array(traces[0].bitrate),
+        senders=senders,
+        can_ids=can_ids,
+        extended=extended,
+        payloads=payloads,
+    )
+
+
+def load_traces(path: str | Path) -> list[VoltageTrace]:
+    """Load a capture previously written by :func:`save_traces`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["version"])
+        if version != ARCHIVE_VERSION:
+            raise AcquisitionError(
+                f"archive version {version} unsupported (expected {ARCHIVE_VERSION})"
+            )
+        counts = archive["counts"]
+        start_s = archive["start_s"]
+        sample_rate = float(archive["sample_rate"])
+        resolution_bits = int(archive["resolution_bits"])
+        bitrate = float(archive["bitrate"])
+        senders = [str(s) for s in archive["senders"]]
+        can_ids = archive["can_ids"]
+        extended = archive["extended"]
+        payloads = [str(p) for p in archive["payloads"]]
+
+    traces = []
+    for row in range(counts.shape[0]):
+        metadata = {}
+        if senders[row]:
+            metadata["sender"] = senders[row]
+        if can_ids[row] >= 0:
+            metadata["frame"] = CanFrame(
+                can_id=int(can_ids[row]),
+                data=bytes.fromhex(payloads[row]),
+                extended=bool(extended[row]),
+            )
+        traces.append(
+            VoltageTrace(
+                counts=counts[row],
+                sample_rate=sample_rate,
+                resolution_bits=resolution_bits,
+                bitrate=bitrate,
+                start_s=float(start_s[row]),
+                metadata=metadata,
+            )
+        )
+    return traces

@@ -1,0 +1,165 @@
+"""Continuous-capture segmentation: one long record -> per-message traces.
+
+A real digitizer on the OBD-II port records one continuous sample
+stream; messages must be cut out of it before Algorithm 1 can run.  CAN
+guarantees the bus idles recessive between frames (3+ bit interframe
+space, arbitrarily long idle), so message boundaries are recessive runs
+of at least a few bit times followed by a dominant SOF.
+
+:func:`segment_capture` implements that: it scans the stream for
+dominant activity separated by sufficiently long recessive runs and
+emits one :class:`VoltageTrace` per burst, with a little recessive
+padding kept on both sides so edge-set extraction can find the SOF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.acquisition.trace import VoltageTrace
+from repro.errors import AcquisitionError
+
+
+@dataclass(frozen=True)
+class SegmentationConfig:
+    """How message boundaries are located.
+
+    Attributes
+    ----------
+    threshold:
+        ADC-count level separating dominant from recessive.
+    min_idle_bits:
+        A recessive run at least this many bit times long separates two
+        messages.  It must exceed 5 bits (the longest stuffed in-frame
+        recessive run) and stay below 10 (EOF's 7 recessive bits plus
+        the 3-bit interframe space).
+    min_message_bits:
+        Dominant bursts shorter than this are discarded as glitches.
+    padding_bits:
+        Recessive context kept before/after each message so SOF search
+        and edge windows have room.
+    """
+
+    threshold: float
+    min_idle_bits: float = 7.5
+    min_message_bits: float = 10.0
+    padding_bits: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.min_idle_bits <= 0 or self.min_message_bits <= 0:
+            raise AcquisitionError("segmentation windows must be positive")
+
+
+def segment_capture(
+    stream: VoltageTrace,
+    config: SegmentationConfig | None = None,
+) -> list[VoltageTrace]:
+    """Cut a continuous capture into per-message traces.
+
+    Returns the messages in stream order.  Each trace's ``start_s`` is
+    the bus time of its first (padded) sample; metadata is inherited
+    from the stream.
+    """
+    if config is None:
+        from repro.acquisition.adc import AdcConfig
+
+        adc = AdcConfig(resolution_bits=stream.resolution_bits)
+        config = SegmentationConfig(threshold=adc.volts_to_counts(1.0))
+
+    samples = np.asarray(stream.counts)
+    spb = stream.samples_per_bit
+    min_idle = int(round(config.min_idle_bits * spb))
+    min_message = int(round(config.min_message_bits * spb))
+    padding = int(round(config.padding_bits * spb))
+
+    dominant = samples >= config.threshold
+    if not dominant.any():
+        return []
+
+    # Close gaps shorter than the idle window: a frame's internal
+    # recessive runs (up to ~10 bit times inside the data field) must
+    # not split it.  A run of consecutive dominant flags with gaps
+    # < min_idle belongs to one message.
+    dominant_indices = np.nonzero(dominant)[0]
+    gaps = np.diff(dominant_indices)
+    boundaries = np.nonzero(gaps > min_idle)[0]
+    starts = np.concatenate([[dominant_indices[0]], dominant_indices[boundaries + 1]])
+    ends = np.concatenate([dominant_indices[boundaries], [dominant_indices[-1]]])
+
+    traces: list[VoltageTrace] = []
+    for start, end in zip(starts, ends):
+        if end - start < min_message:
+            continue  # glitch / partial frame at the capture edge
+        lo = max(0, start - padding)
+        hi = min(samples.size, end + padding + 1)
+        traces.append(
+            replace(
+                stream,
+                counts=samples[lo:hi],
+                start_s=stream.start_s + lo / stream.sample_rate,
+                metadata=dict(stream.metadata),
+            )
+        )
+    return traces
+
+
+def assemble_stream(
+    traces: list[VoltageTrace],
+    *,
+    idle_level_counts: float | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> VoltageTrace:
+    """Concatenate per-message traces into one continuous capture.
+
+    The inverse of :func:`segment_capture` for simulation use: message
+    traces are placed at their ``start_s`` positions in one sample
+    stream, with the gaps filled by the recessive idle level (estimated
+    from the traces when not given).  Overlapping traces are rejected —
+    a real bus serialises messages.
+    """
+    if not traces:
+        raise AcquisitionError("cannot assemble an empty stream")
+    ordered = sorted(traces, key=lambda t: t.start_s)
+    rate = ordered[0].sample_rate
+    bits = ordered[0].resolution_bits
+    bitrate = ordered[0].bitrate
+    for trace in ordered:
+        if (trace.sample_rate, trace.resolution_bits, trace.bitrate) != (
+            rate,
+            bits,
+            bitrate,
+        ):
+            raise AcquisitionError("traces have mixed capture parameters")
+
+    if idle_level_counts is None:
+        idle_level_counts = float(
+            np.median([np.median(t.counts[: max(4, len(t) // 50)]) for t in ordered])
+        )
+
+    origin = ordered[0].start_s
+    end_index = 0
+    placements = []
+    for trace in ordered:
+        index = int(round((trace.start_s - origin) * rate))
+        if index < end_index:
+            raise AcquisitionError(
+                f"trace at t={trace.start_s:.6f}s overlaps the previous message"
+            )
+        placements.append((index, trace))
+        end_index = index + len(trace)
+
+    total = end_index
+    stream = np.full(total, round(idle_level_counts), dtype=ordered[0].counts.dtype)
+    for index, trace in placements:
+        stream[index : index + len(trace)] = trace.counts
+    return VoltageTrace(
+        counts=stream,
+        sample_rate=rate,
+        resolution_bits=bits,
+        bitrate=bitrate,
+        start_s=origin,
+        metadata=metadata or {},
+    )

@@ -1,0 +1,98 @@
+"""Voltage trace container.
+
+A :class:`VoltageTrace` is one digitized CAN message: ADC counts plus the
+capture parameters needed to interpret them.  It also carries optional
+ground-truth metadata (true sender, the frame) used only by the
+evaluation harness — the detector itself never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.acquisition.adc import AdcConfig, downsample, reduce_resolution
+from repro.errors import AcquisitionError
+
+
+@dataclass(frozen=True)
+class VoltageTrace:
+    """A digitized capture of (part of) one CAN frame.
+
+    Attributes
+    ----------
+    counts:
+        ADC codes, offset binary.
+    sample_rate:
+        Samples per second.
+    resolution_bits:
+        ADC word width of ``counts``.
+    bitrate:
+        Bus bit rate during the capture.
+    start_s:
+        Bus time of the first sample.
+    metadata:
+        Ground-truth annotations for evaluation (``sender``, ``frame``,
+        ``is_attack`` ...).  Never consulted by the detection path.
+    """
+
+    counts: np.ndarray
+    sample_rate: float
+    resolution_bits: int
+    bitrate: float = 250_000.0
+    start_s: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 1:
+            raise AcquisitionError("a trace must be a 1-D sample vector")
+        if self.sample_rate <= 0 or self.bitrate <= 0:
+            raise AcquisitionError("sample_rate and bitrate must be positive")
+        object.__setattr__(self, "counts", counts)
+
+    def __len__(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def samples_per_bit(self) -> float:
+        """Digitizer samples per bus bit."""
+        return self.sample_rate / self.bitrate
+
+    @property
+    def duration_s(self) -> float:
+        """Capture length in seconds."""
+        return self.counts.size / self.sample_rate
+
+    def downsampled(self, factor: int) -> "VoltageTrace":
+        """Return a copy decimated by ``factor``."""
+        return replace(
+            self,
+            counts=downsample(self.counts, factor),
+            sample_rate=self.sample_rate / factor,
+        )
+
+    def at_resolution(self, to_bits: int) -> "VoltageTrace":
+        """Return a copy with least-significant bits dropped."""
+        return replace(
+            self,
+            counts=reduce_resolution(self.counts, self.resolution_bits, to_bits),
+            resolution_bits=to_bits,
+        )
+
+    def to_volts(self, adc: AdcConfig | None = None) -> np.ndarray:
+        """Convert the counts to volts.
+
+        When ``adc`` is omitted a full-scale +/-5 V front end at this
+        trace's resolution is assumed.
+        """
+        if adc is None:
+            adc = AdcConfig(resolution_bits=self.resolution_bits)
+        if adc.resolution_bits != self.resolution_bits:
+            raise AcquisitionError(
+                f"ADC config is {adc.resolution_bits}-bit but the trace is "
+                f"{self.resolution_bits}-bit"
+            )
+        return adc.to_volts(self.counts)

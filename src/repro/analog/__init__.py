@@ -1,0 +1,61 @@
+"""Analog physical-layer substrate: transceivers, channel, environment.
+
+Synthesises the differential CAN bus voltage that the paper measured on
+real trucks, preserving the statistical structure vProfile depends on:
+per-ECU levels and edge dynamics, sampling-phase jitter, and correlated
+channel noise.
+"""
+
+from repro.analog.calibration import (
+    EdgeFit,
+    LevelEstimate,
+    estimate_fingerprint,
+    estimate_levels,
+    fit_edge_dynamics,
+)
+from repro.analog.channel import NOISY_CHANNEL, QUIET_CHANNEL, ChannelNoise
+from repro.analog.environment import (
+    ACCESSORY_AC,
+    ACCESSORY_LIGHTS,
+    ACCESSORY_LIGHTS_AC,
+    ACCESSORY_MODE,
+    ENGINE_RUNNING,
+    NOMINAL_BATTERY_V,
+    NOMINAL_ENVIRONMENT,
+    NOMINAL_TEMPERATURE_C,
+    Environment,
+)
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams, perturbed
+from repro.analog.waveform import (
+    SynthesisConfig,
+    rendered_sample_count,
+    step_response,
+    synthesize_waveform,
+)
+
+__all__ = [
+    "EdgeFit",
+    "LevelEstimate",
+    "estimate_fingerprint",
+    "estimate_levels",
+    "fit_edge_dynamics",
+    "NOISY_CHANNEL",
+    "QUIET_CHANNEL",
+    "ChannelNoise",
+    "ACCESSORY_AC",
+    "ACCESSORY_LIGHTS",
+    "ACCESSORY_LIGHTS_AC",
+    "ACCESSORY_MODE",
+    "ENGINE_RUNNING",
+    "NOMINAL_BATTERY_V",
+    "NOMINAL_ENVIRONMENT",
+    "NOMINAL_TEMPERATURE_C",
+    "Environment",
+    "EdgeDynamics",
+    "TransceiverParams",
+    "perturbed",
+    "SynthesisConfig",
+    "rendered_sample_count",
+    "step_response",
+    "synthesize_waveform",
+]

@@ -1,0 +1,103 @@
+"""Bus channel noise model.
+
+The measured CAN voltage is the transceiver's ideal output plus several
+noise processes with very different structure:
+
+* **White measurement noise** — digitizer front-end noise, independent
+  per sample.
+* **Correlated (AR(1)) noise** — supply ripple and EMI filtered by the
+  bus; neighbouring samples are correlated, which is precisely the
+  structure the Mahalanobis covariance matrix exploits (Section 4.2.2).
+* **Per-message baseline wander** — slow common-mode drift; constant
+  within one message but varying between messages.  This inflates the
+  Euclidean intra-cluster spread without helping discrimination, and is
+  one of the two mechanisms (with edge jitter) behind the Euclidean
+  metric's failures in Tables 4.1-4.2.
+* **Per-message amplitude jitter** — small relative gain variation of
+  the dominant drive (driver supply ripple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WaveformError
+
+
+@dataclass(frozen=True)
+class ChannelNoise:
+    """Noise amplitudes for a capture chain, all in volts (or relative).
+
+    Attributes
+    ----------
+    white_sigma_v:
+        Standard deviation of per-sample white Gaussian noise.
+    ar_sigma_v:
+        Stationary standard deviation of the AR(1) correlated component.
+    ar_coeff:
+        AR(1) pole; 0 disables correlation, values near 1 give slow noise.
+    baseline_sigma_v:
+        Standard deviation of the per-message common-mode offset.
+    amplitude_jitter:
+        Relative standard deviation of the per-message dominant-level
+        gain factor.
+    """
+
+    white_sigma_v: float = 0.008
+    ar_sigma_v: float = 0.005
+    ar_coeff: float = 0.92
+    baseline_sigma_v: float = 0.018
+    amplitude_jitter: float = 0.002
+
+    def __post_init__(self) -> None:
+        for field_name in ("white_sigma_v", "ar_sigma_v", "baseline_sigma_v", "amplitude_jitter"):
+            if getattr(self, field_name) < 0:
+                raise WaveformError(f"{field_name} must be non-negative")
+        if not 0.0 <= self.ar_coeff < 1.0:
+            raise WaveformError(f"ar_coeff must be in [0, 1), got {self.ar_coeff}")
+
+    def sample_message_offsets(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Draw the per-message (baseline offset, amplitude gain) pair."""
+        baseline = float(rng.normal(0.0, self.baseline_sigma_v)) if self.baseline_sigma_v else 0.0
+        gain = 1.0 + (float(rng.normal(0.0, self.amplitude_jitter)) if self.amplitude_jitter else 0.0)
+        return baseline, gain
+
+    def sample_noise(self, n_samples: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw the per-sample noise vector (white + AR(1)) for one message."""
+        noise = np.zeros(n_samples)
+        if self.white_sigma_v:
+            noise += rng.normal(0.0, self.white_sigma_v, size=n_samples)
+        if self.ar_sigma_v and n_samples:
+            from scipy.signal import lfilter
+
+            innovation_sigma = self.ar_sigma_v * np.sqrt(1.0 - self.ar_coeff**2)
+            innovations = rng.normal(0.0, innovation_sigma, size=n_samples)
+            # Seed the recursion at the stationary distribution so the
+            # first samples of a message are not artificially quiet.
+            innovations[0] = rng.normal(0.0, self.ar_sigma_v)
+            ar = lfilter([1.0], [1.0, -self.ar_coeff], innovations)
+            noise += ar
+        return noise
+
+
+#: Noise of a bench-grade digitizer chain on a quiet bus.
+QUIET_CHANNEL = ChannelNoise(
+    white_sigma_v=0.004,
+    ar_sigma_v=0.003,
+    ar_coeff=0.9,
+    baseline_sigma_v=0.008,
+    amplitude_jitter=0.001,
+)
+
+#: Noise of an in-vehicle capture while driving (Vehicle B conditions):
+#: the dominating term is slow per-message baseline wander from shifting
+#: loads, while the sample-level noise floor stays moderate.
+NOISY_CHANNEL = ChannelNoise(
+    white_sigma_v=0.004,
+    ar_sigma_v=0.0035,
+    ar_coeff=0.94,
+    baseline_sigma_v=0.017,
+    amplitude_jitter=0.003,
+)

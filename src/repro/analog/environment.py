@@ -1,0 +1,63 @@
+"""Operating-environment model: temperature and battery voltage.
+
+Section 4.4 of the paper shows that ECU temperature and battery voltage
+shift the CAN bus voltage enough to move Mahalanobis distances by tens of
+percent.  This module captures the environment as a value object and the
+per-ECU sensitivity coefficients live in the transceiver model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Nominal conditions used when a caller does not care about environment.
+NOMINAL_TEMPERATURE_C = 25.0
+NOMINAL_BATTERY_V = 13.6
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Vehicle operating conditions during a capture.
+
+    Attributes
+    ----------
+    temperature_c:
+        ECU-compartment temperature in degrees Celsius.  The paper's
+        temperature sweep runs from -5 degC to 25 degC (Section 4.4.1).
+    battery_v:
+        Battery / supply voltage.  About 12.6 V in accessory mode and
+        13.6 V with the engine running and the alternator charging
+        (Section 4.4.2).
+    load_current_a:
+        Aggregate high-power accessory load (lights, A/C) in amperes.
+        Used to model the small bus-voltage sag the paper observed when
+        both the lights and A/C were running.
+    """
+
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+    battery_v: float = NOMINAL_BATTERY_V
+    load_current_a: float = 0.0
+
+    def with_temperature(self, temperature_c: float) -> "Environment":
+        """Return a copy at a different temperature."""
+        return replace(self, temperature_c=temperature_c)
+
+    def with_battery(self, battery_v: float) -> "Environment":
+        """Return a copy at a different battery voltage."""
+        return replace(self, battery_v=battery_v)
+
+    def with_load(self, load_current_a: float) -> "Environment":
+        """Return a copy with a different accessory load."""
+        return replace(self, load_current_a=load_current_a)
+
+
+NOMINAL_ENVIRONMENT = Environment()
+
+#: Environments matching the paper's battery-voltage experiment events
+#: (Section 4.4.2): accessory mode ~12.6 V, engine running ~13.6 V, with
+#: rough current draws for the switched loads.
+ACCESSORY_MODE = Environment(temperature_c=28.4, battery_v=12.61)
+ACCESSORY_LIGHTS = Environment(temperature_c=28.4, battery_v=12.58, load_current_a=18.0)
+ACCESSORY_AC = Environment(temperature_c=28.4, battery_v=12.56, load_current_a=25.0)
+ACCESSORY_LIGHTS_AC = Environment(temperature_c=28.4, battery_v=12.54, load_current_a=43.0)
+ENGINE_RUNNING = Environment(temperature_c=28.4, battery_v=13.60, load_current_a=0.0)

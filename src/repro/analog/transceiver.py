@@ -1,0 +1,182 @@
+"""Per-ECU CAN transceiver electrical model.
+
+Section 2.2.1 of the paper: manufacturing variation gives every ECU's
+output driver a unique, practically inimitable electrical signature —
+slightly different dominant drive levels, edge dynamics and ringing.
+This module captures that signature as an explicit parameter set.  The
+waveform synthesiser turns the parameters plus a bit sequence into a
+differential bus voltage.
+
+Edge dynamics are modelled as a second-order step response.  The rising
+(recessive->dominant) transition is actively driven and typically fast
+and under-damped (visible overshoot); the falling (dominant->recessive)
+transition is a passive relaxation through the termination network and is
+slower and closer to critically damped.  Environment sensitivity enters
+through linear temperature and supply-voltage coefficients, which is what
+the paper's Section 4.4 drift experiments measure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analog.environment import (
+    NOMINAL_BATTERY_V,
+    NOMINAL_TEMPERATURE_C,
+    Environment,
+)
+from repro.errors import WaveformError
+
+
+@dataclass(frozen=True)
+class EdgeDynamics:
+    """Second-order dynamics of one transition direction.
+
+    Attributes
+    ----------
+    natural_freq_hz:
+        Undamped natural frequency ``f_n`` of the driver + bus-load
+        system.  Real CAN edges settle within 100-300 ns, i.e. a few MHz.
+    damping:
+        Damping ratio ``zeta``.  Below 1 the edge overshoots and rings;
+        at or above 1 it relaxes monotonically.
+    """
+
+    natural_freq_hz: float
+    damping: float
+
+    def __post_init__(self) -> None:
+        if self.natural_freq_hz <= 0:
+            raise WaveformError(f"natural frequency must be positive, got {self.natural_freq_hz}")
+        if self.damping <= 0:
+            raise WaveformError(f"damping ratio must be positive, got {self.damping}")
+
+    @property
+    def omega_n(self) -> float:
+        """Angular natural frequency in rad/s."""
+        return 2.0 * math.pi * self.natural_freq_hz
+
+    def settle_time_s(self, tolerance: float = 0.01) -> float:
+        """Approximate time to settle within ``tolerance`` of the target."""
+        zeta = min(self.damping, 0.999) if self.damping < 1.0 else self.damping
+        return -math.log(tolerance) / (zeta * self.omega_n)
+
+
+@dataclass(frozen=True)
+class TransceiverParams:
+    """The complete electrical fingerprint of one ECU's transceiver.
+
+    Voltage levels are *differential* (CAN_H minus CAN_L): ~0 V recessive
+    and ~2 V dominant for a healthy ISO 11898-2 node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (e.g. ``"ECU0"``).
+    v_dominant:
+        Differential dominant level at nominal environment, in volts.
+    v_recessive:
+        Differential recessive level (small non-zero offsets model
+        transceiver leakage mismatch), in volts.
+    rise / fall:
+        Edge dynamics for recessive->dominant and dominant->recessive
+        transitions respectively.
+    temp_coeff_v_per_c:
+        Dominant-level drift in volts per degree Celsius away from the
+        nominal 25 degC.  The paper's Figure 4.6 shows ECUs 0 and 2
+        drifting much more than the rest, so coefficients vary per ECU.
+    temp_coeff_freq_per_c:
+        Relative change in both edge natural frequencies per degree.
+    batt_coeff_per_v:
+        Relative dominant-level change per volt of battery deviation
+        from the nominal 13.6 V (transceivers regulate their 5 V rail, so
+        this is small — matching the paper's Section 4.4.2 finding).
+    load_coeff_v_per_a:
+        Dominant-level sag per ampere of accessory load (ground-offset
+        shift under heavy current; the paper saw the largest drift with
+        lights + A/C on).
+    """
+
+    name: str
+    v_dominant: float
+    v_recessive: float
+    rise: EdgeDynamics
+    fall: EdgeDynamics
+    temp_coeff_v_per_c: float = 0.0
+    temp_coeff_freq_per_c: float = 0.0
+    batt_coeff_per_v: float = 0.0
+    load_coeff_v_per_a: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.v_dominant <= self.v_recessive:
+            raise WaveformError(
+                f"{self.name}: dominant level ({self.v_dominant} V) must "
+                f"exceed recessive level ({self.v_recessive} V)"
+            )
+
+    def effective_levels(self, env: Environment) -> tuple[float, float]:
+        """Dominant and recessive levels under ``env``.
+
+        Returns
+        -------
+        (v_dominant, v_recessive) in volts.
+        """
+        dt = env.temperature_c - NOMINAL_TEMPERATURE_C
+        dv_batt = env.battery_v - NOMINAL_BATTERY_V
+        v_dom = self.v_dominant
+        v_dom += self.temp_coeff_v_per_c * dt
+        v_dom *= 1.0 + self.batt_coeff_per_v * dv_batt
+        v_dom -= self.load_coeff_v_per_a * env.load_current_a
+        # Recessive level is set by the termination network, not the
+        # driver; temperature moves it an order of magnitude less.
+        v_rec = self.v_recessive + 0.1 * self.temp_coeff_v_per_c * dt
+        return v_dom, v_rec
+
+    def effective_dynamics(self, env: Environment) -> tuple[EdgeDynamics, EdgeDynamics]:
+        """Rise and fall dynamics under ``env``.
+
+        Edge speed drifts with temperature (MOSFET channel mobility);
+        battery voltage barely matters for the regulated driver.
+        """
+        dt = env.temperature_c - NOMINAL_TEMPERATURE_C
+        scale = 1.0 + self.temp_coeff_freq_per_c * dt
+        scale = max(scale, 0.05)
+        rise = EdgeDynamics(self.rise.natural_freq_hz * scale, self.rise.damping)
+        fall = EdgeDynamics(self.fall.natural_freq_hz * scale, self.fall.damping)
+        return rise, fall
+
+
+def perturbed(
+    base: TransceiverParams,
+    name: str,
+    *,
+    dv_dominant: float = 0.0,
+    dv_recessive: float = 0.0,
+    rise_freq_scale: float = 1.0,
+    rise_damping_scale: float = 1.0,
+    fall_freq_scale: float = 1.0,
+    fall_damping_scale: float = 1.0,
+) -> TransceiverParams:
+    """Derive a new fingerprint from ``base`` with small perturbations.
+
+    Convenient for building families of similar-but-distinct ECUs (the
+    Vehicle B scenario: many ECUs with less distinct voltage profiles).
+    """
+    return TransceiverParams(
+        name=name,
+        v_dominant=base.v_dominant + dv_dominant,
+        v_recessive=base.v_recessive + dv_recessive,
+        rise=EdgeDynamics(
+            base.rise.natural_freq_hz * rise_freq_scale,
+            base.rise.damping * rise_damping_scale,
+        ),
+        fall=EdgeDynamics(
+            base.fall.natural_freq_hz * fall_freq_scale,
+            base.fall.damping * fall_damping_scale,
+        ),
+        temp_coeff_v_per_c=base.temp_coeff_v_per_c,
+        temp_coeff_freq_per_c=base.temp_coeff_freq_per_c,
+        batt_coeff_per_v=base.batt_coeff_per_v,
+        load_coeff_v_per_a=base.load_coeff_v_per_a,
+    )

@@ -1,0 +1,237 @@
+"""Differential-voltage waveform synthesis for CAN frames.
+
+Turns a stuffed wire bit sequence plus a transceiver fingerprint into the
+analog differential voltage a digitizer would see on the bus.  The model:
+
+* each bit targets its transceiver's dominant or recessive level;
+* at each bit boundary where the value changes, the voltage follows the
+  transceiver's second-order step response (overshoot and ringing for
+  under-damped edges);
+* the sampling clock is asynchronous to the bus, so every message is
+  sampled with a random sub-sample phase offset.  This *sampling jitter*
+  is what gives edge sample indices their large variance (paper Figure
+  4.4) while steady-state samples stay quiet;
+* channel noise (white + correlated + per-message baseline/gain) is
+  added on top.
+
+Within a bit time (4 us at 250 kb/s) the MHz-scale edge dynamics settle
+completely, so each transition starts from the previous bit's settled
+level — the same assumption the paper's extraction algorithm makes when
+it treats steady states as "very stable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analog.channel import ChannelNoise
+from repro.analog.environment import NOMINAL_ENVIRONMENT, Environment
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.errors import WaveformError
+
+
+def step_response(
+    dt_s: np.ndarray,
+    v_start: np.ndarray,
+    v_target: np.ndarray,
+    dynamics: EdgeDynamics,
+) -> np.ndarray:
+    """Second-order step response at times ``dt_s`` after the transition.
+
+    Handles under-, critically- and over-damped cases.  ``dt_s`` must be
+    non-negative; ``v_start``/``v_target`` broadcast against it.
+    """
+    wn = dynamics.omega_n
+    zeta = dynamics.damping
+    dt = np.asarray(dt_s, dtype=float)
+    if np.any(dt < 0):
+        raise WaveformError("step_response requires non-negative times")
+    if zeta < 1.0:
+        wd = wn * np.sqrt(1.0 - zeta**2)
+        envelope = np.exp(-zeta * wn * dt)
+        transient = envelope * (
+            np.cos(wd * dt) + (zeta / np.sqrt(1.0 - zeta**2)) * np.sin(wd * dt)
+        )
+    elif zeta == 1.0:
+        transient = np.exp(-wn * dt) * (1.0 + wn * dt)
+    else:
+        root = np.sqrt(zeta**2 - 1.0)
+        s1 = wn * (-zeta + root)
+        s2 = wn * (-zeta - root)
+        transient = (s1 * np.exp(s2 * dt) - s2 * np.exp(s1 * dt)) / (s1 - s2)
+    return v_target + (v_start - v_target) * transient
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """How a frame is rendered to samples.
+
+    Attributes
+    ----------
+    bitrate:
+        Bus bit rate (250 kb/s on both evaluation vehicles).
+    sample_rate:
+        Digitizer rate in samples/second.
+    idle_prefix_bits:
+        Recessive bus-idle bits rendered before SOF so that edge-set
+        extraction can locate the start of frame.
+    idle_suffix_bits:
+        Recessive bits appended after the last rendered bit.
+    max_frame_bits:
+        When set, only the first ``max_frame_bits`` wire bits of the
+        frame are rendered.  vProfile needs nothing past roughly bit 45,
+        so truncation makes large dataset generation cheap.
+    """
+
+    bitrate: float = 250_000.0
+    sample_rate: float = 10_000_000.0
+    idle_prefix_bits: int = 2
+    idle_suffix_bits: int = 1
+    max_frame_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0 or self.sample_rate <= 0:
+            raise WaveformError("bitrate and sample_rate must be positive")
+        if self.sample_rate < 4 * self.bitrate:
+            raise WaveformError(
+                "sample_rate must be at least 4x the bitrate to resolve bits"
+            )
+        if self.idle_prefix_bits < 1:
+            raise WaveformError("at least one idle prefix bit is required")
+
+    @property
+    def samples_per_bit(self) -> float:
+        """Digitizer samples per bus bit (40.0 at 10 MS/s on 250 kb/s)."""
+        return self.sample_rate / self.bitrate
+
+
+def synthesize_waveform(
+    wire_bits: Sequence[int],
+    transceiver: TransceiverParams,
+    config: SynthesisConfig,
+    *,
+    env: Environment = NOMINAL_ENVIRONMENT,
+    noise: ChannelNoise | None = None,
+    rng: np.random.Generator | None = None,
+    phase: float | None = None,
+    ack_bit_index: int | None = None,
+    ack_driver: TransceiverParams | None = None,
+) -> np.ndarray:
+    """Render ``wire_bits`` to a differential-voltage sample vector.
+
+    Parameters
+    ----------
+    wire_bits:
+        Stuffed bits as transmitted, 0 = dominant, 1 = recessive,
+        starting at SOF.
+    transceiver:
+        Fingerprint of the transmitting ECU.
+    config:
+        Rate / framing options.
+    env:
+        Operating environment (temperature, battery, load).
+    noise:
+        Channel noise model; ``None`` renders a noiseless waveform.
+    rng:
+        Random generator for noise and sampling phase.  Required when
+        ``noise`` is given or ``phase`` is None and jitter is wanted.
+    phase:
+        Sub-sample sampling phase in ``[0, 1)``.  ``None`` draws it
+        uniformly from ``rng`` (or uses 0 without an rng).
+    ack_bit_index:
+        Index into ``wire_bits`` of the ACK slot, if the frame includes
+        one and a receiver asserts it.
+    ack_driver:
+        Transceiver of the acknowledging ECU.  The paper notes the ACK
+        voltage "can deviate significantly from the rest of the message"
+        because a different node drives it.
+
+    Returns
+    -------
+    numpy.ndarray
+        Differential voltage in volts, one entry per digitizer sample.
+    """
+    wire = np.asarray(list(wire_bits), dtype=np.int8)
+    if wire.size == 0:
+        raise WaveformError("cannot synthesise an empty bit sequence")
+    if config.max_frame_bits is not None:
+        wire = wire[: config.max_frame_bits]
+
+    if phase is None:
+        phase = float(rng.uniform(0.0, 1.0)) if rng is not None else 0.0
+    if not 0.0 <= phase < 1.0:
+        raise WaveformError(f"phase must be in [0, 1), got {phase}")
+
+    # Assemble the rendered bit lane: idle, frame, idle.
+    bits = np.concatenate(
+        [
+            np.ones(config.idle_prefix_bits, dtype=np.int8),
+            wire,
+            np.ones(config.idle_suffix_bits, dtype=np.int8),
+        ]
+    )
+    ack_lane_index = None
+    if ack_bit_index is not None and ack_bit_index < wire.size:
+        ack_lane_index = config.idle_prefix_bits + ack_bit_index
+
+    v_dom, v_rec = transceiver.effective_levels(env)
+    rise_dyn, fall_dyn = transceiver.effective_dynamics(env)
+
+    baseline = 0.0
+    gain = 1.0
+    if noise is not None:
+        if rng is None:
+            raise WaveformError("noise synthesis requires an rng")
+        baseline, gain = noise.sample_message_offsets(rng)
+
+    # Per-bit target levels.
+    levels = np.where(bits == 0, v_dom * gain, v_rec)
+    if ack_lane_index is not None and ack_driver is not None:
+        ack_dom, _ = ack_driver.effective_levels(env)
+        if bits[ack_lane_index] == 0:
+            levels = levels.copy()
+            levels[ack_lane_index] = ack_dom * gain
+
+    prev_bits = np.concatenate([[1], bits[:-1]])  # bus idles recessive
+    prev_levels = np.concatenate([[v_rec], levels[:-1]])
+    is_transition = bits != prev_bits
+
+    # Sample times and bit assignment.
+    spb = config.samples_per_bit
+    n_bits = bits.size
+    n_samples = int(np.floor(n_bits * spb - phase))
+    positions = np.arange(n_samples) + phase        # in samples
+    bit_index = np.floor(positions / spb).astype(np.int64)
+    bit_index = np.clip(bit_index, 0, n_bits - 1)
+    dt = (positions - bit_index * spb) / config.sample_rate  # s since bit start
+
+    volts = levels[bit_index].astype(float)
+    trans_mask = is_transition[bit_index]
+    if np.any(trans_mask):
+        to_dominant = bits[bit_index] == 0
+        rising = trans_mask & to_dominant
+        falling = trans_mask & ~to_dominant
+        for mask, dyn in ((rising, rise_dyn), (falling, fall_dyn)):
+            if np.any(mask):
+                volts[mask] = step_response(
+                    dt[mask],
+                    prev_levels[bit_index[mask]],
+                    levels[bit_index[mask]],
+                    dyn,
+                )
+
+    volts += baseline
+    if noise is not None:
+        volts = volts + noise.sample_noise(n_samples, rng)
+    return volts
+
+
+def rendered_sample_count(n_wire_bits: int, config: SynthesisConfig) -> int:
+    """Number of samples :func:`synthesize_waveform` produces at phase 0."""
+    if config.max_frame_bits is not None:
+        n_wire_bits = min(n_wire_bits, config.max_frame_bits)
+    n_bits = config.idle_prefix_bits + n_wire_bits + config.idle_suffix_bits
+    return int(np.floor(n_bits * config.samples_per_bit))

@@ -1,0 +1,29 @@
+"""Attack simulations: the paper's threat model (Section 3.1) plus the
+fault-induction / bus-off attack its introduction cites (Section 1.1)."""
+
+from repro.attacks.bus_off import (
+    BusOffAttackResult,
+    minimum_messages_to_bus_off,
+    simulate_bus_off_attack,
+    victim_timeline_with_bus_off,
+)
+from repro.attacks.foreign import (
+    ForeignDongle,
+    ForeignScenario,
+    apply_foreign_imitation,
+    most_similar_pair,
+)
+from repro.attacks.hijack import LabelledEdgeSet, apply_hijack
+
+__all__ = [
+    "BusOffAttackResult",
+    "minimum_messages_to_bus_off",
+    "simulate_bus_off_attack",
+    "victim_timeline_with_bus_off",
+    "ForeignDongle",
+    "ForeignScenario",
+    "apply_foreign_imitation",
+    "most_similar_pair",
+    "LabelledEdgeSet",
+    "apply_hijack",
+]

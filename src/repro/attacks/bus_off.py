@@ -1,0 +1,126 @@
+"""Bus-off attack simulation (fault-induction, paper Section 1.1 [6]).
+
+An adversary who can force bit errors on a victim's transmissions (by
+transmitting dominant bits over the victim's recessive ones at exactly
+the right time) drives the victim's transmit error counter up by +8 per
+destroyed frame.  After 32 consecutive induced errors the victim crosses
+TEC > 255 and disconnects itself from the bus — a full denial of service
+against one ECU using nothing but protocol-compliant behaviour.
+
+This module simulates the counter dynamics of such an attack, produces
+the victim's transmission timeline (which simply *stops*), and shows how
+the :mod:`repro.ids` period monitor surfaces the silence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.can.faults import BUS_OFF_LIMIT, ErrorState, FaultConfinement
+from repro.errors import CanError
+
+
+@dataclass(frozen=True)
+class BusOffAttackResult:
+    """Outcome of a simulated bus-off attack.
+
+    Attributes
+    ----------
+    messages_to_bus_off:
+        Victim transmission attempts until it disconnects
+        (``None`` when the attack intensity cannot overcome recovery).
+    time_to_bus_off_s:
+        Wall-clock time at the victim's period.
+    tec_trajectory:
+        The victim's TEC after each transmission attempt.
+    reached_error_passive_at:
+        Attempt index at which the victim first went error-passive.
+    """
+
+    messages_to_bus_off: int | None
+    time_to_bus_off_s: float | None
+    tec_trajectory: tuple[int, ...]
+    reached_error_passive_at: int | None
+
+
+def simulate_bus_off_attack(
+    *,
+    attack_every: int = 1,
+    victim_period_s: float = 0.02,
+    max_attempts: int = 100_000,
+) -> BusOffAttackResult:
+    """Walk a victim's TEC under periodic error induction.
+
+    Parameters
+    ----------
+    attack_every:
+        The attacker destroys every n-th victim transmission (1 = every
+        one, the classic attack).  Between attacks the victim transmits
+        successfully and its TEC decays by 1 per frame, so sufficiently
+        sparse attacks never reach bus-off — the simulation reports
+        that too.
+    victim_period_s:
+        The victim's message period, for the wall-clock estimate.
+    max_attempts:
+        Give up (attack ineffective) after this many transmissions.
+    """
+    if attack_every < 1:
+        raise CanError("attack_every must be at least 1")
+    node = FaultConfinement()
+    trajectory = [0]
+    passive_at: int | None = None
+    for attempt in range(1, max_attempts + 1):
+        if attempt % attack_every == 0:
+            node.on_tx_error()
+        else:
+            node.on_tx_success()
+        trajectory.append(node.tec)
+        if passive_at is None and node.state is ErrorState.ERROR_PASSIVE:
+            passive_at = attempt
+        if node.is_bus_off:
+            return BusOffAttackResult(
+                messages_to_bus_off=attempt,
+                time_to_bus_off_s=attempt * victim_period_s,
+                tec_trajectory=tuple(trajectory),
+                reached_error_passive_at=passive_at,
+            )
+    return BusOffAttackResult(
+        messages_to_bus_off=None,
+        time_to_bus_off_s=None,
+        tec_trajectory=tuple(trajectory[-256:]),
+        reached_error_passive_at=passive_at,
+    )
+
+
+def minimum_messages_to_bus_off() -> int:
+    """The textbook result: ceil(256 / 8) = 32 destroyed frames."""
+    return -(-(BUS_OFF_LIMIT + 1) // 8)
+
+
+def victim_timeline_with_bus_off(
+    *,
+    period_s: float,
+    horizon_s: float,
+    bus_off_at_s: float,
+    recovery: bool = False,
+    bitrate: float = 250_000.0,
+) -> list[float]:
+    """Arrival times of a periodic victim that gets knocked off the bus.
+
+    The victim transmits on schedule until ``bus_off_at_s``, goes
+    silent, and (optionally) resumes after the 128 x 11 recessive-bit
+    recovery time — exactly the pattern the period monitor's ``gap``
+    rule flags.
+    """
+    if period_s <= 0 or horizon_s <= 0:
+        raise CanError("period and horizon must be positive")
+    node = FaultConfinement(tec=BUS_OFF_LIMIT + 1)
+    recovery_delay = node.recovery_time_s(bitrate)
+    times: list[float] = []
+    t = 0.0
+    while t < horizon_s:
+        silent = bus_off_at_s <= t < bus_off_at_s + recovery_delay
+        if t < bus_off_at_s or (recovery and not silent and t >= bus_off_at_s):
+            times.append(t)
+        t += period_s
+    return times

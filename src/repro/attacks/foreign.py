@@ -1,0 +1,151 @@
+"""Foreign-device intruder simulation (threat model, Section 3.1).
+
+A foreign intruder attaches new hardware to the bus and transmits under
+a legitimate ECU's source address.  The device did not exist during
+model training, so its transceiver fingerprint is unknown.
+
+The paper's foreign imitation test (Section 4.1) picks the two ECUs with
+the *most similar* voltage profiles, removes the first (the imposter)
+from the training set, and replays the capture with the imposter's
+messages claiming the second ECU's (the victim's) SA.  We reproduce that
+procedure, and additionally provide a fully synthetic plug-in dongle for
+scenarios beyond the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.acquisition.sampler import CaptureChain
+from repro.analog.environment import NOMINAL_ENVIRONMENT, Environment
+from repro.analog.transceiver import TransceiverParams
+from repro.attacks.hijack import LabelledEdgeSet
+from repro.can.frame import CanFrame
+from repro.can.j1939 import J1939Id
+from repro.core.distances import euclidean_distance, mahalanobis_distance
+from repro.core.edge_extraction import ExtractedEdgeSet
+from repro.core.model import Metric, VProfileModel
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class ForeignScenario:
+    """The cast of a foreign imitation test.
+
+    Attributes
+    ----------
+    imposter:
+        ECU (or device) whose messages are excluded from training and
+        replayed under a false SA.
+    victim:
+        ECU whose SA the imposter claims.
+    similarity:
+        The inter-profile distance that made this the most similar pair.
+    """
+
+    imposter: str
+    victim: str
+    similarity: float
+
+
+def most_similar_pair(model: VProfileModel) -> ForeignScenario:
+    """Find the two clusters with the most similar voltage profiles.
+
+    Mirrors the paper's selection: smallest Euclidean distance between
+    cluster means for the Euclidean experiments, smallest (symmetrised)
+    Mahalanobis distance for the Mahalanobis experiments.
+    """
+    if model.n_clusters < 2:
+        raise DatasetError("need at least two clusters to pick a similar pair")
+    best: tuple[float, str, str] | None = None
+    for i, a in enumerate(model.clusters):
+        for b in model.clusters[i + 1 :]:
+            if model.metric is Metric.MAHALANOBIS:
+                distance = 0.5 * (
+                    mahalanobis_distance(a.mean, b.mean, b.inv_covariance)
+                    + mahalanobis_distance(b.mean, a.mean, a.inv_covariance)
+                )
+            else:
+                distance = euclidean_distance(a.mean, b.mean)
+            if best is None or distance < best[0]:
+                best = (distance, a.name, b.name)
+    distance, imposter, victim = best
+    return ForeignScenario(imposter=imposter, victim=victim, similarity=distance)
+
+
+def apply_foreign_imitation(
+    edge_sets: Sequence[ExtractedEdgeSet],
+    scenario: ForeignScenario,
+    victim_sa: int,
+) -> list[LabelledEdgeSet]:
+    """Relabel the imposter's replayed messages with the victim's SA.
+
+    All other traffic passes through unchanged as legitimate.  The
+    returned labels mark imposter messages as attacks.
+    """
+    labelled: list[LabelledEdgeSet] = []
+    for edge_set in edge_sets:
+        sender = edge_set.metadata.get("sender", "?")
+        if sender == scenario.imposter:
+            forged = replace(edge_set, source_address=victim_sa)
+            labelled.append(LabelledEdgeSet(forged, is_attack=True, true_sender=sender))
+        else:
+            labelled.append(LabelledEdgeSet(edge_set, is_attack=False, true_sender=sender))
+    return labelled
+
+
+@dataclass(frozen=True)
+class ForeignDongle:
+    """A synthetic plug-in attack device with its own transceiver.
+
+    Goes beyond the paper's replay methodology: the dongle crafts
+    complete frames under a victim SA and transmits them through its own
+    (untrained) analog fingerprint, exercising the full synthesis path.
+    """
+
+    transceiver: TransceiverParams
+    victim_sa: int
+    pgn: int = 0xF004
+    priority: int = 3
+
+    def craft_frame(self, payload: bytes = b"\x00" * 8) -> CanFrame:
+        """A forged J1939 data frame claiming the victim's SA."""
+        j1939 = J1939Id(
+            priority=self.priority, pgn=self.pgn, source_address=self.victim_sa
+        )
+        return CanFrame(can_id=j1939.to_can_id(), data=payload, extended=True)
+
+    def inject(
+        self,
+        chain: CaptureChain,
+        count: int,
+        *,
+        env: Environment = NOMINAL_ENVIRONMENT,
+        rng: np.random.Generator | None = None,
+    ) -> list:
+        """Capture ``count`` forged transmissions through ``chain``.
+
+        Returns the digitized traces; metadata marks them as attacks.
+        """
+        if count < 1:
+            raise DatasetError("count must be positive")
+        if rng is None:
+            rng = np.random.default_rng()
+        traces = []
+        for index in range(count):
+            payload = bytes(
+                [(index * 3) % 256] + list(rng.integers(0, 256, size=7, dtype=np.uint8))
+            )
+            traces.append(
+                chain.capture_frame(
+                    self.craft_frame(payload),
+                    self.transceiver,
+                    env=env,
+                    rng=rng,
+                    metadata={"is_attack": True},
+                )
+            )
+        return traces

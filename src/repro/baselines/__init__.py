@@ -1,0 +1,36 @@
+"""Related-work baselines reimplemented for comparison (Section 1.2.1)."""
+
+from repro.baselines.fda import FisherDiscriminant
+from repro.baselines.features import (
+    SEGMENT_FEATURE_NAMES,
+    MessageSegments,
+    message_feature_vector,
+    segment_features,
+    segment_message,
+    steady_state_averages,
+)
+from repro.baselines.logistic import LogisticRegression
+from repro.baselines.murvay import MurvayGrozaIdentifier
+from repro.baselines.scission import ScissionIdentifier
+from repro.baselines.simple_ids import SimpleAuthenticator
+from repro.baselines.svm import LinearSvm, OneVsRestSvm
+from repro.baselines.viden import VidenIdentifier
+from repro.baselines.voltageids import VoltageIdsIdentifier
+
+__all__ = [
+    "LinearSvm",
+    "OneVsRestSvm",
+    "VoltageIdsIdentifier",
+    "FisherDiscriminant",
+    "SEGMENT_FEATURE_NAMES",
+    "MessageSegments",
+    "message_feature_vector",
+    "segment_features",
+    "segment_message",
+    "steady_state_averages",
+    "LogisticRegression",
+    "MurvayGrozaIdentifier",
+    "ScissionIdentifier",
+    "SimpleAuthenticator",
+    "VidenIdentifier",
+]

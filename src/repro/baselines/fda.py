@@ -1,0 +1,87 @@
+"""Multi-class Fisher Discriminant Analysis (FDA), numpy/scipy only.
+
+The dimensionality-reduction substrate of the SIMPLE baseline
+(Foruhandeh et al. reduce their 16 steady-state features with FDA before
+thresholding Mahalanobis distances).  Projects onto the directions that
+maximise between-class over within-class scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+from repro.errors import TrainingError
+
+
+class FisherDiscriminant:
+    """Fisher discriminant projection to at most ``n_classes - 1`` dims.
+
+    Parameters
+    ----------
+    n_components:
+        Output dimensionality; clipped to ``n_classes - 1``.
+    regularisation:
+        Ridge added to the within-class scatter so that near-singular
+        feature sets (constant features, small classes) stay solvable.
+    """
+
+    def __init__(self, n_components: int | None = None, regularisation: float = 1e-6):
+        if regularisation < 0:
+            raise TrainingError("regularisation must be non-negative")
+        self.n_components = n_components
+        self.regularisation = regularisation
+        self.classes_: list = []
+        self.projection_: np.ndarray | None = None  # (d, c)
+        self.class_means_: np.ndarray | None = None  # (k, c), projected
+
+    def fit(self, X: np.ndarray, y: list) -> "FisherDiscriminant":
+        """Fit the projection from features ``X`` (n, d) and labels ``y``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.classes_ = sorted(set(y))
+        if len(self.classes_) < 2:
+            raise TrainingError("FDA needs at least two classes")
+        labels = np.array([self.classes_.index(label) for label in y])
+        n, d = X.shape
+        overall_mean = X.mean(axis=0)
+        s_within = np.zeros((d, d))
+        s_between = np.zeros((d, d))
+        for k in range(len(self.classes_)):
+            rows = X[labels == k]
+            if rows.shape[0] < 2:
+                raise TrainingError(
+                    f"class {self.classes_[k]!r} has fewer than 2 samples"
+                )
+            mean_k = rows.mean(axis=0)
+            centered = rows - mean_k
+            s_within += centered.T @ centered
+            diff = (mean_k - overall_mean)[:, None]
+            s_between += rows.shape[0] * (diff @ diff.T)
+        s_within += self.regularisation * np.trace(s_within) / d * np.eye(d)
+
+        eigvals, eigvecs = linalg.eigh(s_between, s_within)
+        order = np.argsort(eigvals)[::-1]
+        max_components = len(self.classes_) - 1
+        c = max_components if self.n_components is None else min(
+            self.n_components, max_components
+        )
+        self.projection_ = eigvecs[:, order[:c]]
+        projected = X @ self.projection_
+        self.class_means_ = np.stack(
+            [projected[labels == k].mean(axis=0) for k in range(len(self.classes_))]
+        )
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Project features into the discriminant subspace."""
+        if self.projection_ is None:
+            raise TrainingError("FDA is not fitted")
+        return np.atleast_2d(np.asarray(X, dtype=float)) @ self.projection_
+
+    def predict(self, X: np.ndarray) -> list:
+        """Nearest projected class mean."""
+        projected = self.transform(X)
+        distances = np.linalg.norm(
+            projected[:, None, :] - self.class_means_[None, :, :], axis=2
+        )
+        return [self.classes_[i] for i in distances.argmin(axis=1)]

@@ -1,0 +1,167 @@
+"""Signal-feature extraction shared by the related-work baselines.
+
+The competing voltage IDSs (Section 1.2.1) all start by slicing a
+message into its physical regions — dominant plateaus, recessive
+plateaus, rising and falling edges — and computing per-region statistics
+(Scission bins bits into exactly these three groups; VoltageIDS computes
+up to 20 features per section; SIMPLE averages samples of every steady
+state).  This module provides that segmentation plus a standard
+time-domain feature vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.acquisition.trace import VoltageTrace
+from repro.errors import ExtractionError
+
+
+@dataclass(frozen=True)
+class MessageSegments:
+    """Sample groups of one message, split at threshold crossings.
+
+    Attributes
+    ----------
+    dominant:
+        Samples of dominant plateaus (edges trimmed off).
+    recessive:
+        Samples of recessive plateaus between dominant pulses.
+    rising / falling:
+        Samples within +/- ``edge_halfwidth`` of each crossing.
+    """
+
+    dominant: np.ndarray
+    recessive: np.ndarray
+    rising: np.ndarray
+    falling: np.ndarray
+
+
+def segment_message(
+    trace: VoltageTrace,
+    threshold: float,
+    *,
+    edge_halfwidth: int = 3,
+) -> MessageSegments:
+    """Split a trace into dominant / recessive / edge sample groups."""
+    samples = np.asarray(trace.counts, dtype=float)
+    above = samples >= threshold
+    crossings = np.nonzero(np.diff(above.astype(np.int8)) != 0)[0]
+    rising_idx: list[int] = []
+    falling_idx: list[int] = []
+    for c in crossings:
+        (rising_idx if above[c + 1] else falling_idx).append(c + 1)
+
+    edge_mask = np.zeros(samples.size, dtype=bool)
+    for c in crossings:
+        lo = max(0, c + 1 - edge_halfwidth)
+        hi = min(samples.size, c + 1 + edge_halfwidth)
+        edge_mask[lo:hi] = True
+
+    dominant = samples[above & ~edge_mask]
+    recessive = samples[~above & ~edge_mask]
+    rising = np.concatenate(
+        [samples[max(0, i - edge_halfwidth) : i + edge_halfwidth] for i in rising_idx]
+    ) if rising_idx else np.empty(0)
+    falling = np.concatenate(
+        [samples[max(0, i - edge_halfwidth) : i + edge_halfwidth] for i in falling_idx]
+    ) if falling_idx else np.empty(0)
+    if dominant.size == 0 or recessive.size == 0:
+        raise ExtractionError("trace has no resolvable dominant/recessive plateaus")
+    return MessageSegments(
+        dominant=dominant, recessive=recessive, rising=rising, falling=falling
+    )
+
+
+#: Names of the per-segment statistics, in output order.
+SEGMENT_FEATURE_NAMES = (
+    "mean",
+    "std",
+    "max",
+    "min",
+    "ptp",
+    "rms",
+    "energy",
+    "skew",
+    "kurtosis",
+)
+
+
+def segment_features(samples: np.ndarray) -> np.ndarray:
+    """The standard time-domain statistics of one sample group."""
+    if samples.size == 0:
+        return np.zeros(len(SEGMENT_FEATURE_NAMES))
+    mean = samples.mean()
+    std = samples.std()
+    rms = float(np.sqrt(np.mean(samples**2)))
+    energy = float(np.sum(samples**2) / samples.size)
+    if std > 1e-12 and samples.size > 2:
+        skew = float(scipy_stats.skew(samples))
+        kurt = float(scipy_stats.kurtosis(samples))
+    else:
+        skew = 0.0
+        kurt = 0.0
+    return np.array(
+        [
+            mean,
+            std,
+            samples.max(),
+            samples.min(),
+            samples.max() - samples.min(),
+            rms,
+            energy,
+            skew,
+            kurt,
+        ]
+    )
+
+
+def message_feature_vector(trace: VoltageTrace, threshold: float) -> np.ndarray:
+    """Concatenated features of all four segments (Scission-style).
+
+    Returns a 4 x 9 = 36-dimensional vector covering dominant plateaus,
+    recessive plateaus, rising edges and falling edges.
+    """
+    segments = segment_message(trace, threshold)
+    return np.concatenate(
+        [
+            segment_features(segments.dominant),
+            segment_features(segments.recessive),
+            segment_features(segments.rising),
+            segment_features(segments.falling),
+        ]
+    )
+
+
+def steady_state_averages(
+    trace: VoltageTrace, threshold: float, samples_per_state: int = 8
+) -> np.ndarray:
+    """SIMPLE-style features: sample-wise averages of every steady state.
+
+    Each dominant and recessive plateau is resampled to
+    ``samples_per_state`` points; the per-position averages over all
+    plateaus of each polarity are concatenated (2 x samples_per_state
+    features, 16 by default — matching SIMPLE's real-vehicle setup).
+    """
+    samples = np.asarray(trace.counts, dtype=float)
+    above = samples >= threshold
+    boundaries = np.nonzero(np.diff(above.astype(np.int8)) != 0)[0] + 1
+    segments = np.split(samples, boundaries)
+    polarity = np.split(above, boundaries)
+    dominant_rows = []
+    recessive_rows = []
+    for seg, pol in zip(segments, polarity):
+        if seg.size < 2:
+            continue
+        trimmed = seg[1:-1] if seg.size > 3 else seg
+        positions = np.linspace(0, trimmed.size - 1, samples_per_state)
+        resampled = np.interp(positions, np.arange(trimmed.size), trimmed)
+        (dominant_rows if pol[0] else recessive_rows).append(resampled)
+    if not dominant_rows or not recessive_rows:
+        raise ExtractionError("trace has too few plateaus for SIMPLE features")
+    return np.concatenate(
+        [np.mean(dominant_rows, axis=0), np.mean(recessive_rows, axis=0)]
+    )

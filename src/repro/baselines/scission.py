@@ -1,0 +1,70 @@
+"""Scission-style fingerprinting (Kneib & Huth, Section 1.2.1).
+
+Scission splits a sampled CAN frame into bits, bins the samples into
+three groups (dominant plateaus, rising transitions, falling
+transitions — plus we keep the recessive plateaus), computes time-domain
+statistics per group, and trains logistic regression over the resulting
+feature vector.  Its weakness relative to vProfile is the elaborate
+per-message preprocessing; its strength is robustness, which the
+comparison bench quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition.trace import VoltageTrace
+from repro.baselines.features import message_feature_vector
+from repro.baselines.logistic import LogisticRegression
+from repro.errors import TrainingError
+
+
+class ScissionIdentifier:
+    """Per-segment features + multinomial logistic regression.
+
+    Parameters
+    ----------
+    threshold:
+        ADC-count level separating dominant from recessive samples.
+    learning_rate / epochs / l2:
+        Passed to the underlying logistic regression.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        learning_rate: float = 0.5,
+        epochs: int = 300,
+        l2: float = 1e-4,
+    ):
+        self.threshold = float(threshold)
+        self.classifier = LogisticRegression(
+            learning_rate=learning_rate, epochs=epochs, l2=l2
+        )
+
+    def features(self, trace: VoltageTrace) -> np.ndarray:
+        """The 36-dimensional per-segment feature vector of one frame."""
+        return message_feature_vector(trace, self.threshold)
+
+    def fit(self, traces: list[VoltageTrace], labels: list[str]) -> "ScissionIdentifier":
+        if len(traces) != len(labels) or not traces:
+            raise TrainingError("traces and labels must be equal-length, non-empty")
+        X = np.stack([self.features(trace) for trace in traces])
+        self.classifier.fit(X, labels)
+        return self
+
+    def predict_one(self, trace: VoltageTrace) -> str:
+        return self.classifier.predict(self.features(trace)[None, :])[0]
+
+    def predict(self, traces: list[VoltageTrace]) -> list[str]:
+        X = np.stack([self.features(trace) for trace in traces])
+        return self.classifier.predict(X)
+
+    def predict_proba(self, traces: list[VoltageTrace]) -> np.ndarray:
+        X = np.stack([self.features(trace) for trace in traces])
+        return self.classifier.predict_proba(X)
+
+    def score(self, traces: list[VoltageTrace], labels: list[str]) -> float:
+        """Identification accuracy."""
+        predictions = self.predict(traces)
+        return float(np.mean([p == t for p, t in zip(predictions, labels)]))

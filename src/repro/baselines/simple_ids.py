@@ -1,0 +1,134 @@
+"""SIMPLE-style sender authentication (Foruhandeh et al., Section 1.2.1).
+
+SIMPLE samples every dominant and recessive state of a frame, averages
+them sample-wise into 16 features, reduces dimensionality with Fisher
+Discriminant Analysis, and authenticates a message by comparing the
+Mahalanobis distance between its projected features and the template of
+the *claimed* sender against a per-ECU threshold found by binary search
+at the equal error rate.
+
+This is the closest relative of vProfile; the paper distinguishes
+itself by using the raw first edge set directly (lower latency, no
+transformations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acquisition.trace import VoltageTrace
+from repro.baselines.fda import FisherDiscriminant
+from repro.baselines.features import steady_state_averages
+from repro.core.distances import invert_covariance, mahalanobis_distances
+from repro.errors import TrainingError
+
+
+class SimpleAuthenticator:
+    """FDA-reduced steady-state templates with per-ECU EER thresholds.
+
+    Parameters
+    ----------
+    threshold:
+        ADC-count dominant/recessive split level.
+    samples_per_state:
+        Resampled points per plateau (8 in the paper -> 16 features).
+    shrinkage:
+        Covariance regularisation for the projected templates.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        samples_per_state: int = 8,
+        shrinkage: float = 1e-3,
+    ):
+        self.threshold = float(threshold)
+        self.samples_per_state = samples_per_state
+        self.shrinkage = shrinkage
+        self.fda = FisherDiscriminant()
+        self.templates_: dict[str, dict] = {}
+
+    def features(self, trace: VoltageTrace) -> np.ndarray:
+        """SIMPLE's 2 x samples_per_state steady-state averages."""
+        return steady_state_averages(trace, self.threshold, self.samples_per_state)
+
+    def fit(self, traces: list[VoltageTrace], labels: list[str]) -> "SimpleAuthenticator":
+        if len(traces) != len(labels) or not traces:
+            raise TrainingError("traces and labels must be equal-length, non-empty")
+        X = np.stack([self.features(trace) for trace in traces])
+        self.fda.fit(X, labels)
+        projected = self.fda.transform(X)
+        labels_arr = np.array(labels)
+        self.templates_ = {}
+        for label in sorted(set(labels)):
+            own = projected[labels_arr == label]
+            others = projected[labels_arr != label]
+            mean = own.mean(axis=0)
+            centered = own - mean
+            cov = centered.T @ centered / own.shape[0]
+            inv_cov = invert_covariance(cov, shrinkage=self.shrinkage)
+            genuine = mahalanobis_distances(own, mean, inv_cov)
+            imposter = mahalanobis_distances(others, mean, inv_cov)
+            self.templates_[label] = {
+                "mean": mean,
+                "inv_cov": inv_cov,
+                "threshold": _equal_error_threshold(genuine, imposter),
+            }
+        return self
+
+    def authenticate(self, trace: VoltageTrace, claimed: str) -> bool:
+        """True when the frame is consistent with the claimed sender."""
+        if claimed not in self.templates_:
+            return False
+        template = self.templates_[claimed]
+        projected = self.fda.transform(self.features(trace)[None, :])
+        distance = mahalanobis_distances(
+            projected, template["mean"], template["inv_cov"]
+        )[0]
+        return bool(distance <= template["threshold"])
+
+    def predict_one(self, trace: VoltageTrace) -> str:
+        """Nearest template (attribution mode, for the comparison bench)."""
+        if not self.templates_:
+            raise TrainingError("authenticator is not fitted")
+        projected = self.fda.transform(self.features(trace)[None, :])
+        best_label = None
+        best_distance = np.inf
+        for label, template in self.templates_.items():
+            distance = mahalanobis_distances(
+                projected, template["mean"], template["inv_cov"]
+            )[0]
+            if distance < best_distance:
+                best_distance = distance
+                best_label = label
+        return best_label
+
+    def predict(self, traces: list[VoltageTrace]) -> list[str]:
+        return [self.predict_one(trace) for trace in traces]
+
+    def score(self, traces: list[VoltageTrace], labels: list[str]) -> float:
+        """Identification accuracy."""
+        predictions = self.predict(traces)
+        return float(np.mean([p == t for p, t in zip(predictions, labels)]))
+
+
+def _equal_error_threshold(genuine: np.ndarray, imposter: np.ndarray) -> float:
+    """Binary-search the distance threshold at the equal error rate.
+
+    False rejections (genuine > t) fall and false acceptances
+    (imposter <= t) rise monotonically with t; the EER is where the two
+    rates cross — exactly the threshold SIMPLE stores per ECU.
+    """
+    if genuine.size == 0 or imposter.size == 0:
+        raise TrainingError("need both genuine and imposter distances")
+    lo = 0.0
+    hi = float(max(genuine.max(), imposter.max()))
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        frr = float(np.mean(genuine > mid))
+        far = float(np.mean(imposter <= mid))
+        if frr > far:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,145 @@
+"""Linear support vector machines, from scratch on numpy.
+
+The substrate behind the VoltageIDS baseline (Choi et al. found Linear
+SVMs "performed more favorably" than bagged decision trees for CAN
+voltage fingerprints).  Implements the primal L2-regularised hinge-loss
+problem with averaged stochastic subgradient descent (Pegasos-style),
+and one-vs-rest multiclass on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class LinearSvm:
+    """Binary linear SVM (labels +1 / -1) trained with Pegasos SGD.
+
+    Parameters
+    ----------
+    regularisation:
+        The lambda of the Pegasos objective; smaller fits harder.
+    epochs:
+        Passes over the data.
+    seed:
+        Shuffling seed (training is deterministic given the seed).
+    """
+
+    def __init__(self, regularisation: float = 1e-3, epochs: int = 30, seed: int = 0):
+        if regularisation <= 0 or epochs < 1:
+            raise TrainingError("invalid SVM hyperparameters")
+        self.regularisation = regularisation
+        self.epochs = epochs
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSvm":
+        """Train on features ``X`` (n, d) and labels ``y`` in {-1, +1}."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if set(np.unique(y)) - {-1.0, 1.0}:
+            raise TrainingError("labels must be -1/+1")
+        if X.shape[0] != y.shape[0]:
+            raise TrainingError("X and y disagree in length")
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(d)
+        bias = 0.0
+        averaged_w = np.zeros(d)
+        averaged_b = 0.0
+        averaged_steps = 0
+        step = 0
+        lam = self.regularisation
+        total_steps = self.epochs * n
+        burn_in = total_steps // 5
+        radius = 1.0 / np.sqrt(lam)  # Pegasos optimum lies in this ball
+        for _ in range(self.epochs):
+            for index in rng.permutation(n):
+                step += 1
+                eta = 1.0 / (lam * step)
+                margin = y[index] * (X[index] @ weights + bias)
+                weights *= 1.0 - eta * lam
+                if margin < 1.0:
+                    weights += eta * y[index] * X[index]
+                    bias += eta * y[index]
+                # Projection step keeps the early huge learning rates
+                # from blowing the iterate (and the average) up.
+                norm = np.linalg.norm(weights)
+                if norm > radius:
+                    weights *= radius / norm
+                    bias *= radius / norm
+                if step > burn_in:
+                    averaged_w += weights
+                    averaged_b += bias
+                    averaged_steps += 1
+        self.weights_ = averaged_w / max(averaged_steps, 1)
+        self.bias_ = averaged_b / max(averaged_steps, 1)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margins, shape (n,)."""
+        if self.weights_ is None:
+            raise TrainingError("SVM is not fitted")
+        return np.atleast_2d(np.asarray(X, dtype=float)) @ self.weights_ + self.bias_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class labels in {-1, +1}."""
+        return np.where(self.decision_function(X) >= 0.0, 1.0, -1.0)
+
+
+class OneVsRestSvm:
+    """Multiclass wrapper: one binary SVM per class, argmax of margins.
+
+    Features are standardised internally (SGD on raw ADC counts would
+    need per-feature learning rates otherwise).
+    """
+
+    def __init__(self, regularisation: float = 1e-3, epochs: int = 30, seed: int = 0):
+        self.regularisation = regularisation
+        self.epochs = epochs
+        self.seed = seed
+        self.classes_: list = []
+        self._machines: list[LinearSvm] = []
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: list) -> "OneVsRestSvm":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.classes_ = sorted(set(y))
+        if len(self.classes_) < 2:
+            raise TrainingError("need at least two classes")
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self._scale = np.where(scale > 1e-12, scale, 1.0)
+        Xs = (X - self._mean) / self._scale
+        labels = np.array(y)
+        self._machines = []
+        for offset, cls in enumerate(self.classes_):
+            targets = np.where(labels == cls, 1.0, -1.0)
+            machine = LinearSvm(
+                regularisation=self.regularisation,
+                epochs=self.epochs,
+                seed=self.seed + offset,
+            )
+            self._machines.append(machine.fit(Xs, targets))
+        return self
+
+    def decision_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Per-class margins, shape (n, k)."""
+        if not self._machines:
+            raise TrainingError("classifier is not fitted")
+        Xs = (np.atleast_2d(np.asarray(X, dtype=float)) - self._mean) / self._scale
+        return np.column_stack([m.decision_function(Xs) for m in self._machines])
+
+    def predict(self, X: np.ndarray) -> list:
+        """Most-confident class per row."""
+        margins = self.decision_matrix(X)
+        return [self.classes_[i] for i in margins.argmax(axis=1)]
+
+    def score(self, X: np.ndarray, y: list) -> float:
+        """Mean accuracy."""
+        predictions = self.predict(X)
+        return float(np.mean([p == t for p, t in zip(predictions, y)]))

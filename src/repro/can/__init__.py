@@ -1,0 +1,64 @@
+"""CAN 2.0 / SAE J1939 protocol substrate.
+
+Provides everything vProfile needs from the digital side of the bus:
+frame encoding with CRC-15 and bit stuffing, J1939 identifier semantics,
+bitwise arbitration, and periodic traffic scheduling.
+"""
+
+from repro.can.arbitration import ArbitrationResult, arbitrate, arbitration_order
+from repro.can.bits import (
+    bits_to_int,
+    count_stuff_bits,
+    destuff_bits,
+    int_to_bits,
+    stuff_bits,
+    stuffed_length,
+)
+from repro.can.bus import INTERFRAME_SPACE_BITS, BusTransmission, CanBus
+from repro.can.faults import (
+    BUS_OFF_LIMIT,
+    ERROR_PASSIVE_LIMIT,
+    ErrorState,
+    FaultConfinement,
+)
+from repro.can.crc import CAN_CRC15_POLY, crc15, crc15_bits, verify_crc15
+from repro.can.frame import (
+    EXT_FIRST_BIT_AFTER_ARBITRATION,
+    EXT_SA_FIRST_BIT,
+    EXT_SA_LAST_BIT,
+    CanFrame,
+)
+from repro.can.j1939 import J1939Id, extract_source_address
+from repro.can.traffic import MessageSchedule, ScheduledFrame, TrafficGenerator
+
+__all__ = [
+    "ArbitrationResult",
+    "arbitrate",
+    "arbitration_order",
+    "bits_to_int",
+    "count_stuff_bits",
+    "destuff_bits",
+    "int_to_bits",
+    "stuff_bits",
+    "stuffed_length",
+    "INTERFRAME_SPACE_BITS",
+    "BusTransmission",
+    "CanBus",
+    "BUS_OFF_LIMIT",
+    "ERROR_PASSIVE_LIMIT",
+    "ErrorState",
+    "FaultConfinement",
+    "CAN_CRC15_POLY",
+    "crc15",
+    "crc15_bits",
+    "verify_crc15",
+    "EXT_FIRST_BIT_AFTER_ARBITRATION",
+    "EXT_SA_FIRST_BIT",
+    "EXT_SA_LAST_BIT",
+    "CanFrame",
+    "J1939Id",
+    "extract_source_address",
+    "MessageSchedule",
+    "ScheduledFrame",
+    "TrafficGenerator",
+]

@@ -1,0 +1,130 @@
+"""Bit-level utilities for CAN streams: stuffing, destuffing, conversions.
+
+CAN uses non-return-to-zero coding, so a bit of opposite polarity is
+inserted after every run of five identical bits to guarantee enough edges
+for receiver resynchronisation (ISO 11898-1).  Stuffing applies from the
+start-of-frame bit through the CRC sequence; the CRC delimiter, ACK field
+and end-of-frame are transmitted unstuffed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import CanEncodingError, StuffingError
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Encode ``value`` as ``width`` bits, MSB first.
+
+    Raises
+    ------
+    CanEncodingError
+        If the value does not fit in ``width`` bits or is negative.
+    """
+    if width < 0:
+        raise CanEncodingError(f"bit width must be non-negative, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise CanEncodingError(f"value {value} does not fit in {width} bits")
+    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    """Decode an MSB-first bit sequence into an integer."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (bit & 1)
+    return value
+
+
+def stuff_bits(bits: Sequence[int]) -> list[int]:
+    """Insert stuff bits after every run of five identical bits.
+
+    The stuff bit itself participates in subsequent run counting, exactly
+    as on a real bus (e.g. ``000001`` after stuffing ``00000`` can itself
+    begin a run of ones).
+
+    Returns
+    -------
+    list[int]
+        The stuffed bitstream.
+    """
+    stuffed: list[int] = []
+    run_value = -1
+    run_length = 0
+    for bit in bits:
+        bit = bit & 1
+        stuffed.append(bit)
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == 5:
+            stuff_bit = bit ^ 1
+            stuffed.append(stuff_bit)
+            run_value = stuff_bit
+            run_length = 1
+    return stuffed
+
+
+def destuff_bits(bits: Sequence[int]) -> list[int]:
+    """Remove stuff bits from a stuffed stream.
+
+    Raises
+    ------
+    StuffingError
+        If six identical consecutive bits appear (a stuff violation, which
+        on a real bus would be signalled as an error frame) or if a stuff
+        bit has the same polarity as the run it terminates.
+    """
+    destuffed: list[int] = []
+    run_value = -1
+    run_length = 0
+    expect_stuff = False
+    for index, bit in enumerate(bits):
+        bit = bit & 1
+        if expect_stuff:
+            if bit == run_value:
+                raise StuffingError(
+                    f"stuff violation at stuffed index {index}: expected a "
+                    f"{run_value ^ 1} stuff bit after five {run_value}s"
+                )
+            run_value = bit
+            run_length = 1
+            expect_stuff = False
+            continue
+        destuffed.append(bit)
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == 5:
+            expect_stuff = True
+    return destuffed
+
+
+def stuffed_length(bits: Sequence[int]) -> int:
+    """Return the length of ``bits`` after stuffing, without materialising it."""
+    run_value = -1
+    run_length = 0
+    total = 0
+    for bit in bits:
+        bit = bit & 1
+        total += 1
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == 5:
+            total += 1
+            run_value = bit ^ 1
+            run_length = 1
+    return total
+
+
+def count_stuff_bits(bits: Sequence[int]) -> int:
+    """Return how many stuff bits stuffing would insert into ``bits``."""
+    return stuffed_length(bits) - len(bits)

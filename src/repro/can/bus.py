@@ -1,0 +1,117 @@
+"""CAN bus scheduler: serialise released frames through arbitration.
+
+Turns the asynchronous frame releases of :mod:`repro.can.traffic` into
+the actual transmission timeline of a shared bus: one frame occupies the
+bus at a time, simultaneous contenders are resolved by bitwise
+arbitration, and losers retry as soon as the bus frees (plus the 3-bit
+interframe space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.can.arbitration import arbitrate
+from repro.can.frame import CanFrame
+from repro.can.traffic import ScheduledFrame
+from repro.errors import CanError
+
+#: Interframe space between consecutive data frames, in bit times.
+INTERFRAME_SPACE_BITS = 3
+
+
+@dataclass(frozen=True)
+class BusTransmission:
+    """One frame as actually transmitted on the bus.
+
+    Attributes
+    ----------
+    start_s:
+        Time of the SOF bit.
+    frame:
+        The transmitted frame.
+    sender:
+        Ground-truth sender label.
+    contended:
+        True when this frame won an arbitration round against at least
+        one other pending frame.
+    """
+
+    start_s: float
+    frame: CanFrame
+    sender: str
+    contended: bool
+
+    def duration_s(self, bitrate: float) -> float:
+        """Wire time of the frame at ``bitrate`` bits/second."""
+        return len(self.frame.stuffed_bits()) / bitrate
+
+
+class CanBus:
+    """A single shared CAN bus at a fixed bitrate.
+
+    Parameters
+    ----------
+    bitrate:
+        Nominal bit rate in bits per second.  Both evaluation vehicles
+        run 250 kb/s J1939 buses.
+    """
+
+    def __init__(self, bitrate: float = 250_000.0):
+        if bitrate <= 0:
+            raise CanError(f"bitrate must be positive, got {bitrate}")
+        self.bitrate = float(bitrate)
+
+    @property
+    def bit_time_s(self) -> float:
+        """Duration of one bit on the wire."""
+        return 1.0 / self.bitrate
+
+    def schedule(self, releases: Sequence[ScheduledFrame]) -> list[BusTransmission]:
+        """Serialise released frames into a conflict-free transmission log.
+
+        Frames released while the bus is busy wait and contend in the
+        next arbitration round; identical release times contend
+        immediately.  The output is ordered by transmission start time.
+        """
+        pending = sorted(releases, key=lambda s: s.release_s)
+        transmissions: list[BusTransmission] = []
+        bus_free_at = 0.0
+        queue: list[ScheduledFrame] = []
+        index = 0
+        while index < len(pending) or queue:
+            if not queue:
+                # Fast-forward to the next release.
+                next_release = pending[index].release_s
+                start = max(next_release, bus_free_at)
+                while index < len(pending) and pending[index].release_s <= start:
+                    queue.append(pending[index])
+                    index += 1
+            start = max(bus_free_at, min(s.release_s for s in queue))
+            # Everything released by the start instant contends.
+            while index < len(pending) and pending[index].release_s <= start:
+                queue.append(pending[index])
+                index += 1
+            contenders = [s for s in queue if s.release_s <= start]
+            result = arbitrate([s.frame for s in contenders])
+            winner = contenders[result.winner_index]
+            queue.remove(winner)
+            transmissions.append(
+                BusTransmission(
+                    start_s=start,
+                    frame=winner.frame,
+                    sender=winner.sender,
+                    contended=len(contenders) > 1,
+                )
+            )
+            frame_bits = len(winner.frame.stuffed_bits()) + INTERFRAME_SPACE_BITS
+            bus_free_at = start + frame_bits * self.bit_time_s
+        return transmissions
+
+    def utilisation(self, transmissions: Sequence[BusTransmission], horizon_s: float) -> float:
+        """Fraction of ``horizon_s`` spent transmitting frames."""
+        if horizon_s <= 0:
+            raise CanError("horizon must be positive")
+        busy = sum(t.duration_s(self.bitrate) for t in transmissions)
+        return busy / horizon_s

@@ -1,0 +1,72 @@
+"""CRC-15 computation as specified by the Bosch CAN 2.0 standard.
+
+The CAN frame check sequence is a 15-bit CRC with generator polynomial
+
+    x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1
+
+computed over the destuffed bitstream from the start-of-frame bit through
+the last data bit.  The register starts at zero and no final XOR is
+applied.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Generator polynomial with the implicit x^15 term removed (Bosch spec).
+CAN_CRC15_POLY = 0x4599
+
+#: Bit mask keeping the register at 15 bits.
+_CRC15_MASK = 0x7FFF
+
+
+def crc15(bits: Iterable[int]) -> int:
+    """Compute the CAN CRC-15 over a sequence of 0/1 bits.
+
+    Parameters
+    ----------
+    bits:
+        Iterable of integers, each 0 or 1, ordered from the first
+        transmitted bit (SOF) to the last data bit.
+
+    Returns
+    -------
+    int
+        The 15-bit CRC value.
+    """
+    crc = 0
+    for bit in bits:
+        crc_next = (bit & 1) ^ ((crc >> 14) & 1)
+        crc = (crc << 1) & _CRC15_MASK
+        if crc_next:
+            crc ^= CAN_CRC15_POLY
+    return crc
+
+
+def crc15_bits(bits: Iterable[int]) -> list[int]:
+    """Compute the CRC-15 and return it as 15 bits, MSB first."""
+    value = crc15(bits)
+    return [(value >> shift) & 1 for shift in range(14, -1, -1)]
+
+
+def verify_crc15(payload_bits: Sequence[int], crc_field_bits: Sequence[int]) -> bool:
+    """Check a received CRC field against the payload it covers.
+
+    Parameters
+    ----------
+    payload_bits:
+        The destuffed bits from SOF through the end of the data field.
+    crc_field_bits:
+        The 15 received CRC bits, MSB first.
+
+    Returns
+    -------
+    bool
+        ``True`` when the CRC matches.
+    """
+    if len(crc_field_bits) != 15:
+        return False
+    received = 0
+    for bit in crc_field_bits:
+        received = (received << 1) | (bit & 1)
+    return crc15(payload_bits) == received

@@ -1,0 +1,141 @@
+"""CAN fault confinement: error counters, error states, bus-off.
+
+Implements the Bosch CAN 2.0 fault-confinement rules (simplified to the
+clauses relevant for security analysis):
+
+* every node keeps a transmit error counter (TEC) and a receive error
+  counter (REC);
+* a transmit error adds 8 to TEC, a receive error adds 1 (8 when the
+  node was the one signalling the error), successful operations
+  subtract 1;
+* TEC or REC above 127 puts the node in **error-passive** (it may only
+  send passive error flags and waits extra suspend time);
+* TEC above 255 puts the node in **bus-off**: it must not touch the bus
+  until it has observed 128 occurrences of 11 consecutive recessive
+  bits.
+
+Security relevance (paper Section 1.1 cites fault-induction attacks
+[6]): an attacker who can force bit errors on a victim's transmissions
+walks the victim's TEC up by +8 per message and knocks it off the bus
+after 32 induced errors — the *bus-off attack* simulated in
+:mod:`repro.attacks.bus_off`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import CanError
+
+#: Counter thresholds from the Bosch specification.
+ERROR_PASSIVE_LIMIT = 127
+BUS_OFF_LIMIT = 255
+#: Bus-off recovery: 128 occurrences of 11 consecutive recessive bits.
+RECOVERY_SEQUENCES = 128
+RECOVERY_BITS_PER_SEQUENCE = 11
+
+TX_ERROR_PENALTY = 8
+RX_ERROR_PENALTY = 1
+RX_PRIMARY_ERROR_PENALTY = 8
+SUCCESS_REWARD = 1
+
+
+class ErrorState(str, Enum):
+    """The three fault-confinement states."""
+
+    ERROR_ACTIVE = "error-active"
+    ERROR_PASSIVE = "error-passive"
+    BUS_OFF = "bus-off"
+
+
+@dataclass
+class FaultConfinement:
+    """Per-node error counters and state machine.
+
+    Attributes
+    ----------
+    tec / rec:
+        Transmit / receive error counters.
+    recovery_progress:
+        Completed 11-recessive-bit sequences while in bus-off.
+    """
+
+    tec: int = 0
+    rec: int = 0
+    recovery_progress: int = 0
+    history: list[tuple[str, int, int]] = field(default_factory=list, repr=False)
+
+    @property
+    def state(self) -> ErrorState:
+        if self.tec > BUS_OFF_LIMIT:
+            return ErrorState.BUS_OFF
+        if self.tec > ERROR_PASSIVE_LIMIT or self.rec > ERROR_PASSIVE_LIMIT:
+            return ErrorState.ERROR_PASSIVE
+        return ErrorState.ERROR_ACTIVE
+
+    @property
+    def is_bus_off(self) -> bool:
+        return self.state is ErrorState.BUS_OFF
+
+    def _record(self, event: str) -> None:
+        self.history.append((event, self.tec, self.rec))
+
+    # ------------------------------------------------------------------
+    # Transmit side
+    # ------------------------------------------------------------------
+    def on_tx_success(self) -> None:
+        """A frame was transmitted and acknowledged."""
+        if self.is_bus_off:
+            raise CanError("a bus-off node cannot have transmitted")
+        self.tec = max(0, self.tec - SUCCESS_REWARD)
+        self._record("tx-success")
+
+    def on_tx_error(self) -> None:
+        """A transmission was destroyed by a bit/ACK/form error."""
+        if self.is_bus_off:
+            raise CanError("a bus-off node cannot have transmitted")
+        self.tec += TX_ERROR_PENALTY
+        self._record("tx-error")
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def on_rx_success(self) -> None:
+        """A frame was received correctly."""
+        self.rec = max(0, self.rec - SUCCESS_REWARD)
+        self._record("rx-success")
+
+    def on_rx_error(self, *, primary: bool = False) -> None:
+        """A reception failed (``primary``: this node flagged it first)."""
+        self.rec += RX_PRIMARY_ERROR_PENALTY if primary else RX_ERROR_PENALTY
+        self._record("rx-error")
+
+    # ------------------------------------------------------------------
+    # Bus-off recovery
+    # ------------------------------------------------------------------
+    def observe_recessive_bits(self, count: int) -> bool:
+        """Feed idle bus time to a bus-off node; True when recovered.
+
+        ``count`` recessive bit times contribute
+        ``count // RECOVERY_BITS_PER_SEQUENCE`` sequences toward the 128
+        required.  On recovery both counters reset and the node returns
+        to error-active.
+        """
+        if not self.is_bus_off:
+            raise CanError("only a bus-off node runs the recovery sequence")
+        if count < 0:
+            raise CanError("recessive bit count must be non-negative")
+        self.recovery_progress += count // RECOVERY_BITS_PER_SEQUENCE
+        if self.recovery_progress >= RECOVERY_SEQUENCES:
+            self.tec = 0
+            self.rec = 0
+            self.recovery_progress = 0
+            self._record("recovered")
+            return True
+        return False
+
+    def recovery_time_s(self, bitrate: float) -> float:
+        """Minimum idle-bus time a bus-off node needs to recover."""
+        remaining = max(RECOVERY_SEQUENCES - self.recovery_progress, 0)
+        return remaining * RECOVERY_BITS_PER_SEQUENCE / bitrate

@@ -1,0 +1,291 @@
+"""CAN 2.0 data-frame model: field layout, encoding and decoding.
+
+Implements both the standard (11-bit identifier, CAN 2.0A) and extended
+(29-bit identifier, CAN 2.0B) data-frame formats described in Section
+2.1.2 / Table 2.1 of the paper.  The extended format is the one exercised
+throughout the evaluation because both test vehicles speak SAE J1939;
+standard frames are provided for the future-work direction of Section 6.1.
+
+A frame can be rendered to its *unstuffed* logical bit sequence and to
+the *stuffed* wire bit sequence that the analog layer turns into a
+voltage waveform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.can.bits import bits_to_int, destuff_bits, int_to_bits, stuff_bits
+from repro.can.crc import crc15_bits, verify_crc15
+from repro.errors import CanDecodingError, CanEncodingError, CrcError
+
+#: Field widths shared by both formats.
+SOF_BITS = 1
+BASE_ID_BITS = 11
+EXTENDED_ID_BITS = 18
+DLC_BITS = 4
+CRC_BITS = 15
+EOF_BITS = 7
+
+#: Bit indices (SOF = bit 0, stuff bits excluded) used by the paper's
+#: extraction algorithm for extended frames.
+EXT_SA_FIRST_BIT = 24
+EXT_SA_LAST_BIT = 31
+EXT_FIRST_BIT_AFTER_ARBITRATION = 33
+
+MAX_STANDARD_ID = (1 << BASE_ID_BITS) - 1
+MAX_EXTENDED_ID = (1 << 29) - 1
+MAX_DATA_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """A CAN data frame.
+
+    Attributes
+    ----------
+    can_id:
+        The identifier: 11 bits when ``extended`` is False, 29 bits when
+        True.
+    data:
+        0-8 bytes of payload.
+    extended:
+        Frame format selector (CAN 2.0A vs 2.0B).
+    """
+
+    can_id: int
+    data: bytes = field(default=b"")
+    extended: bool = True
+
+    def __post_init__(self) -> None:
+        limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
+        if not 0 <= self.can_id <= limit:
+            kind = "extended" if self.extended else "standard"
+            raise CanEncodingError(
+                f"id 0x{self.can_id:X} out of range for a {kind} frame"
+            )
+        if len(self.data) > MAX_DATA_BYTES:
+            raise CanEncodingError(
+                f"data field is {len(self.data)} bytes; CAN allows at most 8"
+            )
+
+    @property
+    def dlc(self) -> int:
+        """Data length code: the number of payload bytes."""
+        return len(self.data)
+
+    @property
+    def source_address(self) -> int:
+        """J1939 source address (low byte of an extended identifier)."""
+        if not self.extended:
+            raise CanEncodingError("standard frames carry no J1939 SA")
+        return self.can_id & 0xFF
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def header_bits(self) -> list[int]:
+        """Bits from SOF through the data field (the CRC-covered region)."""
+        bits: list[int] = [0]  # SOF is dominant
+        if self.extended:
+            base_id = (self.can_id >> EXTENDED_ID_BITS) & MAX_STANDARD_ID
+            ext_id = self.can_id & ((1 << EXTENDED_ID_BITS) - 1)
+            bits += int_to_bits(base_id, BASE_ID_BITS)
+            bits.append(1)  # SRR, recessive
+            bits.append(1)  # IDE, recessive selects extended format
+            bits += int_to_bits(ext_id, EXTENDED_ID_BITS)
+            bits.append(0)  # RTR, dominant for data frames
+            bits += [0, 0]  # r1, r0 reserved
+        else:
+            bits += int_to_bits(self.can_id, BASE_ID_BITS)
+            bits.append(0)  # RTR, dominant for data frames
+            bits.append(0)  # IDE, dominant selects standard format
+            bits.append(0)  # r0 reserved
+        bits += int_to_bits(self.dlc, DLC_BITS)
+        for byte in self.data:
+            bits += int_to_bits(byte, 8)
+        return bits
+
+    def unstuffed_bits(self) -> list[int]:
+        """The full logical frame: header, CRC, delimiters, ACK, EOF.
+
+        The ACK slot is rendered dominant (0) because on a live bus at
+        least one receiver asserts it; the paper notes its voltage can
+        deviate since a *different* transceiver drives it.
+        """
+        header = self.header_bits()
+        bits = list(header)
+        bits += crc15_bits(header)
+        bits.append(1)  # CRC delimiter
+        bits.append(0)  # ACK slot, asserted by receivers
+        bits.append(1)  # ACK delimiter
+        bits += [1] * EOF_BITS
+        return bits
+
+    def stuffed_bits(self) -> list[int]:
+        """The wire bit sequence: stuffing applies from SOF through CRC."""
+        header = self.header_bits()
+        crc_covered = header + crc15_bits(header)
+        bits = stuff_bits(crc_covered)
+        bits.append(1)  # CRC delimiter
+        bits.append(0)  # ACK slot
+        bits.append(1)  # ACK delimiter
+        bits += [1] * EOF_BITS
+        return bits
+
+    def arbitration_bits(self) -> list[int]:
+        """The stuff-free arbitration field bits including SOF.
+
+        For extended frames this covers SOF, base id, SRR, IDE, extended
+        id and RTR — the region where bus collisions are resolved and the
+        reason vProfile only trusts edges after bit 33.
+        """
+        bits = self.unstuffed_bits()
+        if self.extended:
+            length = SOF_BITS + BASE_ID_BITS + 2 + EXTENDED_ID_BITS + 1
+        else:
+            length = SOF_BITS + BASE_ID_BITS + 1
+        return bits[:length]
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_stuffed_bits(cls, bits: list[int]) -> "CanFrame":
+        """Decode a stuffed wire bitstream into a frame.
+
+        The stream must begin at SOF.  Trailing bus-idle bits are
+        tolerated.  Raises :class:`CanDecodingError` on malformed frames
+        and :class:`CrcError` on checksum mismatch.
+        """
+        # Stuffing only covers SOF..CRC, but the boundary position is not
+        # known until the DLC is parsed.  Destuff generously, parse, then
+        # validate.  Destuffing extra (unstuffed) tail bits is harmless
+        # here because EOF/ACK regions are all-recessive or single bits
+        # and runs of five recessive bits in EOF would be misread -- so
+        # instead destuff incrementally: parse header from a destuffed
+        # prefix that certainly covers it.
+        destuffed = _destuff_prefix(bits)
+        return cls.from_unstuffed_bits(destuffed)
+
+    @classmethod
+    def from_unstuffed_bits(cls, bits: list[int]) -> "CanFrame":
+        """Decode a destuffed logical bitstream (starting at SOF)."""
+        if not bits or bits[0] != 0:
+            raise CanDecodingError("frame must start with a dominant SOF")
+        pos = 1
+        base_id_bits = _take(bits, pos, BASE_ID_BITS)
+        pos += BASE_ID_BITS
+        rtr_or_srr = _take(bits, pos, 1)[0]
+        ide = _take(bits, pos + 1, 1)[0]
+        pos += 2
+        if ide == 1:
+            if rtr_or_srr != 1:
+                raise CanDecodingError("SRR must be recessive in extended frames")
+            ext_id_bits = _take(bits, pos, EXTENDED_ID_BITS)
+            pos += EXTENDED_ID_BITS
+            rtr = _take(bits, pos, 1)[0]
+            pos += 1
+            if rtr != 0:
+                raise CanDecodingError("remote frames are not supported")
+            pos += 2  # r1, r0
+            can_id = (bits_to_int(base_id_bits) << EXTENDED_ID_BITS) | bits_to_int(ext_id_bits)
+            extended = True
+        else:
+            if rtr_or_srr != 0:
+                raise CanDecodingError("remote frames are not supported")
+            pos += 1  # r0
+            can_id = bits_to_int(base_id_bits)
+            extended = False
+        dlc = bits_to_int(_take(bits, pos, DLC_BITS))
+        pos += DLC_BITS
+        if dlc > MAX_DATA_BYTES:
+            raise CanDecodingError(f"DLC {dlc} exceeds 8 bytes")
+        data = bytearray()
+        for _ in range(dlc):
+            data.append(bits_to_int(_take(bits, pos, 8)))
+            pos += 8
+        crc_field = _take(bits, pos, CRC_BITS)
+        if not verify_crc15(bits[:pos], crc_field):
+            raise CrcError("CRC-15 mismatch")
+        return cls(can_id=can_id, data=bytes(data), extended=extended)
+
+    def __len__(self) -> int:
+        """Number of stuffed wire bits in the frame."""
+        return len(self.stuffed_bits())
+
+    def __str__(self) -> str:
+        kind = "EXT" if self.extended else "STD"
+        return f"CanFrame({kind} id=0x{self.can_id:X} data={self.data.hex()})"
+
+
+def _take(bits: list[int], pos: int, count: int) -> list[int]:
+    """Slice ``count`` bits at ``pos`` or raise a decoding error."""
+    if pos + count > len(bits):
+        raise CanDecodingError(
+            f"bitstream truncated: needed {pos + count} bits, have {len(bits)}"
+        )
+    return bits[pos : pos + count]
+
+
+def _destuff_prefix(bits: list[int]) -> list[int]:
+    """Destuff a wire stream whose stuffed region ends at the CRC.
+
+    Walks the stream removing stuff bits until enough logical bits exist
+    to know the frame length (header + CRC), then appends the unstuffed
+    remainder verbatim.
+    """
+    destuffed: list[int] = []
+    run_value = -1
+    run_length = 0
+    index = 0
+    stuffed_region_end = None
+    while index < len(bits):
+        bit = bits[index] & 1
+        destuffed.append(bit)
+        index += 1
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        boundary = _crc_end_if_known(destuffed)
+        if boundary is not None and len(destuffed) >= boundary:
+            stuffed_region_end = index
+            break
+        if run_length == 5:
+            if index >= len(bits):
+                raise CanDecodingError("stream ends inside a stuffed region")
+            stuff_bit = bits[index] & 1
+            if stuff_bit == run_value:
+                from repro.errors import StuffingError
+
+                raise StuffingError(
+                    f"stuff violation at wire index {index}: six identical bits"
+                )
+            index += 1
+            run_value = stuff_bit
+            run_length = 1
+    if stuffed_region_end is None:
+        raise CanDecodingError("stream ended before the CRC field completed")
+    destuffed.extend(b & 1 for b in bits[stuffed_region_end:])
+    return destuffed
+
+
+def _crc_end_if_known(destuffed: list[int]) -> int | None:
+    """Return the logical index one past the CRC once the DLC is parseable."""
+    if len(destuffed) < 2:
+        return None
+    # Determine format from the IDE bit.
+    ide_index = 1 + BASE_ID_BITS + 1
+    if len(destuffed) <= ide_index:
+        return None
+    if destuffed[ide_index] == 1:
+        dlc_start = 1 + BASE_ID_BITS + 2 + EXTENDED_ID_BITS + 1 + 2
+    else:
+        dlc_start = 1 + BASE_ID_BITS + 2 + 1
+    if len(destuffed) < dlc_start + DLC_BITS:
+        return None
+    dlc = bits_to_int(destuffed[dlc_start : dlc_start + DLC_BITS])
+    dlc = min(dlc, MAX_DATA_BYTES)
+    return dlc_start + DLC_BITS + 8 * dlc + CRC_BITS

@@ -1,0 +1,154 @@
+"""SAE J1939 identifier model.
+
+J1939 rides on CAN 2.0B extended frames and subdivides the 29-bit
+identifier into a 3-bit priority, an 18-bit parameter group number (PGN)
+and an 8-bit source address (SA) — see Figure 2.4 / Table 2.2 of the
+paper.  Each SA maps to exactly one ECU, which is the property vProfile
+relies on: the SA claims a sender, and the voltage fingerprint verifies
+the claim.
+
+The PGN itself splits into a data page bit, a PDU format byte (PF) and a
+PDU specific byte (PS).  When PF < 240 (PDU1) the PS is a destination
+address and is excluded from the PGN proper; when PF >= 240 (PDU2) the
+message is broadcast and PS is a group extension.  We implement both so
+that realistic truck traffic (mixed PDU1/PDU2) can be generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CanEncodingError
+
+#: Number of bits in each J1939 ID field.
+PRIORITY_BITS = 3
+PGN_BITS = 18
+SA_BITS = 8
+
+MAX_PRIORITY = (1 << PRIORITY_BITS) - 1
+MAX_PGN = (1 << PGN_BITS) - 1
+MAX_SA = (1 << SA_BITS) - 1
+
+#: Conventional J1939 priorities (lower wins arbitration).
+PRIORITY_CONTROL = 3
+PRIORITY_DEFAULT = 6
+PRIORITY_LOW = 7
+
+#: Well-known source addresses (SAE J1939-81 appendix B).
+SA_ENGINE_1 = 0x00
+SA_TRANSMISSION_1 = 0x03
+SA_BRAKES_SYSTEM = 0x0B
+SA_INSTRUMENT_CLUSTER = 0x17
+SA_BODY_CONTROLLER = 0x21
+SA_CAB_CONTROLLER = 0x31
+SA_RETARDER_ENGINE = 0x0F
+
+#: Well-known parameter group numbers.
+PGN_EEC1 = 0xF004          # Electronic Engine Controller 1 (engine speed)
+PGN_EEC2 = 0xF003          # Electronic Engine Controller 2 (pedal position)
+PGN_ETC1 = 0xF002          # Electronic Transmission Controller 1
+PGN_EBC1 = 0xF001          # Electronic Brake Controller 1
+PGN_CCVS = 0xFEF1          # Cruise Control / Vehicle Speed
+PGN_ET1 = 0xFEEE           # Engine Temperature 1
+PGN_VEP1 = 0xFEF7          # Vehicle Electrical Power 1
+PGN_DM1 = 0xFECA           # Active diagnostic trouble codes
+PGN_TSC1 = 0x0000          # Torque/Speed Control 1 (PDU1, destination specific)
+
+
+@dataclass(frozen=True)
+class J1939Id:
+    """A decoded 29-bit J1939 identifier.
+
+    Attributes
+    ----------
+    priority:
+        3-bit arbitration priority; lower values win arbitration.
+    pgn:
+        18-bit parameter group number identifying the message content.
+        For PDU1 PGNs the low byte is zero and the destination lives in
+        the PS byte of the wire identifier.
+    source_address:
+        8-bit address of the transmitting ECU.
+    destination_address:
+        Destination for PDU1 messages; ``None`` for broadcast (PDU2).
+    """
+
+    priority: int
+    pgn: int
+    source_address: int
+    destination_address: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.priority <= MAX_PRIORITY:
+            raise CanEncodingError(f"priority {self.priority} out of range")
+        if not 0 <= self.pgn <= MAX_PGN:
+            raise CanEncodingError(f"PGN {self.pgn} out of range")
+        if not 0 <= self.source_address <= MAX_SA:
+            raise CanEncodingError(f"SA {self.source_address} out of range")
+        if self.destination_address is not None:
+            if not 0 <= self.destination_address <= MAX_SA:
+                raise CanEncodingError(
+                    f"DA {self.destination_address} out of range"
+                )
+            if not self.is_pdu1:
+                raise CanEncodingError(
+                    f"PGN 0x{self.pgn:05X} is PDU2 (broadcast) and cannot "
+                    "carry a destination address"
+                )
+
+    @property
+    def pdu_format(self) -> int:
+        """The PF byte (bits 16..9 of the PGN)."""
+        return (self.pgn >> 8) & 0xFF
+
+    @property
+    def is_pdu1(self) -> bool:
+        """True when the PGN addresses a specific destination (PF < 240)."""
+        return self.pdu_format < 240
+
+    def to_can_id(self) -> int:
+        """Pack into the 29-bit identifier transmitted on the wire."""
+        pgn_field = self.pgn
+        if self.is_pdu1:
+            # PDU1: the PS byte carries the destination address.
+            pgn_field = (self.pgn & 0x3FF00) | (self.destination_address or 0)
+        return (self.priority << (PGN_BITS + SA_BITS)) | (pgn_field << SA_BITS) | self.source_address
+
+    @classmethod
+    def from_can_id(cls, can_id: int) -> "J1939Id":
+        """Decode a 29-bit identifier back into its J1939 fields."""
+        if not 0 <= can_id < (1 << 29):
+            raise CanEncodingError(f"CAN id 0x{can_id:X} is not 29 bits")
+        source_address = can_id & 0xFF
+        pgn_field = (can_id >> SA_BITS) & MAX_PGN
+        priority = (can_id >> (PGN_BITS + SA_BITS)) & MAX_PRIORITY
+        pdu_format = (pgn_field >> 8) & 0xFF
+        if pdu_format < 240:
+            destination: int | None = pgn_field & 0xFF
+            pgn = pgn_field & 0x3FF00
+        else:
+            destination = None
+            pgn = pgn_field
+        return cls(
+            priority=priority,
+            pgn=pgn,
+            source_address=source_address,
+            destination_address=destination,
+        )
+
+    def __str__(self) -> str:
+        dest = "" if self.destination_address is None else f" DA=0x{self.destination_address:02X}"
+        return (
+            f"J1939(P={self.priority}, PGN=0x{self.pgn:05X}, "
+            f"SA=0x{self.source_address:02X}{dest})"
+        )
+
+
+def extract_source_address(can_id: int) -> int:
+    """Return the SA — the low byte of a 29-bit J1939 identifier.
+
+    This is the only piece of the identifier vProfile needs (Section 2.1.2).
+    """
+    if not 0 <= can_id < (1 << 29):
+        raise CanEncodingError(f"CAN id 0x{can_id:X} is not 29 bits")
+    return can_id & 0xFF

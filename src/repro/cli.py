@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Wraps the common workflows so the library is usable without writing
+Python:
+
+* ``info``        — describe a built-in vehicle;
+* ``capture``     — record a simulated session to a trace archive;
+* ``train``       — train a vProfile model from an archive (or a fresh
+  capture) and save it;
+* ``detect``      — replay an archive through a saved model, optionally
+  injecting hijack attacks, and print the confusion matrix;
+* ``experiment``  — regenerate one of the paper's experiments
+  (``suite``, ``temperature``, ``voltage``, ``sweep``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.acquisition.archive import load_traces, save_traces
+from repro.attacks.hijack import LabelledEdgeSet, apply_hijack
+from repro.core.detection import Detector
+from repro.core.edge_extraction import ExtractionConfig, extract_many
+from repro.core.model import Metric, VProfileModel
+from repro.core.training import TrainingData, train_model
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.environment import temperature_experiment, voltage_experiment
+from repro.eval.margin import tune_margin
+from repro.eval.reporting import (
+    format_suite,
+    format_sweep,
+    format_temperature,
+    format_voltage,
+)
+from repro.eval.suite import SuiteInputs, run_detection_suite
+from repro.eval.sweeps import rate_resolution_sweep
+from repro.vehicles.dataset import capture_session
+from repro.vehicles.profiles import VehicleConfig, sterling_acterra, vehicle_a, vehicle_b
+
+VEHICLES = {
+    "a": vehicle_a,
+    "b": vehicle_b,
+    "sterling": sterling_acterra,
+}
+
+
+def _vehicle(name: str) -> VehicleConfig:
+    return VEHICLES[name]()
+
+
+def _add_vehicle_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--vehicle",
+        choices=sorted(VEHICLES),
+        default="a",
+        help="built-in synthetic vehicle (default: a)",
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    vehicle = _vehicle(args.vehicle)
+    print(f"{vehicle.name}: {len(vehicle.ecus)} ECUs, "
+          f"{vehicle.bitrate / 1e3:.0f} kb/s bus, captured at "
+          f"{vehicle.sample_rate / 1e6:g} MS/s / {vehicle.resolution_bits} bit")
+    for ecu in vehicle.ecus:
+        trx = ecu.transceiver
+        sas = ", ".join(f"0x{sa:02X}" for sa in ecu.source_addresses)
+        rates = ", ".join(f"{1 / s.period_s:.0f}/s" for s in ecu.schedules)
+        print(f"  {ecu.name}: dominant {trx.v_dominant:.3f} V, "
+              f"rise {trx.rise.natural_freq_hz / 1e6:.2f} MHz "
+              f"(zeta {trx.rise.damping}), SAs [{sas}], rates [{rates}]")
+    return 0
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    vehicle = _vehicle(args.vehicle)
+    session = capture_session(
+        vehicle, args.duration, seed=args.seed
+    )
+    save_traces(args.output, session.traces)
+    print(f"captured {len(session)} messages from {vehicle.name} "
+          f"-> {args.output}")
+    return 0
+
+
+def _traces_for(args: argparse.Namespace):
+    vehicle = _vehicle(args.vehicle)
+    if getattr(args, "input", None):
+        return vehicle, load_traces(args.input)
+    session = capture_session(vehicle, args.duration, seed=args.seed)
+    return vehicle, session.traces
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    vehicle, traces = _traces_for(args)
+    extraction = ExtractionConfig.for_trace(traces[0])
+    edge_sets = extract_many(traces, extraction)
+    model = train_model(
+        TrainingData.from_edge_sets(edge_sets),
+        metric=Metric(args.metric),
+        sa_clusters=vehicle.sa_clusters if not args.cluster_by_distance else None,
+    )
+    model.save(args.output)
+    print(f"trained {args.metric} model on {len(edge_sets)} messages "
+          f"({model.n_clusters} clusters) -> {args.output}")
+    for cluster in model.clusters:
+        print(f"  {cluster.name}: {cluster.count} edge sets, "
+              f"threshold {cluster.max_distance:.3f}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    vehicle, traces = _traces_for(args)
+    model = VProfileModel.load(args.model)
+    extraction = ExtractionConfig.for_trace(traces[0])
+    edge_sets = extract_many(traces, extraction)
+
+    rng = np.random.default_rng(args.seed)
+    if args.hijack > 0:
+        labelled = apply_hijack(
+            edge_sets, vehicle.sa_clusters, probability=args.hijack, rng=rng
+        )
+    else:
+        labelled = [
+            LabelledEdgeSet(e, is_attack=False, true_sender=e.metadata.get("sender", "?"))
+            for e in edge_sets
+        ]
+    vectors = np.stack([l.edge_set.vector for l in labelled])
+    sas = np.array([l.edge_set.source_address for l in labelled])
+    actual = np.array([l.is_attack for l in labelled])
+    batch = Detector(model).classify_batch(vectors, sas)
+    if args.margin is None:
+        objective = "f-score" if args.hijack > 0 else "accuracy"
+        margin = tune_margin(batch, actual, objective).margin
+        print(f"auto-tuned margin: {margin:.4g} (objective: {objective})")
+    else:
+        margin = args.margin
+    confusion = ConfusionMatrix.from_predictions(actual, batch.anomalies(margin))
+    print(confusion.as_table())
+    print(f"accuracy={confusion.accuracy:.5f} precision={confusion.precision:.5f} "
+          f"recall={confusion.recall:.5f} F={confusion.f_score:.5f}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    vehicle = _vehicle(args.vehicle)
+    if args.name == "suite":
+        inputs = SuiteInputs.capture(
+            vehicle, duration_s=args.duration, seed=args.seed
+        )
+        result = run_detection_suite(inputs, Metric(args.metric), seed=args.seed)
+        print(format_suite(result))
+    elif args.name == "temperature":
+        result = temperature_experiment(
+            vehicle, trials=2, duration_per_capture_s=args.duration / 6, seed=args.seed
+        )
+        print(format_temperature(result))
+    elif args.name == "voltage":
+        result = voltage_experiment(
+            vehicle, trials=3, duration_per_capture_s=args.duration / 10, seed=args.seed
+        )
+        print(format_voltage(result))
+    elif args.name == "sweep":
+        session = capture_session(vehicle, args.duration, seed=args.seed)
+        divisors = (1, 2, 4) if vehicle.sample_rate <= 10e6 else (1, 2, 4, 8)
+        cells = rate_resolution_sweep(session, rate_divisors=divisors, seed=args.seed)
+        print(format_sweep(cells, f"{vehicle.name} rate sweep"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vProfile CAN sender identification (DATE 2021 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="describe a built-in vehicle")
+    _add_vehicle_arg(info)
+    info.set_defaults(handler=cmd_info)
+
+    capture = commands.add_parser("capture", help="record a session to an archive")
+    _add_vehicle_arg(capture)
+    capture.add_argument("--duration", type=float, default=5.0, help="seconds of traffic")
+    capture.add_argument("--seed", type=int, default=0)
+    capture.add_argument("--output", required=True, help="archive path (.npz)")
+    capture.set_defaults(handler=cmd_capture)
+
+    train = commands.add_parser("train", help="train and save a model")
+    _add_vehicle_arg(train)
+    train.add_argument("--input", help="trace archive to train on")
+    train.add_argument("--duration", type=float, default=5.0,
+                       help="capture length when no --input is given")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--metric", choices=["euclidean", "mahalanobis"],
+                       default="mahalanobis")
+    train.add_argument("--cluster-by-distance", action="store_true",
+                       help="discover clusters instead of using the SA LUT")
+    train.add_argument("--output", required=True, help="model path (.npz)")
+    train.set_defaults(handler=cmd_train)
+
+    detect = commands.add_parser("detect", help="replay traffic through a model")
+    _add_vehicle_arg(detect)
+    detect.add_argument("--model", required=True)
+    detect.add_argument("--input", help="trace archive to replay")
+    detect.add_argument("--duration", type=float, default=2.0)
+    detect.add_argument("--seed", type=int, default=1)
+    detect.add_argument("--hijack", type=float, default=0.0,
+                        help="SA-rewrite probability (0 disables attacks)")
+    detect.add_argument("--margin", type=float, default=None,
+                        help="detection margin (default: auto-tuned)")
+    detect.set_defaults(handler=cmd_detect)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one of the paper's experiments"
+    )
+    _add_vehicle_arg(experiment)
+    experiment.add_argument(
+        "name", choices=["suite", "temperature", "voltage", "sweep"]
+    )
+    experiment.add_argument("--duration", type=float, default=15.0)
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--metric", choices=["euclidean", "mahalanobis"],
+                            default="mahalanobis")
+    experiment.set_defaults(handler=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

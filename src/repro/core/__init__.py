@@ -1,0 +1,79 @@
+"""vProfile core: the paper's primary contribution.
+
+Edge-set extraction (Algorithm 1), model training (Algorithm 2),
+detection (Algorithm 3), the online model update (Algorithm 4), and the
+Euclidean / Mahalanobis distance machinery they share.
+"""
+
+from repro.core.detection import (
+    AnomalyReason,
+    BatchDetection,
+    DetectionResult,
+    Detector,
+    Verdict,
+)
+from repro.core.distances import (
+    RunningStats,
+    euclidean_distance,
+    euclidean_distances,
+    invert_covariance,
+    mahalanobis_distance,
+    mahalanobis_distances,
+)
+from repro.core.edge_extraction import (
+    FIRST_STABLE_BIT,
+    SA_FIRST_BIT,
+    SA_LAST_BIT,
+    ExtractedEdgeSet,
+    ExtractionConfig,
+    FrameFormat,
+    cluster_threshold,
+    extract_edge_set,
+    extract_many,
+    get_bit_value,
+)
+from repro.core.model import ClusterProfile, Metric, VProfileModel
+from repro.core.online_update import OnlineUpdater, UpdateReport
+from repro.core.pipeline import PipelineConfig, PipelineStats, VProfilePipeline
+from repro.core.training import (
+    TrainingData,
+    cluster_sas_by_distance,
+    train_from_grouped,
+    train_model,
+)
+
+__all__ = [
+    "AnomalyReason",
+    "BatchDetection",
+    "DetectionResult",
+    "Detector",
+    "Verdict",
+    "RunningStats",
+    "euclidean_distance",
+    "euclidean_distances",
+    "invert_covariance",
+    "mahalanobis_distance",
+    "mahalanobis_distances",
+    "FIRST_STABLE_BIT",
+    "SA_FIRST_BIT",
+    "SA_LAST_BIT",
+    "ExtractedEdgeSet",
+    "ExtractionConfig",
+    "FrameFormat",
+    "cluster_threshold",
+    "extract_edge_set",
+    "extract_many",
+    "get_bit_value",
+    "ClusterProfile",
+    "Metric",
+    "VProfileModel",
+    "OnlineUpdater",
+    "UpdateReport",
+    "PipelineConfig",
+    "PipelineStats",
+    "VProfilePipeline",
+    "TrainingData",
+    "cluster_sas_by_distance",
+    "train_from_grouped",
+    "train_model",
+]

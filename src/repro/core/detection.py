@@ -1,0 +1,227 @@
+"""Intrusion detection — Algorithm 3 of the paper.
+
+Given an edge set and its claimed source address:
+
+1. unknown SA  -> anomaly (trivial case the paper's experiments skip);
+2. the SA's *expected* cluster comes from the model LUT, the *predicted*
+   cluster is the one with the minimum distance to the edge set;
+   mismatch -> anomaly;
+3. otherwise the minimum distance is compared against the predicted
+   cluster's training maximum plus a configurable margin;
+   exceeded -> anomaly.
+
+For anomalies from trained ECUs, the predicted cluster names the attack
+origin (Section 3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.distances import euclidean_distances, mahalanobis_distances
+from repro.core.edge_extraction import ExtractedEdgeSet
+from repro.core.model import Metric, VProfileModel
+from repro.errors import DetectionError
+
+
+class Verdict(str, Enum):
+    """Detection outcome."""
+
+    OK = "ok"
+    ANOMALY = "anomaly"
+
+
+class AnomalyReason(str, Enum):
+    """Why a message was flagged."""
+
+    UNKNOWN_SA = "unknown-sa"
+    CLUSTER_MISMATCH = "cluster-mismatch"
+    DISTANCE_EXCEEDED = "distance-exceeded"
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Full outcome of Algorithm 3 for one message.
+
+    Attributes
+    ----------
+    verdict:
+        OK or ANOMALY.
+    reason:
+        Why the message was flagged; ``None`` for OK verdicts.
+    source_address:
+        The claimed SA.
+    expected_cluster / predicted_cluster:
+        Cluster indices; ``None`` when unavailable (unknown SA).
+    min_distance:
+        Distance to the nearest cluster mean.
+    slack:
+        ``min_distance`` minus the predicted cluster's threshold; an
+        anomaly by distance when this exceeds the margin.
+    """
+
+    verdict: Verdict
+    reason: AnomalyReason | None
+    source_address: int
+    expected_cluster: int | None
+    predicted_cluster: int | None
+    min_distance: float | None
+    slack: float | None
+
+    @property
+    def is_anomaly(self) -> bool:
+        return self.verdict is Verdict.ANOMALY
+
+    def origin_name(self, model: VProfileModel) -> str | None:
+        """Name of the attack origin, when attributable (Section 3.2.3)."""
+        if self.predicted_cluster is None:
+            return None
+        return model.clusters[self.predicted_cluster].name
+
+
+class Detector:
+    """Algorithm 3 with a fixed model and margin.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`VProfileModel`.
+    margin:
+        Additional slack added to each cluster's max-distance threshold
+        to absorb deviation beyond the training data.  "Selecting an
+        appropriate margin is critical to vProfile's success" (Section
+        3.2.3); :mod:`repro.eval.margin` implements the paper's tuning.
+    """
+
+    def __init__(self, model: VProfileModel, margin: float = 0.0):
+        if margin < 0:
+            raise DetectionError("margin must be non-negative (paper Section 4.3)")
+        self.model = model
+        self.margin = float(margin)
+
+    # ------------------------------------------------------------------
+    # Single-message path (Algorithm 3 verbatim)
+    # ------------------------------------------------------------------
+    def classify(self, edge_set: ExtractedEdgeSet | np.ndarray, sa: int | None = None) -> DetectionResult:
+        """Classify one message.
+
+        ``edge_set`` may be an extraction result (which carries its own
+        SA) or a raw vector with ``sa`` supplied explicitly.
+        """
+        if isinstance(edge_set, ExtractedEdgeSet):
+            vector = edge_set.vector
+            sa = edge_set.source_address if sa is None else sa
+        else:
+            vector = np.asarray(edge_set, dtype=float)
+            if sa is None:
+                raise DetectionError("raw vectors need an explicit SA")
+
+        expected = self.model.cluster_of_sa(sa)
+        if expected is None:
+            return DetectionResult(
+                verdict=Verdict.ANOMALY,
+                reason=AnomalyReason.UNKNOWN_SA,
+                source_address=sa,
+                expected_cluster=None,
+                predicted_cluster=None,
+                min_distance=None,
+                slack=None,
+            )
+        distances = self._distances_to_clusters(vector[np.newaxis, :])[0]
+        predicted = int(np.argmin(distances))
+        min_distance = float(distances[predicted])
+        slack = min_distance - float(self.model.clusters[predicted].max_distance)
+        if predicted != expected:
+            reason: AnomalyReason | None = AnomalyReason.CLUSTER_MISMATCH
+        elif slack > self.margin:
+            reason = AnomalyReason.DISTANCE_EXCEEDED
+        else:
+            reason = None
+        return DetectionResult(
+            verdict=Verdict.ANOMALY if reason else Verdict.OK,
+            reason=reason,
+            source_address=sa,
+            expected_cluster=expected,
+            predicted_cluster=predicted,
+            min_distance=min_distance,
+            slack=slack,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch path (vectorised; used by the evaluation harness)
+    # ------------------------------------------------------------------
+    def classify_batch(self, vectors: np.ndarray, sas: np.ndarray) -> "BatchDetection":
+        """Classify many messages at once.
+
+        Returns a :class:`BatchDetection` with per-message verdict
+        ingredients, from which anomaly flags for *any* margin can be
+        derived cheaply (the margin-tuning sweep relies on this).
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        sas = np.asarray(sas, dtype=np.int64)
+        if vectors.shape[0] != sas.shape[0]:
+            raise DetectionError("vectors and SAs disagree in length")
+        distances = self._distances_to_clusters(vectors)
+        predicted = np.argmin(distances, axis=1)
+        min_distance = distances[np.arange(distances.shape[0]), predicted]
+        thresholds = self.model.max_distances[predicted]
+        expected = np.array(
+            [self.model.sa_to_cluster.get(int(sa), -1) for sa in sas], dtype=np.int64
+        )
+        return BatchDetection(
+            expected_cluster=expected,
+            predicted_cluster=predicted.astype(np.int64),
+            min_distance=min_distance,
+            slack=min_distance - thresholds,
+            margin=self.margin,
+        )
+
+    def _distances_to_clusters(self, vectors: np.ndarray) -> np.ndarray:
+        """Distance matrix (n, k) from each vector to each cluster."""
+        model = self.model
+        n = vectors.shape[0]
+        distances = np.empty((n, model.n_clusters))
+        if model.metric is Metric.MAHALANOBIS:
+            for index, cluster in enumerate(model.clusters):
+                distances[:, index] = mahalanobis_distances(
+                    vectors, cluster.mean, cluster.inv_covariance
+                )
+        else:
+            for index, cluster in enumerate(model.clusters):
+                distances[:, index] = euclidean_distances(vectors, cluster.mean)
+        return distances
+
+
+@dataclass(frozen=True)
+class BatchDetection:
+    """Vectorised detection ingredients for a batch of messages.
+
+    ``anomalies()`` reproduces Algorithm 3's decision for an arbitrary
+    margin without re-computing distances, which makes the paper's
+    margin-tuning procedure (scan for the best accuracy / F-score) cheap.
+    """
+
+    expected_cluster: np.ndarray  # (n,), -1 for unknown SA
+    predicted_cluster: np.ndarray  # (n,)
+    min_distance: np.ndarray  # (n,)
+    slack: np.ndarray  # (n,)
+    margin: float
+
+    def anomalies(self, margin: float | None = None) -> np.ndarray:
+        """Boolean anomaly flags at ``margin`` (default: detector margin)."""
+        if margin is None:
+            margin = self.margin
+        unknown = self.expected_cluster < 0
+        mismatch = self.expected_cluster != self.predicted_cluster
+        exceeded = self.slack > margin
+        return unknown | mismatch | exceeded
+
+    @property
+    def hard_anomalies(self) -> np.ndarray:
+        """Flags that no margin can suppress (unknown SA / mismatch)."""
+        return (self.expected_cluster < 0) | (
+            self.expected_cluster != self.predicted_cluster
+        )

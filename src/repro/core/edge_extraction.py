@@ -1,0 +1,410 @@
+"""Edge-set extraction — Algorithm 1 of the paper.
+
+Walks the sampled voltage of one CAN message, staying bit-synchronised by
+re-centering on every observed edge, skips stuff bits, decodes the J1939
+source address from logical bits 24-31, and — once past the arbitration
+field (bit 33) — extracts the first *edge set*: a fixed number of samples
+around the next falling and rising threshold crossings.
+
+Naming note: the thesis prose says "iterate until the first rising edge
+... then find the falling edge", but its pseudocode (and the fact that
+bit 33, the r1 reserved bit, is always dominant) means the first crossing
+encountered is the *falling* one.  We follow the pseudocode: the edge set
+is [falling-edge window, rising-edge window].  The ordering is irrelevant
+to the classifier as long as it is consistent.
+
+Two Chapter 5 enhancements live here as options:
+
+* per-cluster extraction thresholds (Section 5.1), computed as the mean
+  of the max and min of the first half of a message;
+* multi-edge-set averaging (Section 5.2): extract several edge sets
+  spaced a fixed number of samples apart and use their mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+import numpy as np
+
+from enum import Enum
+
+from repro.acquisition.adc import AdcConfig
+from repro.acquisition.trace import VoltageTrace
+from repro.errors import ExtractionError
+
+#: Logical bit positions in an extended frame (SOF = bit 0, stuff bits
+#: excluded): the J1939 SA occupies bits 24-31 and bit 33 is the first
+#: bit after the arbitration field (paper Section 3.2.1).
+SA_FIRST_BIT = 24
+SA_LAST_BIT = 31
+FIRST_STABLE_BIT = 33
+
+#: The same landmarks for standard (CAN 2.0A) frames — the paper's
+#: Section 6.1 future-work adaptation.  The whole 11-bit identifier is
+#: the sender identity (bits 1-11); the arbitration field ends with the
+#: RTR bit at position 12, so bit 13 (IDE) is the first stable bit.
+STD_ID_FIRST_BIT = 1
+STD_ID_LAST_BIT = 11
+STD_FIRST_STABLE_BIT = 13
+
+
+class FrameFormat(str, Enum):
+    """Which CAN frame layout the extractor walks."""
+
+    EXTENDED = "extended"   # CAN 2.0B / J1939 (the paper's vehicles)
+    STANDARD = "standard"   # CAN 2.0A (Section 6.1 future work)
+
+    @property
+    def id_first_bit(self) -> int:
+        return SA_FIRST_BIT if self is FrameFormat.EXTENDED else STD_ID_FIRST_BIT
+
+    @property
+    def id_last_bit(self) -> int:
+        return SA_LAST_BIT if self is FrameFormat.EXTENDED else STD_ID_LAST_BIT
+
+    @property
+    def first_stable_bit(self) -> int:
+        return (
+            FIRST_STABLE_BIT
+            if self is FrameFormat.EXTENDED
+            else STD_FIRST_STABLE_BIT
+        )
+
+#: Paper constants for a 10 MS/s capture of a 250 kb/s bus.
+REFERENCE_PREFIX_S = 0.2e-6   # 2 samples at 10 MS/s
+REFERENCE_SUFFIX_S = 1.4e-6   # 14 samples at 10 MS/s
+REFERENCE_EDGE_SET_SPACING_S = 25e-6  # 250 samples at 10 MS/s
+#: The extraction threshold should horizontally bisect an edge; half the
+#: nominal 2 V dominant differential.
+REFERENCE_THRESHOLD_V = 1.0
+
+
+@dataclass(frozen=True)
+class ExtractionConfig:
+    """Constants of Algorithm 1 (paper Section 3.2.1).
+
+    Attributes
+    ----------
+    bit_width:
+        Samples per bus bit (40 at 10 MS/s on a 250 kb/s bus).
+    threshold:
+        ADC-count value bisecting the rising edge ("38,000 is a good
+        starting point" for 16-bit captures).
+    prefix_len / suffix_len:
+        Samples kept before / after each threshold crossing.
+    n_edge_sets:
+        How many edge sets to extract and average (Section 5.2; 1 in the
+        base algorithm).
+    edge_set_spacing:
+        Sample distance between the starting points of consecutive edge
+        sets when ``n_edge_sets > 1``.
+    frame_format:
+        Extended (J1939, the paper's vehicles) or standard frames
+        (Section 6.1 future work).  Selects the identity-field bit
+        positions and the first stable bit.
+    """
+
+    bit_width: float
+    threshold: float
+    prefix_len: int = 2
+    suffix_len: int = 14
+    n_edge_sets: int = 1
+    edge_set_spacing: int = 250
+    frame_format: FrameFormat = FrameFormat.EXTENDED
+
+    def __post_init__(self) -> None:
+        if self.bit_width < 4:
+            raise ExtractionError(
+                f"bit width {self.bit_width} too small to synchronise on"
+            )
+        if self.prefix_len < 0 or self.suffix_len < 1:
+            raise ExtractionError("prefix must be >= 0 and suffix >= 1")
+        if self.n_edge_sets < 1:
+            raise ExtractionError("n_edge_sets must be at least 1")
+        if self.n_edge_sets > 1 and self.edge_set_spacing < 1:
+            raise ExtractionError("edge_set_spacing must be positive")
+
+    @property
+    def edge_set_length(self) -> int:
+        """Dimensionality of one extracted edge set (two edge windows)."""
+        return 2 * (self.prefix_len + self.suffix_len)
+
+    @classmethod
+    def for_trace(
+        cls,
+        trace: VoltageTrace,
+        *,
+        threshold: float | None = None,
+        n_edge_sets: int = 1,
+        frame_format: FrameFormat = FrameFormat.EXTENDED,
+    ) -> "ExtractionConfig":
+        """Derive constants for a trace's rate / resolution.
+
+        Scales the paper's 10 MS/s reference constants (prefix 2, suffix
+        14, 250-sample spacing) with the actual sample rate, and places
+        the threshold at 1 V on the trace's ADC code axis.
+        """
+        fs = trace.sample_rate
+        if threshold is None:
+            adc = AdcConfig(resolution_bits=trace.resolution_bits)
+            threshold = adc.volts_to_counts(REFERENCE_THRESHOLD_V)
+        prefix = max(1, round(REFERENCE_PREFIX_S * fs))
+        suffix = max(2, round(REFERENCE_SUFFIX_S * fs))
+        spacing = max(1, round(REFERENCE_EDGE_SET_SPACING_S * fs))
+        return cls(
+            bit_width=trace.samples_per_bit,
+            threshold=float(threshold),
+            prefix_len=prefix,
+            suffix_len=suffix,
+            n_edge_sets=n_edge_sets,
+            edge_set_spacing=spacing,
+            frame_format=frame_format,
+        )
+
+    def with_threshold(self, threshold: float) -> "ExtractionConfig":
+        """Copy with a different edge threshold (Section 5.1)."""
+        return replace(self, threshold=float(threshold))
+
+
+@dataclass(frozen=True)
+class ExtractedEdgeSet:
+    """Result of Algorithm 1 for one message.
+
+    Attributes
+    ----------
+    source_address:
+        J1939 SA decoded from logical bits 24-31.
+    vector:
+        The edge-set feature vector (mean of ``n_edge_sets`` windows).
+    metadata:
+        Ground-truth annotations copied from the trace.
+    """
+
+    source_address: int
+    vector: np.ndarray
+    metadata: dict[str, Any]
+
+    @property
+    def identity(self) -> int:
+        """Generic sender-identity key.
+
+        Equals the J1939 SA for extended frames and the 11-bit CAN
+        identifier for standard frames (Section 6.1 adaptation).
+        """
+        return self.source_address
+
+
+def get_bit_value(sample: float, threshold: float) -> int:
+    """GetBitValue from Algorithm 1: dominant (high voltage) decodes as 0."""
+    return 0 if sample >= threshold else 1
+
+
+def extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> ExtractedEdgeSet:
+    """Run Algorithm 1 on one trace.
+
+    Raises
+    ------
+    ExtractionError
+        If the trace is too short, no SOF is found, or a stuff violation
+        is encountered.
+    """
+    samples = np.asarray(trace.counts, dtype=float)
+    threshold = config.threshold
+    bit_width = config.bit_width
+    half_bit = bit_width / 2.0
+
+    sof = _find_sof(samples, threshold)
+    pos = sof + half_bit
+    bit_values: list[int] = [_value_at(samples, pos, threshold)]
+    if bit_values[0] != 0:
+        raise ExtractionError("sample at SOF centre is not dominant")
+
+    prev_bit = 0
+    run_length = 1
+    bit_count = 0  # counts logical bits appended after SOF
+    source_address: int | None = None
+    extraction_start: float | None = None
+
+    while pos + bit_width < samples.size:
+        pos += bit_width
+        bit = _value_at(samples, pos, threshold)
+        is_stuff = False
+        if bit != prev_bit:
+            # Re-centre on the observed edge to hold synchronisation.
+            crossing = _align_to_edge_center(samples, pos, threshold, bit_width)
+            pos = crossing + half_bit
+            if run_length == 5:
+                # After five identical bits the opposite-polarity bit is
+                # a stuff bit: consume it but keep it out of the logical
+                # stream.  It still seeds the next run (ISO 11898-1).
+                is_stuff = True
+            run_length = 1
+            prev_bit = bit
+        else:
+            run_length += 1
+            if run_length == 6:
+                raise ExtractionError(
+                    f"stuff violation near sample {int(pos)}: six identical bits"
+                )
+        if is_stuff:
+            continue
+        bit_values.append(bit)
+        bit_count += 1
+        if bit_count == config.frame_format.id_last_bit:
+            source_address = _decode_identity(bit_values, config.frame_format)
+        elif bit_count == config.frame_format.first_stable_bit:
+            extraction_start = pos
+            break
+
+    if source_address is None or extraction_start is None:
+        raise ExtractionError(
+            f"trace ended after {bit_count} logical bits; need "
+            f"{config.frame_format.first_stable_bit} plus an edge set"
+        )
+
+    windows = []
+    start = extraction_start
+    for k in range(config.n_edge_sets):
+        windows.append(_extract_window_pair(samples, start, config))
+        start = extraction_start + (k + 1) * config.edge_set_spacing
+    vector = np.mean(windows, axis=0) if len(windows) > 1 else windows[0]
+
+    return ExtractedEdgeSet(
+        source_address=source_address,
+        vector=np.asarray(vector, dtype=float),
+        metadata=dict(trace.metadata),
+    )
+
+
+def extract_many(
+    traces: Sequence[VoltageTrace],
+    config: ExtractionConfig | None = None,
+    *,
+    skip_failures: bool = False,
+) -> list[ExtractedEdgeSet]:
+    """Extract edge sets from many traces.
+
+    A single config derived from the first trace is reused when none is
+    given.  With ``skip_failures`` unextractable traces are dropped
+    (useful for noisy scenario sweeps); otherwise the first failure
+    raises.
+    """
+    if not traces:
+        return []
+    if config is None:
+        config = ExtractionConfig.for_trace(traces[0])
+    results: list[ExtractedEdgeSet] = []
+    for trace in traces:
+        try:
+            results.append(extract_edge_set(trace, config))
+        except ExtractionError:
+            if not skip_failures:
+                raise
+    return results
+
+
+def cluster_threshold(trace: VoltageTrace) -> float:
+    """Per-cluster extraction threshold (Section 5.1).
+
+    The mean of the maximum and minimum of the *first half* of the
+    message — the second half is excluded because the ACK slot voltage,
+    driven by a different ECU, can deviate significantly.
+    """
+    samples = np.asarray(trace.counts, dtype=float)
+    half = samples[: max(1, samples.size // 2)]
+    return float((half.max() + half.min()) / 2.0)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _value_at(samples: np.ndarray, pos: float, threshold: float) -> int:
+    index = int(round(pos))
+    if index < 0 or index >= samples.size:
+        raise ExtractionError(f"bit walk ran off the trace at sample {index}")
+    return get_bit_value(samples[index], threshold)
+
+
+def _find_sof(samples: np.ndarray, threshold: float) -> int:
+    """First sample at or above the threshold: start of the dominant SOF."""
+    above = np.nonzero(samples >= threshold)[0]
+    if above.size == 0:
+        raise ExtractionError("no start-of-frame found (trace never dominant)")
+    return int(above[0])
+
+
+def _align_to_edge_center(
+    samples: np.ndarray, pos: float, threshold: float, bit_width: float
+) -> float:
+    """Locate the threshold crossing behind ``pos`` (AlignToEdgeCenter).
+
+    The walker detected a polarity change between the previous bit centre
+    and ``pos``, so the crossing lies within the last ``bit_width``
+    samples.  Scan backwards while the polarity still matches the new
+    bit.
+    """
+    index = int(round(pos))
+    new_value = get_bit_value(samples[index], threshold)
+    floor = max(0, int(round(pos - bit_width)))
+    j = index
+    while j > floor and get_bit_value(samples[j - 1], threshold) == new_value:
+        j -= 1
+    return float(j)
+
+
+def _decode_identity(bit_values: list[int], frame_format: FrameFormat) -> int:
+    """Decode the sender-identity field (MSB first).
+
+    The J1939 SA (bits 24-31) for extended frames, or the whole 11-bit
+    identifier (bits 1-11) for standard frames.
+    """
+    first, last = frame_format.id_first_bit, frame_format.id_last_bit
+    id_bits = bit_values[first : last + 1]
+    if len(id_bits) != last - first + 1:
+        raise ExtractionError("not enough bits decoded to recover the sender id")
+    value = 0
+    for bit in id_bits:
+        value = (value << 1) | bit
+    return value
+
+
+def _extract_window_pair(
+    samples: np.ndarray, start: float, config: ExtractionConfig
+) -> np.ndarray:
+    """ExtractEdgeSet from Algorithm 1: windows at the next two crossings.
+
+    From ``start`` (inside or before a dominant region): skip any
+    recessive run, skip the dominant run to its falling crossing, window
+    it; advance half a bit, find the next rising crossing, window it.
+    """
+    threshold = config.threshold
+    pos = int(round(start))
+
+    pos = _advance_while(samples, pos, lambda v: v < threshold)   # reach dominant
+    pos = _advance_while(samples, pos, lambda v: v >= threshold)  # falling crossing
+    falling = _window(samples, pos, config)
+    pos = int(round(pos + config.bit_width / 2.0))
+    pos = _advance_while(samples, pos, lambda v: v < threshold)   # rising crossing
+    rising = _window(samples, pos, config)
+    return np.concatenate([falling, rising])
+
+
+def _advance_while(samples: np.ndarray, pos: int, predicate) -> int:
+    while pos < samples.size and predicate(samples[pos]):
+        pos += 1
+    if pos >= samples.size:
+        raise ExtractionError("edge search ran off the end of the trace")
+    return pos
+
+
+def _window(samples: np.ndarray, pos: int, config: ExtractionConfig) -> np.ndarray:
+    lo = pos - config.prefix_len
+    hi = pos + config.suffix_len
+    if lo < 0 or hi > samples.size:
+        raise ExtractionError(
+            f"edge window [{lo}, {hi}) exceeds the trace ({samples.size} samples)"
+        )
+    return samples[lo:hi].astype(float)

@@ -1,0 +1,186 @@
+"""The vProfile model: what training produces and detection consumes.
+
+Per Section 3.2.2 the model holds, for every cluster (= physical ECU):
+its mean edge set, its maximum observed training distance (the detection
+threshold), and a lookup table mapping valid source addresses to their
+cluster.  With the Mahalanobis metric (Section 4.2.2) each cluster
+additionally stores its covariance and inverse covariance, and Algorithm
+4 (online update) needs the per-cluster edge-set count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DetectionError, TrainingError
+
+
+class Metric(str, Enum):
+    """Distance metric selector (paper Section 2.2.2)."""
+
+    EUCLIDEAN = "euclidean"
+    MAHALANOBIS = "mahalanobis"
+
+
+@dataclass
+class ClusterProfile:
+    """Trained statistics of one cluster / ECU.
+
+    Attributes
+    ----------
+    name:
+        Cluster label (the ECU name when a LUT was supplied, otherwise a
+        generated ``cluster<N>`` label).
+    mean:
+        Mean edge set, shape (d,).
+    covariance / inv_covariance:
+        Cluster covariance and its inverse; ``None`` under the Euclidean
+        metric.
+    max_distance:
+        Largest training-set distance from the mean — the per-cluster
+        detection threshold of Algorithm 2.
+    count:
+        Number of training edge sets (``N_n`` in eq. 5.1).
+    """
+
+    name: str
+    mean: np.ndarray
+    max_distance: float
+    count: int
+    covariance: np.ndarray | None = None
+    inv_covariance: np.ndarray | None = None
+
+
+@dataclass
+class VProfileModel:
+    """A complete trained vProfile model.
+
+    Attributes
+    ----------
+    metric:
+        Which distance the model was trained with.
+    clusters:
+        Per-cluster statistics, indexed by cluster id.
+    sa_to_cluster:
+        The cluster-SA lookup table: valid SA -> cluster index.
+    """
+
+    metric: Metric
+    clusters: list[ClusterProfile]
+    sa_to_cluster: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise TrainingError("a model needs at least one cluster")
+        k = len(self.clusters)
+        for sa, cluster in self.sa_to_cluster.items():
+            if not 0 <= cluster < k:
+                raise TrainingError(
+                    f"SA 0x{sa:02X} maps to cluster {cluster}, but the model "
+                    f"has {k} clusters"
+                )
+        dims = {c.mean.shape for c in self.clusters}
+        if len(dims) != 1:
+            raise TrainingError(f"inconsistent edge-set dimensions: {dims}")
+        if self.metric is Metric.MAHALANOBIS:
+            missing = [c.name for c in self.clusters if c.inv_covariance is None]
+            if missing:
+                raise TrainingError(
+                    f"Mahalanobis model lacks inverse covariances for {missing}"
+                )
+
+    @property
+    def dim(self) -> int:
+        """Edge-set dimensionality."""
+        return int(self.clusters[0].mean.shape[0])
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def known_sas(self) -> set[int]:
+        """All source addresses the model considers legitimate."""
+        return set(self.sa_to_cluster)
+
+    def cluster_of_sa(self, sa: int) -> int | None:
+        """The expected cluster for a claimed SA, or None if unknown."""
+        return self.sa_to_cluster.get(sa)
+
+    def cluster_named(self, name: str) -> ClusterProfile:
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise DetectionError(f"no cluster named {name!r}")
+
+    @property
+    def means(self) -> np.ndarray:
+        """Stacked cluster means, shape (k, d)."""
+        return np.stack([c.mean for c in self.clusters])
+
+    @property
+    def max_distances(self) -> np.ndarray:
+        """Per-cluster thresholds, shape (k,)."""
+        return np.array([c.max_distance for c in self.clusters])
+
+    @property
+    def inv_covariances(self) -> np.ndarray:
+        """Stacked inverse covariances, shape (k, d, d)."""
+        if self.metric is not Metric.MAHALANOBIS:
+            raise DetectionError("Euclidean models have no covariances")
+        return np.stack([c.inv_covariance for c in self.clusters])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialise to an ``.npz`` archive."""
+        path = Path(path)
+        arrays: dict[str, np.ndarray] = {
+            "metric": np.array(self.metric.value),
+            "names": np.array([c.name for c in self.clusters]),
+            "means": self.means,
+            "max_distances": self.max_distances,
+            "counts": np.array([c.count for c in self.clusters]),
+            "sa_keys": np.array(sorted(self.sa_to_cluster), dtype=np.int64),
+            "sa_values": np.array(
+                [self.sa_to_cluster[sa] for sa in sorted(self.sa_to_cluster)],
+                dtype=np.int64,
+            ),
+        }
+        if self.metric is Metric.MAHALANOBIS:
+            arrays["covariances"] = np.stack([c.covariance for c in self.clusters])
+            arrays["inv_covariances"] = self.inv_covariances
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VProfileModel":
+        """Load a model previously stored with :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            metric = Metric(str(archive["metric"]))
+            names = [str(n) for n in archive["names"]]
+            means = archive["means"]
+            max_distances = archive["max_distances"]
+            counts = archive["counts"]
+            covs = archive["covariances"] if "covariances" in archive else None
+            inv_covs = archive["inv_covariances"] if "inv_covariances" in archive else None
+            sa_map = {
+                int(k): int(v)
+                for k, v in zip(archive["sa_keys"], archive["sa_values"])
+            }
+        clusters = [
+            ClusterProfile(
+                name=names[i],
+                mean=means[i],
+                max_distance=float(max_distances[i]),
+                count=int(counts[i]),
+                covariance=None if covs is None else covs[i],
+                inv_covariance=None if inv_covs is None else inv_covs[i],
+            )
+            for i in range(len(names))
+        ]
+        return cls(metric=metric, clusters=clusters, sa_to_cluster=sa_map)

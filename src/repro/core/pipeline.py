@@ -1,0 +1,154 @@
+"""End-to-end vProfile pipeline: traces in, verdicts out.
+
+Glues the three operational stages of Section 3.2 together for users who
+want a ready-made IDS component:
+
+* **Preprocessing** — edge-set extraction from raw voltage traces;
+* **Training** — fitting the cluster model from a training capture;
+* **Detection** — classifying live traces, optionally feeding verified
+  legitimate messages back into the model via the Algorithm 4 online
+  updater.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.acquisition.trace import VoltageTrace
+from repro.core.detection import DetectionResult, Detector, Verdict
+from repro.core.edge_extraction import (
+    ExtractionConfig,
+    extract_edge_set,
+    extract_many,
+)
+from repro.core.model import Metric, VProfileModel
+from repro.core.online_update import OnlineUpdater
+from repro.core.training import TrainingData, train_model
+from repro.errors import DetectionError
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of a :class:`VProfilePipeline`.
+
+    Attributes
+    ----------
+    metric:
+        Distance metric for training and detection.
+    margin:
+        Detection margin added to the per-cluster thresholds.
+    sa_clusters:
+        Optional SA -> ECU lookup table (the "fortunate" training path).
+    online_update:
+        When True, messages classified OK are folded back into the model
+        (Algorithm 4).  Requires the Mahalanobis metric.
+    retrain_bound:
+        Upper bound ``M`` on per-cluster counts for the online updater.
+    shrinkage:
+        Covariance shrinkage for training (0 matches the paper).
+    """
+
+    metric: Metric | str = Metric.MAHALANOBIS
+    margin: float = 0.0
+    sa_clusters: Mapping[int, str] | None = None
+    online_update: bool = False
+    retrain_bound: int | None = None
+    shrinkage: float = 0.0
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated while the pipeline runs."""
+
+    processed: int = 0
+    anomalies: int = 0
+    updated: int = 0
+    reasons: dict[str, int] = field(default_factory=dict)
+
+
+class VProfilePipeline:
+    """A trainable, streaming sender-identification pipeline."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        self.extraction: ExtractionConfig | None = None
+        self.model: VProfileModel | None = None
+        self._detector: Detector | None = None
+        self._updater: OnlineUpdater | None = None
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        traces: Sequence[VoltageTrace],
+        extraction: ExtractionConfig | None = None,
+    ) -> VProfileModel:
+        """Run preprocessing + Algorithm 2 over a training capture."""
+        if not traces:
+            raise DetectionError("cannot train on an empty capture")
+        self.extraction = extraction or ExtractionConfig.for_trace(traces[0])
+        edge_sets = extract_many(traces, self.extraction)
+        self.model = train_model(
+            TrainingData.from_edge_sets(edge_sets),
+            metric=self.config.metric,
+            sa_clusters=self.config.sa_clusters,
+            shrinkage=self.config.shrinkage,
+        )
+        self._detector = Detector(self.model, margin=self.config.margin)
+        self._updater = None
+        if self.config.online_update:
+            self._updater = OnlineUpdater(self.model, self.config.retrain_bound)
+        return self.model
+
+    def load_model(
+        self, model: VProfileModel, extraction: ExtractionConfig
+    ) -> None:
+        """Adopt a pre-trained model instead of training."""
+        self.model = model
+        self.extraction = extraction
+        self._detector = Detector(model, margin=self.config.margin)
+        self._updater = (
+            OnlineUpdater(model, self.config.retrain_bound)
+            if self.config.online_update
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        return self._detector is not None
+
+    def process(self, trace: VoltageTrace) -> DetectionResult:
+        """Classify one trace, updating counters (and the model if
+        online updates are enabled)."""
+        if self._detector is None or self.extraction is None:
+            raise DetectionError("pipeline is not trained")
+        edge_set = extract_edge_set(trace, self.extraction)
+        result = self._detector.classify(edge_set)
+        self.stats.processed += 1
+        if result.is_anomaly:
+            self.stats.anomalies += 1
+            reason = result.reason.value if result.reason else "unknown"
+            self.stats.reasons[reason] = self.stats.reasons.get(reason, 0) + 1
+        elif self._updater is not None:
+            report = self._updater.update([edge_set])
+            self.stats.updated += sum(report.updated.values())
+        return result
+
+    def process_stream(
+        self, traces: Iterable[VoltageTrace]
+    ) -> Iterable[DetectionResult]:
+        """Lazily classify a stream of traces."""
+        for trace in traces:
+            yield self.process(trace)
+
+    def anomaly_rate(self) -> float:
+        """Fraction of processed messages flagged anomalous."""
+        if self.stats.processed == 0:
+            return 0.0
+        return self.stats.anomalies / self.stats.processed

@@ -1,0 +1,271 @@
+"""Model training — Algorithm 2 of the paper.
+
+Training consumes the (SA, edge set) pairs produced by preprocessing and
+builds a :class:`~repro.core.model.VProfileModel`:
+
+1. cluster edge sets by the ECU that sent them — either via a supplied
+   SA->ECU lookup table (the "fortunate" branch of Algorithm 2) or by
+   grouping per SA and agglomeratively merging SA groups whose mean edge
+   sets are close (ClusterByDist);
+2. compute each cluster's mean (and, for Mahalanobis, covariance and its
+   inverse);
+3. record each cluster's maximum training distance from its mean — the
+   detection threshold.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.distances import (
+    euclidean_distance,
+    euclidean_distances,
+    invert_covariance,
+    mahalanobis_distances,
+)
+from repro.core.edge_extraction import ExtractedEdgeSet
+from repro.core.model import ClusterProfile, Metric, VProfileModel
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class TrainingData:
+    """Edge sets with their claimed source addresses, in array form."""
+
+    vectors: np.ndarray  # (n, d)
+    source_addresses: np.ndarray  # (n,)
+
+    def __post_init__(self) -> None:
+        vectors = np.atleast_2d(np.asarray(self.vectors, dtype=float))
+        sas = np.asarray(self.source_addresses, dtype=np.int64)
+        if vectors.shape[0] != sas.shape[0]:
+            raise TrainingError(
+                f"{vectors.shape[0]} edge sets but {sas.shape[0]} SAs"
+            )
+        if vectors.shape[0] == 0:
+            raise TrainingError("no training edge sets supplied")
+        object.__setattr__(self, "vectors", vectors)
+        object.__setattr__(self, "source_addresses", sas)
+
+    @classmethod
+    def from_edge_sets(cls, edge_sets: Sequence[ExtractedEdgeSet]) -> "TrainingData":
+        """Stack extracted edge sets into contiguous arrays."""
+        if not edge_sets:
+            raise TrainingError("no training edge sets supplied")
+        return cls(
+            vectors=np.stack([e.vector for e in edge_sets]),
+            source_addresses=np.array(
+                [e.source_address for e in edge_sets], dtype=np.int64
+            ),
+        )
+
+
+def train_model(
+    data: TrainingData | Sequence[ExtractedEdgeSet],
+    *,
+    metric: Metric | str = Metric.MAHALANOBIS,
+    sa_clusters: Mapping[int, str] | None = None,
+    cluster_distance_threshold: float | None = None,
+    shrinkage: float = 0.0,
+    min_cluster_size: int = 2,
+) -> VProfileModel:
+    """Algorithm 2: train a vProfile model.
+
+    Parameters
+    ----------
+    data:
+        Training edge sets (either a :class:`TrainingData` or raw
+        extraction results).
+    metric:
+        Euclidean or Mahalanobis.
+    sa_clusters:
+        The "fortunate" lookup table: SA -> ECU name.  When omitted,
+        clusters are discovered by pairwise distance between SA-group
+        means (ClusterByDist).
+    cluster_distance_threshold:
+        Distance below which two SA groups merge during ClusterByDist.
+        ``None`` picks the threshold automatically at the largest
+        relative gap in the sorted pairwise distances.
+    shrinkage:
+        Optional covariance regularisation in [0, 1]; 0 matches the
+        paper (and can raise :class:`SingularCovarianceError` on coarse
+        data).
+    min_cluster_size:
+        Minimum edge sets a cluster needs for usable statistics.
+    """
+    if not isinstance(data, TrainingData):
+        data = TrainingData.from_edge_sets(data)
+    metric = Metric(metric)
+
+    sa_groups = _group_by_sa(data)
+    if sa_clusters is not None:
+        cluster_map = _cluster_by_lut(sa_groups, sa_clusters)
+    else:
+        sa_means = {
+            sa: data.vectors[rows].mean(axis=0) for sa, rows in sa_groups.items()
+        }
+        cluster_map = cluster_sas_by_distance(sa_means, cluster_distance_threshold)
+
+    clusters: list[ClusterProfile] = []
+    sa_to_cluster: dict[int, int] = {}
+    for index, (name, sas) in enumerate(sorted(cluster_map.items())):
+        rows = np.concatenate([sa_groups[sa] for sa in sorted(sas)])
+        points = data.vectors[rows]
+        if points.shape[0] < min_cluster_size:
+            raise TrainingError(
+                f"cluster {name!r} has only {points.shape[0]} edge sets "
+                f"(minimum {min_cluster_size})"
+            )
+        clusters.append(_fit_cluster(name, points, metric, shrinkage))
+        for sa in sas:
+            sa_to_cluster[sa] = index
+    return VProfileModel(metric=metric, clusters=clusters, sa_to_cluster=sa_to_cluster)
+
+
+def _fit_cluster(
+    name: str, points: np.ndarray, metric: Metric, shrinkage: float
+) -> ClusterProfile:
+    """Fit the statistics of one cluster (GetMeans + CalcDistance max)."""
+    mean = points.mean(axis=0)
+    if metric is Metric.MAHALANOBIS:
+        centered = points - mean
+        covariance = centered.T @ centered / points.shape[0]
+        inv_covariance = invert_covariance(covariance, shrinkage=shrinkage)
+        distances = mahalanobis_distances(points, mean, inv_covariance)
+    else:
+        covariance = None
+        inv_covariance = None
+        distances = euclidean_distances(points, mean)
+    return ClusterProfile(
+        name=name,
+        mean=mean,
+        max_distance=float(distances.max()),
+        count=int(points.shape[0]),
+        covariance=covariance,
+        inv_covariance=inv_covariance,
+    )
+
+
+def _group_by_sa(data: TrainingData) -> dict[int, np.ndarray]:
+    """GroupBySA: SA -> row indices into ``data.vectors``."""
+    groups: dict[int, list[int]] = defaultdict(list)
+    for row, sa in enumerate(data.source_addresses):
+        groups[int(sa)].append(row)
+    return {sa: np.array(rows) for sa, rows in groups.items()}
+
+
+def _cluster_by_lut(
+    sa_groups: Mapping[int, np.ndarray], sa_clusters: Mapping[int, str]
+) -> dict[str, list[int]]:
+    """ClusterByLut: apply a supplied SA -> ECU database."""
+    unknown = sorted(set(sa_groups) - set(sa_clusters))
+    if unknown:
+        listing = ", ".join(f"0x{sa:02X}" for sa in unknown)
+        raise TrainingError(
+            f"training data contains SAs absent from the lookup table: {listing}"
+        )
+    clusters: dict[str, list[int]] = defaultdict(list)
+    for sa in sa_groups:
+        clusters[sa_clusters[sa]].append(sa)
+    return dict(clusters)
+
+
+def cluster_sas_by_distance(
+    sa_means: Mapping[int, np.ndarray], threshold: float | None = None
+) -> dict[str, list[int]]:
+    """ClusterByDist: merge SA groups whose means are close.
+
+    Single-linkage agglomerative clustering over the Euclidean distances
+    between per-SA mean edge sets.  With ``threshold=None`` the cut is
+    placed at the largest relative gap in the sorted pairwise distances —
+    intra-ECU SA distances are tiny (same transceiver) while inter-ECU
+    distances are orders of magnitude larger, so the gap is unambiguous
+    on real profiles.
+
+    Returns
+    -------
+    dict mapping generated cluster names (``"cluster0"`` ...) to the SAs
+    they contain, ordered by smallest SA.
+    """
+    sas = sorted(sa_means)
+    if not sas:
+        raise TrainingError("no SA groups to cluster")
+    if len(sas) == 1:
+        return {"cluster0": [sas[0]]}
+
+    pairs: list[tuple[float, int, int]] = []
+    for i, sa_a in enumerate(sas):
+        for sa_b in sas[i + 1 :]:
+            pairs.append(
+                (euclidean_distance(sa_means[sa_a], sa_means[sa_b]), sa_a, sa_b)
+            )
+    pairs.sort()
+
+    if threshold is None:
+        threshold = _gap_threshold([d for d, _, _ in pairs])
+
+    parent = {sa: sa for sa in sas}
+
+    def find(sa: int) -> int:
+        while parent[sa] != sa:
+            parent[sa] = parent[parent[sa]]
+            sa = parent[sa]
+        return sa
+
+    for distance, sa_a, sa_b in pairs:
+        if distance < threshold:
+            parent[find(sa_a)] = find(sa_b)
+
+    roots: dict[int, list[int]] = defaultdict(list)
+    for sa in sas:
+        roots[find(sa)].append(sa)
+    ordered = sorted(roots.values(), key=lambda group: group[0])
+    return {f"cluster{i}": group for i, group in enumerate(ordered)}
+
+
+def _gap_threshold(sorted_distances: Sequence[float]) -> float:
+    """Place the merge threshold in the largest relative gap.
+
+    Falls back to "merge nothing" when every distance is comparable
+    (no multi-SA ECUs present).
+    """
+    positive = [d for d in sorted_distances if d > 0]
+    if not positive:
+        return float("inf")  # all identical: one cluster
+    best_ratio = 1.0
+    best_cut = None
+    for lo, hi in zip(positive, positive[1:]):
+        ratio = hi / lo
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_cut = float(np.sqrt(lo * hi))
+    if best_cut is None or best_ratio < 3.0:
+        # No convincing gap: treat every SA as its own ECU.
+        return 0.0
+    return best_cut
+
+
+def train_from_grouped(
+    data: TrainingData,
+    *,
+    metric: Metric | str = Metric.MAHALANOBIS,
+    cluster_distance_threshold: float | None = None,
+    shrinkage: float = 0.0,
+) -> VProfileModel:
+    """Train without a LUT: the unfortunate branch of Algorithm 2.
+
+    Groups by SA, computes SA means, clusters them by distance, then fits
+    the model.  Equivalent to ``train_model(..., sa_clusters=None)`` and
+    kept as an explicit entry point mirroring the paper's pseudocode.
+    """
+    return train_model(
+        data,
+        metric=metric,
+        sa_clusters=None,
+        cluster_distance_threshold=cluster_distance_threshold,
+        shrinkage=shrinkage,
+    )

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared by all :mod:`repro` subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CanError(ReproError):
+    """A CAN frame or bitstream violates the protocol."""
+
+
+class CanEncodingError(CanError):
+    """A frame field is out of range or otherwise unencodable."""
+
+
+class CanDecodingError(CanError):
+    """A bitstream cannot be decoded into a valid frame."""
+
+
+class StuffingError(CanDecodingError):
+    """A stuffed bitstream contains an illegal run of identical bits."""
+
+
+class CrcError(CanDecodingError):
+    """The CRC-15 of a received frame does not match its contents."""
+
+
+class WaveformError(ReproError):
+    """Analog waveform synthesis was asked for something impossible."""
+
+
+class AcquisitionError(ReproError):
+    """An ADC/sampling parameter is invalid."""
+
+
+class ExtractionError(ReproError):
+    """Edge-set extraction failed (Algorithm 1 ran off the trace)."""
+
+
+class TrainingError(ReproError):
+    """Model training (Algorithm 2) cannot proceed."""
+
+
+class SingularCovarianceError(TrainingError):
+    """A cluster covariance matrix is singular.
+
+    The paper reports exactly this failure when the capture resolution is
+    reduced to 10 bits or below (Sections 4.3.1-4.3.2): quantisation
+    collapses the per-sample variance and the covariance matrix loses full
+    rank, making the Mahalanobis metric undefined.
+    """
+
+
+class DetectionError(ReproError):
+    """Detection (Algorithm 3) was invoked with an unusable model."""
+
+
+class DatasetError(ReproError):
+    """A vehicle dataset request is inconsistent."""

@@ -1,0 +1,104 @@
+"""Evaluation harness: every table and figure of the paper's Chapter 4/5."""
+
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.enhancements import (
+    ClusterStats,
+    EnhancementComparison,
+    multi_edge_enhancement,
+    threshold_enhancement,
+)
+from repro.eval.environment import (
+    VOLTAGE_EVENTS,
+    DriftPoint,
+    TemperatureResult,
+    VoltageResult,
+    temperature_experiment,
+    voltage_experiment,
+)
+from repro.eval.feasibility import (
+    FeasibilityReport,
+    analyze_vprofile,
+    format_feasibility,
+    related_work_budgets,
+)
+from repro.eval.figures import (
+    DistanceComparison,
+    EdgeSetOverlay,
+    SamplingEffects,
+    StdDevProfile,
+    distance_comparison,
+    edge_set_overlay,
+    sample_stddev_profile,
+    sampling_effects,
+    vehicle_voltage_profiles,
+)
+from repro.eval.margin import (
+    MarginChoice,
+    margin_removing_false_positives,
+    tune_margin,
+)
+from repro.eval.plotting import ascii_bars, ascii_chart, drift_bars
+from repro.eval.reporting import (
+    format_confusion,
+    format_distance_comparison,
+    format_drift,
+    format_enhancement,
+    format_suite,
+    format_sweep,
+    format_temperature,
+    format_voltage,
+)
+from repro.eval.suite import (
+    DetectionSuiteResult,
+    SuiteInputs,
+    TestOutcome,
+    run_detection_suite,
+)
+from repro.eval.sweeps import SweepCell, rate_resolution_sweep
+
+__all__ = [
+    "ConfusionMatrix",
+    "FeasibilityReport",
+    "analyze_vprofile",
+    "format_feasibility",
+    "related_work_budgets",
+    "ClusterStats",
+    "EnhancementComparison",
+    "multi_edge_enhancement",
+    "threshold_enhancement",
+    "VOLTAGE_EVENTS",
+    "DriftPoint",
+    "TemperatureResult",
+    "VoltageResult",
+    "temperature_experiment",
+    "voltage_experiment",
+    "DistanceComparison",
+    "EdgeSetOverlay",
+    "SamplingEffects",
+    "StdDevProfile",
+    "distance_comparison",
+    "edge_set_overlay",
+    "sample_stddev_profile",
+    "sampling_effects",
+    "vehicle_voltage_profiles",
+    "MarginChoice",
+    "margin_removing_false_positives",
+    "tune_margin",
+    "ascii_bars",
+    "ascii_chart",
+    "drift_bars",
+    "format_confusion",
+    "format_distance_comparison",
+    "format_drift",
+    "format_enhancement",
+    "format_suite",
+    "format_sweep",
+    "format_temperature",
+    "format_voltage",
+    "DetectionSuiteResult",
+    "SuiteInputs",
+    "TestOutcome",
+    "run_detection_suite",
+    "SweepCell",
+    "rate_resolution_sweep",
+]

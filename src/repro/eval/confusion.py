@@ -1,0 +1,126 @@
+"""Confusion matrices and the scores the paper reports.
+
+Convention throughout (matching the paper's tables): the *positive*
+class is "anomaly".  A false positive is a legitimate message flagged as
+an attack; a false negative is an undetected attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary anomaly/normal confusion counts.
+
+    Attributes
+    ----------
+    true_positive:
+        Attacks flagged as anomalies.
+    false_negative:
+        Attacks classified as normal (missed).
+    false_positive:
+        Legitimate messages flagged as anomalies.
+    true_negative:
+        Legitimate messages classified as normal.
+    """
+
+    true_positive: int
+    false_negative: int
+    false_positive: int
+    true_negative: int
+
+    def __post_init__(self) -> None:
+        for name in ("true_positive", "false_negative", "false_positive", "true_negative"):
+            if getattr(self, name) < 0:
+                raise ReproError(f"{name} must be non-negative")
+
+    @classmethod
+    def from_predictions(
+        cls, actual_attack: np.ndarray, predicted_anomaly: np.ndarray
+    ) -> "ConfusionMatrix":
+        """Build from boolean ground-truth / prediction vectors."""
+        actual = np.asarray(actual_attack, dtype=bool)
+        predicted = np.asarray(predicted_anomaly, dtype=bool)
+        if actual.shape != predicted.shape:
+            raise ReproError("actual and predicted vectors disagree in shape")
+        return cls(
+            true_positive=int(np.sum(actual & predicted)),
+            false_negative=int(np.sum(actual & ~predicted)),
+            false_positive=int(np.sum(~actual & predicted)),
+            true_negative=int(np.sum(~actual & ~predicted)),
+        )
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_negative
+            + self.false_positive
+            + self.true_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total — the paper's false-positive-test score."""
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was flagged (no false alarms)."""
+        flagged = self.true_positive + self.false_positive
+        if flagged == 0:
+            return 1.0 if self.false_negative == 0 else 0.0
+        return self.true_positive / flagged
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there were no attacks to find."""
+        attacks = self.true_positive + self.false_negative
+        if attacks == 0:
+            return 1.0
+        return self.true_positive / attacks
+
+    @property
+    def f_score(self) -> float:
+        """Harmonic mean of precision and recall (the paper's F-score)."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    @property
+    def false_positive_rate(self) -> float:
+        negatives = self.false_positive + self.true_negative
+        if negatives == 0:
+            return 0.0
+        return self.false_positive / negatives
+
+    def as_table(self) -> str:
+        """Render in the paper's layout (rows actual, columns predicted)."""
+        width = max(len(str(v)) for v in (
+            self.true_positive, self.false_negative, self.false_positive, self.true_negative
+        ))
+        width = max(width, len("Anomaly"))
+        header = f"{'':>8} | {'Anomaly':>{width}} | {'Normal':>{width}}"
+        rule = "-" * len(header)
+        row_a = f"{'Anomaly':>8} | {self.true_positive:>{width}} | {self.false_negative:>{width}}"
+        row_n = f"{'Normal':>8} | {self.false_positive:>{width}} | {self.true_negative:>{width}}"
+        return "\n".join(
+            [f"{'':>8}   {'Predicted':^{2 * width + 3}}", header, rule, row_a, row_n]
+        )
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            true_positive=self.true_positive + other.true_positive,
+            false_negative=self.false_negative + other.false_negative,
+            false_positive=self.false_positive + other.false_positive,
+            true_negative=self.true_negative + other.true_negative,
+        )

@@ -1,0 +1,195 @@
+"""Embedded-feasibility analysis of a trained vProfile model.
+
+The paper's pitch (Sections 1.3 / 6): vProfile's single-feature design
+— low sampling rate, one edge set, one distance per cluster — gives it
+"a higher potential to be implemented on less expensive embedded
+hardware" than the feature-pipeline competitors.  This module makes
+that claim quantitative for a concrete model: per-message arithmetic
+cost, model memory footprint, and required ADC throughput, plus the
+same accounting for the reimplemented baselines.
+
+The cost model counts multiply-accumulate operations (MACs), the
+currency of small DSPs/MCUs; comparisons against wall-clock
+measurements live in ``benchmarks/test_latency.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.edge_extraction import ExtractionConfig
+from repro.core.model import Metric, VProfileModel
+
+BYTES_PER_FLOAT = 8
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Per-message resource budget of one detector configuration.
+
+    Attributes
+    ----------
+    name:
+        Configuration label.
+    samples_processed:
+        ADC samples the detector must touch per message.
+    macs_per_message:
+        Multiply-accumulate operations per classified message.
+    model_bytes:
+        Persistent model storage.
+    sample_rate:
+        Required digitizer rate (samples/second).
+    adc_resolution_bits:
+        Required ADC resolution.
+    """
+
+    name: str
+    samples_processed: int
+    macs_per_message: int
+    model_bytes: int
+    sample_rate: float
+    adc_resolution_bits: int
+
+    def macs_per_second(self, messages_per_second: float) -> float:
+        """Sustained arithmetic load at a given bus message rate."""
+        return self.macs_per_message * messages_per_second
+
+    def fits_in(self, *, ram_bytes: int, macs_per_s: float, bus_load_msgs: float) -> bool:
+        """Whether a device with the given budget can run this detector."""
+        return (
+            self.model_bytes <= ram_bytes
+            and self.macs_per_second(bus_load_msgs) <= macs_per_s
+        )
+
+
+def analyze_vprofile(
+    model: VProfileModel,
+    extraction: ExtractionConfig,
+    *,
+    sample_rate: float,
+    adc_resolution_bits: int,
+    name: str | None = None,
+) -> FeasibilityReport:
+    """Resource budget of a trained vProfile model.
+
+    * samples: Algorithm 1 walks ~45 bits of the frame (bit-centre reads
+      plus the edge windows);
+    * MACs: the Mahalanobis distance is d^2 + d MACs per cluster
+      (one mat-vec plus one dot product); Euclidean is d per cluster;
+    * memory: cluster means (k x d) plus, for Mahalanobis, the inverse
+      covariances (k x d x d) and thresholds.
+    """
+    d = model.dim
+    k = model.n_clusters
+    # Bit walking: one sample per bit centre for ~45 stuffed bits, plus
+    # re-centring scans (~bit_width/2 on ~20 transitions) and the two
+    # extraction windows.
+    samples = int(45 + 20 * extraction.bit_width / 2 + 2 * d)
+    if model.metric is Metric.MAHALANOBIS:
+        macs_per_cluster = d * d + d
+        matrix_floats = k * d * d
+    else:
+        macs_per_cluster = d
+        matrix_floats = 0
+    macs = k * macs_per_cluster
+    model_floats = k * d + matrix_floats + 2 * k  # means + thresholds/counts
+    return FeasibilityReport(
+        name=name or f"vProfile/{model.metric.value} (k={k}, d={d})",
+        samples_processed=samples,
+        macs_per_message=int(macs),
+        model_bytes=int(model_floats * BYTES_PER_FLOAT),
+        sample_rate=sample_rate,
+        adc_resolution_bits=adc_resolution_bits,
+    )
+
+
+def analyze_baseline(
+    name: str,
+    *,
+    samples_processed: int,
+    features: int,
+    classifier_macs: int,
+    model_floats: int,
+    sample_rate: float,
+    adc_resolution_bits: int,
+    macs_per_feature: int = 6,
+) -> FeasibilityReport:
+    """Generic budget for a feature-pipeline baseline.
+
+    Feature extraction is charged ``macs_per_feature`` per feature per
+    processed sample (statistics like std/skew/kurtosis sweep the
+    section several times).
+    """
+    macs = samples_processed * macs_per_feature + features * classifier_macs
+    return FeasibilityReport(
+        name=name,
+        samples_processed=samples_processed,
+        macs_per_message=int(macs),
+        model_bytes=int(model_floats * BYTES_PER_FLOAT),
+        sample_rate=sample_rate,
+        adc_resolution_bits=adc_resolution_bits,
+    )
+
+
+def related_work_budgets(frame_samples: int = 2400) -> list[FeasibilityReport]:
+    """Budgets for the reimplemented baselines, per Section 1.2.1 specs.
+
+    ``frame_samples`` is the full-frame sample count the feature
+    pipelines must process (vProfile stops at ~bit 45).
+    """
+    return [
+        analyze_baseline(
+            "Murvay&Groza (MSE, 2 GS/s)",
+            samples_processed=frame_samples * 100,  # 2 GS/s vs 20 MS/s
+            features=0,
+            classifier_macs=0,
+            model_floats=frame_samples * 100,
+            sample_rate=2e9,
+            adc_resolution_bits=12,
+        ),
+        analyze_baseline(
+            "Scission (20 MS/s)",
+            samples_processed=frame_samples,
+            features=36,
+            classifier_macs=36,  # logistic regression dot products
+            model_floats=36 * 8,
+            sample_rate=20e6,
+            adc_resolution_bits=12,
+        ),
+        analyze_baseline(
+            "VoltageIDS (250 MS/s)",
+            samples_processed=frame_samples * 12,
+            features=51,
+            classifier_macs=51,
+            model_floats=51 * 8,
+            sample_rate=250e6,
+            adc_resolution_bits=8,
+        ),
+        analyze_baseline(
+            "SIMPLE (1 MS/s)",
+            samples_processed=frame_samples // 20,
+            features=16,
+            classifier_macs=16 * 16,  # FDA projection + Mahalanobis
+            model_floats=16 * 16 + 16 * 8,
+            sample_rate=1e6,
+            adc_resolution_bits=12,
+        ),
+    ]
+
+
+def format_feasibility(reports: list[FeasibilityReport], bus_load_msgs: float) -> str:
+    """Render a comparison table at a given bus message rate."""
+    lines = [
+        f"=== Embedded feasibility at {bus_load_msgs:.0f} msgs/s ===",
+        f"{'configuration':>34} | {'samples':>8} | {'MACs/msg':>9} | "
+        f"{'model':>9} | {'rate':>8} | {'MMAC/s':>8}",
+    ]
+    for report in reports:
+        lines.append(
+            f"{report.name:>34} | {report.samples_processed:>8} | "
+            f"{report.macs_per_message:>9} | "
+            f"{report.model_bytes / 1024:>7.1f}kB | "
+            f"{report.sample_rate / 1e6:>6g}MS | "
+            f"{report.macs_per_second(bus_load_msgs) / 1e6:>8.2f}"
+        )
+    return "\n".join(lines)

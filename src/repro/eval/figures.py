@@ -1,0 +1,219 @@
+"""Data-series generators for the paper's figures.
+
+Each function returns the plain numeric series a plot would display, so
+benchmarks and examples can print (or plot) them without any plotting
+dependency:
+
+* Figure 2.5  — edge-set overlays of two ECUs (Sterling Acterra);
+* Figure 3.1  — effect of sampling rate / resolution on one edge set;
+* Figure 4.2  — mean voltage profiles of Vehicle A's ECUs;
+* Figure 4.4  — per-sample-index standard deviation of one ECU;
+* Figure 4.5 / Table 4.5 — cluster means, a test edge set, and its
+  Euclidean vs Mahalanobis distances to both clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distances import (
+    euclidean_distance,
+    invert_covariance,
+    mahalanobis_distance,
+)
+from repro.core.edge_extraction import ExtractionConfig, extract_many
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.errors import DatasetError
+from repro.vehicles.dataset import capture_session
+from repro.vehicles.profiles import VehicleConfig
+
+
+@dataclass(frozen=True)
+class EdgeSetOverlay:
+    """Figure 2.5: stacked edge sets per ECU."""
+
+    vectors_by_ecu: dict[str, np.ndarray]  # name -> (n, d)
+
+    def ecu_names(self) -> list[str]:
+        return sorted(self.vectors_by_ecu)
+
+
+def edge_set_overlay(
+    vehicle: VehicleConfig,
+    *,
+    traces_per_ecu: int = 200,
+    duration_s: float = 8.0,
+    seed: int = 0,
+) -> EdgeSetOverlay:
+    """Collect ~``traces_per_ecu`` edge sets per ECU (Figure 2.5)."""
+    session = capture_session(vehicle, duration_s, seed=seed)
+    edge_sets = extract_many(session.traces)
+    grouped: dict[str, list[np.ndarray]] = {}
+    for edge_set in edge_sets:
+        sender = edge_set.metadata["sender"]
+        bucket = grouped.setdefault(sender, [])
+        if len(bucket) < traces_per_ecu:
+            bucket.append(edge_set.vector)
+    missing = [name for name, rows in grouped.items() if len(rows) < traces_per_ecu // 2]
+    if missing:
+        raise DatasetError(
+            f"capture too short for {traces_per_ecu} traces from {missing}"
+        )
+    return EdgeSetOverlay(
+        vectors_by_ecu={name: np.stack(rows) for name, rows in grouped.items()}
+    )
+
+
+@dataclass(frozen=True)
+class SamplingEffects:
+    """Figure 3.1: one edge set rendered at reduced rates / resolutions."""
+
+    by_rate: dict[float, np.ndarray]        # sample rate -> edge set
+    by_resolution: dict[int, np.ndarray]    # bits -> edge set (native rate)
+
+
+def sampling_effects(
+    vehicle: VehicleConfig,
+    *,
+    rate_divisors: tuple[int, ...] = (1, 2, 4, 8),
+    resolutions: tuple[int, ...] = (16, 12, 8, 6, 4),
+    seed: int = 0,
+) -> SamplingEffects:
+    """Downsample / requantise one message's edge set (Figure 3.1)."""
+    session = capture_session(vehicle, 0.2, seed=seed)
+    trace = session.traces[0]
+    native_bits = trace.resolution_bits
+    by_rate: dict[float, np.ndarray] = {}
+    for divisor in rate_divisors:
+        reduced = trace.downsampled(divisor)
+        config = ExtractionConfig.for_trace(reduced)
+        by_rate[reduced.sample_rate] = extract_many([reduced], config)[0].vector
+    by_resolution: dict[int, np.ndarray] = {}
+    for bits in resolutions:
+        if bits > native_bits:
+            continue
+        reduced = trace.at_resolution(bits) if bits < native_bits else trace
+        config = ExtractionConfig.for_trace(reduced)
+        by_resolution[bits] = extract_many([reduced], config)[0].vector
+    return SamplingEffects(by_rate=by_rate, by_resolution=by_resolution)
+
+
+def vehicle_voltage_profiles(
+    vehicle: VehicleConfig,
+    *,
+    duration_s: float = 5.0,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Figure 4.2: each ECU's mean edge-set waveform."""
+    session = capture_session(vehicle, duration_s, seed=seed)
+    edge_sets = extract_many(session.traces)
+    grouped: dict[str, list[np.ndarray]] = {}
+    for edge_set in edge_sets:
+        grouped.setdefault(edge_set.metadata["sender"], []).append(edge_set.vector)
+    return {name: np.stack(rows).mean(axis=0) for name, rows in sorted(grouped.items())}
+
+
+@dataclass(frozen=True)
+class StdDevProfile:
+    """Figure 4.4: per-sample-index standard deviation for one ECU."""
+
+    ecu: str
+    per_index_std: np.ndarray
+    edge_indices: tuple[int, ...]  # the "dashed vertical line" positions
+
+    @property
+    def edge_to_steady_ratio(self) -> float:
+        """How much noisier the edge samples are than the quietest ones."""
+        edge = self.per_index_std[list(self.edge_indices)].mean()
+        steady = np.partition(self.per_index_std, 4)[:4].mean()
+        return float(edge / steady)
+
+
+def sample_stddev_profile(
+    vehicle: VehicleConfig,
+    ecu: str = "ECU0",
+    *,
+    duration_s: float = 5.0,
+    seed: int = 0,
+    n_edge_indices: int = 4,
+) -> StdDevProfile:
+    """Per-sample std of one ECU's edge sets (Figure 4.4).
+
+    The highest-variance indices are the threshold-crossing samples —
+    the paper's motivation for moving to a variance-aware metric.
+    """
+    session = capture_session(vehicle, duration_s, seed=seed)
+    edge_sets = extract_many(session.traces)
+    rows = [e.vector for e in edge_sets if e.metadata["sender"] == ecu]
+    if len(rows) < 10:
+        raise DatasetError(f"not enough messages from {ecu!r} in the capture")
+    vectors = np.stack(rows)
+    per_index_std = vectors.std(axis=0, ddof=0)
+    edge_indices = tuple(
+        int(i) for i in np.argsort(per_index_std)[-n_edge_indices:][::-1]
+    )
+    return StdDevProfile(ecu=ecu, per_index_std=per_index_std, edge_indices=edge_indices)
+
+
+@dataclass(frozen=True)
+class DistanceComparison:
+    """Table 4.5 / Figure 4.5: metric quotients on one test edge set."""
+
+    cluster_means: dict[str, np.ndarray]
+    test_vector: np.ndarray
+    test_ecu: str
+    euclidean: dict[str, float]
+    mahalanobis: dict[str, float]
+
+    def quotient(self, metric: str) -> float:
+        """Far-cluster distance over own-cluster distance."""
+        table = self.euclidean if metric == "euclidean" else self.mahalanobis
+        own = table[self.test_ecu]
+        other = max(v for k, v in table.items() if k != self.test_ecu)
+        return other / own
+
+
+def distance_comparison(
+    vehicle: VehicleConfig,
+    *,
+    test_ecu: str = "ECU0",
+    duration_s: float = 8.0,
+    seed: int = 0,
+) -> DistanceComparison:
+    """Compare Euclidean vs Mahalanobis on a held-out edge set.
+
+    Reproduces Table 4.5: both metrics pick the right cluster, but the
+    Mahalanobis quotient between wrong- and right-cluster distances is
+    an order of magnitude larger than the Euclidean one.
+    """
+    session = capture_session(vehicle, duration_s, seed=seed)
+    extraction = ExtractionConfig.for_trace(session.traces[0])
+    edge_sets = extract_many(session.traces, extraction)
+    holdout_index = next(
+        i for i, e in enumerate(edge_sets) if e.metadata["sender"] == test_ecu
+    )
+    holdout = edge_sets.pop(holdout_index)
+    model = train_model(
+        TrainingData.from_edge_sets(edge_sets),
+        metric=Metric.MAHALANOBIS,
+        sa_clusters=vehicle.sa_clusters,
+    )
+    euclidean: dict[str, float] = {}
+    mahalanobis: dict[str, float] = {}
+    means: dict[str, np.ndarray] = {}
+    for cluster in model.clusters:
+        means[cluster.name] = cluster.mean
+        euclidean[cluster.name] = euclidean_distance(holdout.vector, cluster.mean)
+        mahalanobis[cluster.name] = mahalanobis_distance(
+            holdout.vector, cluster.mean, cluster.inv_covariance
+        )
+    return DistanceComparison(
+        cluster_means=means,
+        test_vector=holdout.vector,
+        test_ecu=test_ecu,
+        euclidean=euclidean,
+        mahalanobis=mahalanobis,
+    )

@@ -1,0 +1,125 @@
+"""Dependency-free ASCII rendering of the paper's figure series.
+
+The evaluation harness runs in terminals and CI logs, so the figure
+benches render their series as text: line charts for waveforms (Figures
+2.5/4.2/4.4) and bar charts for the drift plots (Figures 4.6-4.8).
+Nothing here affects the numeric results — it is presentation only.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Glyphs used to distinguish overlaid series.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]] | Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        A single sequence, or a mapping of label -> sequence for
+        overlays (each series gets its own glyph).
+    width / height:
+        Plot area size in characters.
+    title:
+        Optional headline.
+    """
+    if not isinstance(series, Mapping):
+        series = {"": series}
+    arrays = {name: np.asarray(values, dtype=float) for name, values in series.items()}
+    if not arrays or any(a.size == 0 for a in arrays.values()):
+        raise ReproError("cannot chart empty series")
+    if width < 8 or height < 3:
+        raise ReproError("chart must be at least 8x3 characters")
+
+    lo = min(float(a.min()) for a in arrays.values())
+    hi = max(float(a.max()) for a in arrays.values())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(arrays.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        xs = np.linspace(0, width - 1, values.size)
+        ys = (values - lo) / (hi - lo) * (height - 1)
+        for x, y in zip(xs, ys):
+            row = height - 1 - int(round(y))
+            grid[row][int(round(x))] = glyph
+
+    label_width = max(len(f"{hi:.4g}"), len(f"{lo:.4g}"))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:.4g}"
+        elif row_index == height - 1:
+            label = f"{lo:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(arrays)
+        if name
+    )
+    if legend:
+        lines.append(" " * label_width + "   " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Negative values extend left of the axis, positives right — matching
+    the percent-delta style of Figures 4.6-4.8.
+    """
+    if not values:
+        raise ReproError("cannot chart an empty mapping")
+    labels = list(values)
+    magnitudes = np.array([float(values[k]) for k in labels])
+    scale = max(float(np.abs(magnitudes).max()), 1e-12)
+    half = max(width // 2, 4)
+    label_width = max(len(str(label)) for label in labels)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, magnitudes):
+        length = int(round(abs(value) / scale * half))
+        if value >= 0:
+            bar = " " * half + "|" + "#" * length + " " * (half - length)
+        else:
+            bar = " " * (half - length) + "#" * length + "|" + " " * half
+        lines.append(f"{label:>{label_width}} {bar} {value:+.2f}{unit}")
+    return "\n".join(lines)
+
+
+def drift_bars(points, condition: str, *, width: int = 50) -> str:
+    """Bar chart of one condition's per-ECU drift (Figures 4.6-4.8)."""
+    selected = {p.ecu: p.percent_delta for p in points if p.condition == condition}
+    if not selected:
+        raise ReproError(f"no drift points for condition {condition!r}")
+    return ascii_bars(
+        selected, width=width, title=f"drift at {condition}", unit="%"
+    )

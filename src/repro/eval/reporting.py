@@ -1,0 +1,165 @@
+"""Plain-text rendering of experiment results in the paper's layouts.
+
+Benchmarks tee these strings to stdout so that each bench run prints the
+same rows/series the corresponding paper table or figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.enhancements import EnhancementComparison
+from repro.eval.environment import DriftPoint, TemperatureResult, VoltageResult
+from repro.eval.figures import DistanceComparison
+from repro.eval.suite import DetectionSuiteResult
+from repro.eval.sweeps import SweepCell
+
+
+def format_suite(result: DetectionSuiteResult) -> str:
+    """Render one of Tables 4.1-4.4."""
+    lines = [
+        f"=== {result.vehicle_name} / {result.metric.value} distance ===",
+        "",
+        f"(a) False positive test  [margin {result.false_positive.margin:.4g}]",
+        result.false_positive.confusion.as_table(),
+        f"    accuracy = {result.false_positive.accuracy:.5f}",
+        "",
+        f"(b) Hijack imitation test  [margin {result.hijack.margin:.4g}]",
+        result.hijack.confusion.as_table(),
+        f"    F-score = {result.hijack.f_score:.5f}",
+        "",
+        f"(c) Foreign device imitation test  [margin {result.foreign.margin:.4g}]",
+        f"    imposter {result.foreign_scenario.imposter} -> victim "
+        f"{result.foreign_scenario.victim} "
+        f"(profile distance {result.foreign_scenario.similarity:.2f})",
+        result.foreign.confusion.as_table(),
+        f"    F-score = {result.foreign.f_score:.5f}",
+    ]
+    if result.foreign.zero_fp_score is not None:
+        lines.append(
+            f"    F-score with all false positives removed = "
+            f"{result.foreign.zero_fp_score:.5f}"
+        )
+    else:
+        lines.append("    no margin removes all false positives")
+    return "\n".join(lines)
+
+
+def format_sweep(cells: Sequence[SweepCell], title: str) -> str:
+    """Render Tables 4.6/4.7: one row per resolution, one column per rate."""
+    rates = sorted({c.sample_rate for c in cells})
+    resolutions = sorted({c.resolution_bits for c in cells}, reverse=True)
+    by_key = {(c.sample_rate, c.resolution_bits): c for c in cells}
+
+    def row(bits: int, field: str) -> str:
+        values = []
+        for rate in rates:
+            cell = by_key.get((rate, bits))
+            if cell is None:
+                values.append("   --  ")
+            elif cell.singular:
+                values.append("  sing.")
+            else:
+                values.append(f"{getattr(cell, field):.5f}")
+        return f"  {bits:>4} bit | " + " | ".join(values)
+
+    header = "          | " + " | ".join(f"{r / 1e6:>5g}M" for r in rates)
+    blocks = [f"=== {title} ==="]
+    for field, label in (
+        ("fp_accuracy", "(a) False positive test accuracies"),
+        ("hijack_f", "(b) Hijack test F-scores"),
+        ("foreign_f", "(c) Foreign device test F-scores"),
+    ):
+        blocks.append(label)
+        blocks.append(header)
+        blocks.extend(row(bits, field) for bits in resolutions)
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def format_drift(points: Iterable[DriftPoint], title: str) -> str:
+    """Render Figures 4.6-4.8 as rows of percent deltas with 99 % CIs."""
+    lines = [f"=== {title} ===", f"{'ECU':>6} {'condition':>14} {'delta %':>9} {'99% CI':>8} {'n':>6}"]
+    for p in points:
+        lines.append(
+            f"{p.ecu:>6} {p.condition:>14} {p.percent_delta:>8.2f}% "
+            f"+/-{p.ci_99:>5.2f} {p.n_messages:>6}"
+        )
+    return "\n".join(lines)
+
+
+def format_temperature(result: TemperatureResult) -> str:
+    """Render Table 4.8 plus the Figure 4.6 series."""
+    lo, hi = result.train_bin
+    parts = [
+        f"=== Temperature experiment (trained on {lo:g}..{hi:g} degC, "
+        f"margin {result.margin:.3g}) ===",
+        result.confusion.as_table(),
+        f"false positives: {result.confusion.false_positive} of "
+        f"{result.confusion.total}",
+        f"after adding 20 degC training data: "
+        f"{result.confusion_with_warm_data.false_positive} false positives",
+        "",
+        format_drift(result.drift, "Figure 4.6: drift vs temperature"),
+    ]
+    return "\n".join(parts)
+
+
+def format_voltage(result: VoltageResult) -> str:
+    """Render Table 4.9 plus the Figure 4.7/4.8 series."""
+    parts = [
+        f"=== High-power vehicle functions (margin {result.margin:.3g}) ===",
+        result.confusion.as_table(),
+        f"false positives: {result.confusion.false_positive} of "
+        f"{result.confusion.total}",
+        "",
+        format_drift(result.event_drift, "Figure 4.7: drift vs power events"),
+        "",
+        format_drift(result.trial_drift, "Figure 4.8: drift across trials"),
+    ]
+    return "\n".join(parts)
+
+
+def format_enhancement(result: EnhancementComparison, title: str) -> str:
+    """Render Tables 5.1/5.2."""
+    lines = [
+        f"=== {title} ===",
+        f"{'ECU':>6} | {'std (' + result.baseline_label + ')':>24} | "
+        f"{'std (' + result.enhanced_label + ')':>24} | "
+        f"{'max dist (base)':>16} | {'max dist (enh)':>15}",
+    ]
+    for base, enhanced in result.paired():
+        lines.append(
+            f"{base.ecu:>6} | {base.std:>24.3f} | {enhanced.std:>24.3f} | "
+            f"{base.max_distance:>16.3f} | {enhanced.max_distance:>15.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_distance_comparison(result: DistanceComparison) -> str:
+    """Render Table 4.5."""
+    names = sorted(result.cluster_means)
+    lines = [
+        "=== Table 4.5: distances from a test edge set of "
+        f"{result.test_ecu} ===",
+        f"{'metric':>12} | " + " | ".join(f"{n:>10}" for n in names) + " | quotient",
+    ]
+    for metric, table in (("Euclidean", result.euclidean), ("Mahalanobis", result.mahalanobis)):
+        row = " | ".join(f"{table[n]:>10.2f}" for n in names)
+        lines.append(
+            f"{metric:>12} | {row} | {result.quotient(metric.lower()):>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_confusion(confusion: ConfusionMatrix, title: str) -> str:
+    """Render a single confusion matrix with its headline scores."""
+    return "\n".join(
+        [
+            f"=== {title} ===",
+            confusion.as_table(),
+            f"accuracy={confusion.accuracy:.5f} precision={confusion.precision:.5f} "
+            f"recall={confusion.recall:.5f} F={confusion.f_score:.5f}",
+        ]
+    )

@@ -1,0 +1,135 @@
+"""Sampling-rate / resolution sweep (paper Section 4.3, Tables 4.6-4.7).
+
+The paper downsamples and bit-reduces the raw captures in software and
+re-runs all three detection experiments per (rate, resolution) cell,
+re-tuning the margin each time.  Below 12-bit resolution the cluster
+covariance matrices go singular and the Mahalanobis metric is undefined
+— we report those cells as singular rather than papering over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.edge_extraction import ExtractionConfig
+from repro.core.model import Metric
+from repro.errors import SingularCovarianceError
+from repro.eval.suite import DetectionSuiteResult, SuiteInputs, run_detection_suite
+from repro.vehicles.dataset import CaptureSession
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """Outcome of the three tests at one (rate, resolution) point.
+
+    ``singular`` is True when training failed with a singular covariance
+    matrix (the paper's <= 10-bit failure mode); the score fields are
+    then ``None``.
+    """
+
+    sample_rate: float
+    resolution_bits: int
+    fp_accuracy: float | None
+    hijack_f: float | None
+    foreign_f: float | None
+    fp_margin: float | None
+    singular: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.sample_rate / 1e6:g} MS/s @ {self.resolution_bits} bit"
+
+
+def rate_resolution_sweep(
+    session: CaptureSession,
+    *,
+    rate_divisors: Sequence[int] = (1, 2, 4, 8),
+    resolutions: Sequence[int] | None = None,
+    metric: Metric | str = Metric.MAHALANOBIS,
+    seed: int = 0,
+    hijack_probability: float = 0.2,
+    train_fraction: float = 0.5,
+) -> list[SweepCell]:
+    """Software-downsample ``session`` over a rate x resolution grid.
+
+    Parameters
+    ----------
+    session:
+        A raw capture at the vehicle's native rate and resolution.
+    rate_divisors:
+        Decimation factors; 1 keeps the native rate.
+    resolutions:
+        Target bit depths (must not exceed the native resolution).
+        Defaults to just the native resolution.
+    metric, seed, hijack_probability, train_fraction:
+        Passed through to the detection suite.
+
+    Returns
+    -------
+    One :class:`SweepCell` per grid point, rates varying fastest.
+    """
+    native_bits = session.traces[0].resolution_bits
+    if resolutions is None:
+        resolutions = (native_bits,)
+    cells: list[SweepCell] = []
+    for bits in resolutions:
+        for divisor in rate_divisors:
+            transformed = [
+                _transform(trace, divisor, native_bits, bits)
+                for trace in session.traces
+            ]
+            reduced = CaptureSession(
+                vehicle=session.vehicle,
+                traces=transformed,
+                environment=session.environment,
+            )
+            rate = session.traces[0].sample_rate / divisor
+            try:
+                inputs = SuiteInputs.from_session(
+                    reduced, train_fraction=train_fraction, seed=seed
+                )
+                result = run_detection_suite(
+                    inputs,
+                    metric,
+                    hijack_probability=hijack_probability,
+                    seed=seed,
+                )
+            except SingularCovarianceError:
+                cells.append(
+                    SweepCell(
+                        sample_rate=rate,
+                        resolution_bits=bits,
+                        fp_accuracy=None,
+                        hijack_f=None,
+                        foreign_f=None,
+                        fp_margin=None,
+                        singular=True,
+                    )
+                )
+                continue
+            cells.append(_cell_from_result(rate, bits, result))
+    return cells
+
+
+def _transform(trace, divisor: int, native_bits: int, bits: int):
+    out = trace
+    if divisor > 1:
+        out = out.downsampled(divisor)
+    if bits < native_bits:
+        out = out.at_resolution(bits)
+    return out
+
+
+def _cell_from_result(
+    rate: float, bits: int, result: DetectionSuiteResult
+) -> SweepCell:
+    return SweepCell(
+        sample_rate=rate,
+        resolution_bits=bits,
+        fp_accuracy=result.false_positive.accuracy,
+        hijack_f=result.hijack.f_score,
+        foreign_f=result.foreign.f_score,
+        fp_margin=result.false_positive.margin,
+        singular=False,
+    )

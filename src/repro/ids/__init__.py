@@ -1,0 +1,24 @@
+"""IDS integration layer: vProfile fused with timing/payload detection.
+
+Implements the deployment the paper recommends in Section 6.1 — vProfile
+covering sender authenticity, complemented by detectors over message
+period and payload (and optionally a CIDS-style clock-skew
+fingerprinter, representing the timing-based related work of Section
+1.2.2).
+"""
+
+from repro.ids.alerts import Alert, AlertLog
+from repro.ids.combined import CombinedIds, CombinedVerdict, ObservedMessage
+from repro.ids.payload import PayloadMonitor
+from repro.ids.timing import ClockSkewIdentifier, PeriodMonitor
+
+__all__ = [
+    "Alert",
+    "AlertLog",
+    "CombinedIds",
+    "CombinedVerdict",
+    "ObservedMessage",
+    "PayloadMonitor",
+    "ClockSkewIdentifier",
+    "PeriodMonitor",
+]

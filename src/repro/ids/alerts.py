@@ -1,0 +1,84 @@
+"""Alert plumbing shared by the IDS detectors.
+
+Every detector in :mod:`repro.ids` reports :class:`Alert` objects into an
+:class:`AlertLog`, which keeps per-detector and per-identifier counters
+so an operator (or a test) can ask "who is alarming, about what, how
+often" without re-scanning the stream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One anomaly report.
+
+    Attributes
+    ----------
+    timestamp_s:
+        Bus time of the offending message.
+    detector:
+        Which detector raised the alert (``"voltage"``, ``"timing"``,
+        ``"payload"``, ``"period"``).
+    can_id:
+        Identifier of the offending message.
+    reason:
+        Short machine-readable cause (e.g. ``"cluster-mismatch"``).
+    detail:
+        Human-readable context.
+    """
+
+    timestamp_s: float
+    detector: str
+    can_id: int
+    reason: str
+    detail: str = ""
+
+
+@dataclass
+class AlertLog:
+    """Accumulates alerts with cheap aggregate queries."""
+
+    alerts: list[Alert] = field(default_factory=list)
+
+    def record(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def extend(self, alerts: Iterable[Alert]) -> None:
+        self.alerts.extend(alerts)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def by_detector(self) -> dict[str, int]:
+        """Alert counts per detector."""
+        return dict(Counter(a.detector for a in self.alerts))
+
+    def by_can_id(self) -> dict[int, int]:
+        """Alert counts per offending identifier."""
+        return dict(Counter(a.can_id for a in self.alerts))
+
+    def by_reason(self) -> dict[str, int]:
+        """Alert counts per cause."""
+        return dict(Counter(a.reason for a in self.alerts))
+
+    def in_window(self, start_s: float, end_s: float) -> list[Alert]:
+        """Alerts whose timestamp falls in ``[start_s, end_s)``."""
+        return [a for a in self.alerts if start_s <= a.timestamp_s < end_s]
+
+    def summary(self) -> str:
+        """One-paragraph operator summary."""
+        if not self.alerts:
+            return "no alerts"
+        detectors = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.by_detector().items())
+        )
+        ids = ", ".join(
+            f"0x{can_id:X}: {count}"
+            for can_id, count in sorted(self.by_can_id().items())
+        )
+        return f"{len(self.alerts)} alerts ({detectors}) on ids [{ids}]"

@@ -1,0 +1,180 @@
+"""Payload-based anomaly detection.
+
+The second complementary signal the paper recommends next to vProfile
+(Section 6.1): learn how each identifier's data bytes behave and flag
+payloads that leave their envelope.  Two learned properties per
+(identifier, byte position):
+
+* **range** — observed min/max, with a configurable guard band;
+* **step** — the largest observed change between consecutive messages,
+  which catches physically impossible jumps (a wheel-speed byte going
+  0 -> 255 in 10 ms) even when both values are individually in range.
+
+Constant bytes (checksums aside) get an exact-match constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ids.alerts import Alert
+
+
+@dataclass
+class _ByteEnvelope:
+    """Learned behaviour of one byte position of one identifier."""
+
+    minimum: int
+    maximum: int
+    max_step: int
+    constant: bool
+
+
+class PayloadMonitor:
+    """Per-identifier payload envelope learning and checking.
+
+    Parameters
+    ----------
+    range_guard:
+        Extra slack added to the learned min/max, as a fraction of the
+        observed span (0.1 = 10 %).
+    step_guard:
+        Multiplier on the learned maximum inter-message step.
+    min_training_messages:
+        Identifiers with fewer training messages are not monitored.
+    """
+
+    def __init__(
+        self,
+        range_guard: float = 0.1,
+        step_guard: float = 1.5,
+        min_training_messages: int = 5,
+    ):
+        if range_guard < 0 or step_guard < 1.0:
+            raise TrainingError("invalid payload-monitor guards")
+        self.range_guard = range_guard
+        self.step_guard = step_guard
+        self.min_training_messages = min_training_messages
+        self._envelopes: dict[int, list[_ByteEnvelope]] = {}
+        self._last_payload: dict[int, bytes] = {}
+
+    def fit(self, observations: list[tuple[float, int, bytes]]) -> "PayloadMonitor":
+        """Learn envelopes from clean ``(timestamp, can_id, data)`` records."""
+        payloads: dict[int, list[bytes]] = {}
+        for _, can_id, data in sorted(observations):
+            payloads.setdefault(can_id, []).append(data)
+        self._envelopes = {}
+        for can_id, series in payloads.items():
+            if len(series) < self.min_training_messages:
+                continue
+            length = min(len(p) for p in series)
+            matrix = np.array(
+                [list(p[:length]) for p in series], dtype=np.int64
+            )
+            envelopes = []
+            for position in range(length):
+                column = matrix[:, position]
+                steps = _modular_steps(column)
+                span = int(column.max() - column.min())
+                guard = int(np.ceil(self.range_guard * max(span, 1)))
+                max_step = int(
+                    np.ceil(self.step_guard * max(int(steps.max(initial=0)), 1))
+                )
+                if _is_counter(steps, span):
+                    # A wrapping counter visits the whole code space over
+                    # time even if training only saw part of it; the step
+                    # constraint is the meaningful one.
+                    minimum, maximum = 0, 255
+                else:
+                    minimum = max(0, int(column.min()) - guard)
+                    maximum = min(255, int(column.max()) + guard)
+                envelopes.append(
+                    _ByteEnvelope(
+                        minimum=minimum,
+                        maximum=maximum,
+                        max_step=max_step,
+                        constant=span == 0,
+                    )
+                )
+            self._envelopes[can_id] = envelopes
+            self._last_payload[can_id] = series[-1]
+        if not self._envelopes:
+            raise TrainingError("no identifiers had enough payload samples")
+        return self
+
+    @property
+    def monitored_ids(self) -> set[int]:
+        return set(self._envelopes)
+
+    def observe(self, timestamp_s: float, can_id: int, data: bytes) -> Alert | None:
+        """Check one live payload; returns an alert or None."""
+        envelopes = self._envelopes.get(can_id)
+        if envelopes is None:
+            return None
+        previous = self._last_payload.get(can_id)
+        self._last_payload[can_id] = data
+        for position, envelope in enumerate(envelopes):
+            if position >= len(data):
+                return Alert(
+                    timestamp_s=timestamp_s,
+                    detector="payload",
+                    can_id=can_id,
+                    reason="truncated",
+                    detail=f"payload shrank to {len(data)} bytes",
+                )
+            value = data[position]
+            if not envelope.minimum <= value <= envelope.maximum:
+                return Alert(
+                    timestamp_s=timestamp_s,
+                    detector="payload",
+                    can_id=can_id,
+                    reason="out-of-range",
+                    detail=(
+                        f"byte {position} = {value} outside "
+                        f"[{envelope.minimum}, {envelope.maximum}]"
+                    ),
+                )
+            if previous is not None and position < len(previous):
+                step = _modular_distance(value, previous[position])
+                if step > envelope.max_step:
+                    return Alert(
+                        timestamp_s=timestamp_s,
+                        detector="payload",
+                        can_id=can_id,
+                        reason="step",
+                        detail=(
+                            f"byte {position} jumped by {step} "
+                            f"(limit {envelope.max_step})"
+                        ),
+                    )
+        return None
+
+
+def _is_counter(steps: "np.ndarray", span: int) -> bool:
+    """Heuristic for counter-like bytes: steady non-zero modular steps.
+
+    A message counter moves by the same amount every transmission (e.g.
+    +1 or +3 mod 256), so its modular step sequence is a near-constant
+    positive value while its value span keeps growing with observation
+    time.
+    """
+    if steps.size < 4 or span == 0:
+        return False
+    return bool(steps.min() > 0 and (steps.max() - steps.min()) <= 2)
+
+
+def _modular_distance(a: int, b: int) -> int:
+    """Byte distance on the mod-256 circle (counters wrap 255 -> 0)."""
+    diff = abs(int(a) - int(b))
+    return min(diff, 256 - diff)
+
+
+def _modular_steps(column: "np.ndarray") -> "np.ndarray":
+    """Consecutive modular distances along a byte column."""
+    if column.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    diff = np.abs(np.diff(column))
+    return np.minimum(diff, 256 - diff)

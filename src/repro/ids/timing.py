@@ -1,0 +1,249 @@
+"""Timing-based intrusion detection (paper Section 1.2.2).
+
+Two detectors built on message arrival times:
+
+* :class:`PeriodMonitor` — learns each periodic identifier's
+  inter-arrival distribution and flags messages that arrive implausibly
+  early (the signature of injection/flood attacks) or whose cadence
+  disappears (suspension attacks).
+* :class:`ClockSkewIdentifier` — a CIDS-style fingerprinting scheme
+  (Cho & Shin): the accumulated clock offset of a periodic sender grows
+  linearly with a slope (the clock skew) unique to the transmitting
+  ECU's crystal.  The identifier estimates per-identifier skews with a
+  recursive least-squares fit and raises an alarm via CUSUM when the
+  observed offsets stop following the learned skew — which happens the
+  moment a different ECU starts producing the stream.
+
+Both consume plain ``(timestamp, can_id)`` observations, so they run on
+any CAN controller without analog hardware — exactly the complementary
+coverage the paper recommends pairing vProfile with (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ids.alerts import Alert
+
+
+@dataclass
+class _PeriodStats:
+    """Learned inter-arrival statistics for one identifier."""
+
+    mean: float
+    std: float
+    count: int
+    last_seen_s: float
+
+
+class PeriodMonitor:
+    """Flags violations of each identifier's learned message period.
+
+    Parameters
+    ----------
+    early_sigma:
+        A message arriving more than ``early_sigma`` standard deviations
+        *before* its expected time is flagged (injection).
+    missing_factor:
+        An identifier silent for ``missing_factor`` periods is flagged
+        once when it reappears (suspension / bus-off attack evidence).
+    min_training_messages:
+        Identifiers seen fewer times than this during training are not
+        monitored (one-shot messages have no period).
+    """
+
+    def __init__(
+        self,
+        early_sigma: float = 4.0,
+        missing_factor: float = 3.0,
+        min_training_messages: int = 5,
+    ):
+        if early_sigma <= 0 or missing_factor <= 1:
+            raise TrainingError("invalid period-monitor thresholds")
+        self.early_sigma = early_sigma
+        self.missing_factor = missing_factor
+        self.min_training_messages = min_training_messages
+        self._stats: dict[int, _PeriodStats] = {}
+
+    def fit(self, observations: list[tuple[float, int]]) -> "PeriodMonitor":
+        """Learn periods from a clean ``(timestamp, can_id)`` capture."""
+        arrivals: dict[int, list[float]] = {}
+        for timestamp, can_id in sorted(observations):
+            arrivals.setdefault(can_id, []).append(timestamp)
+        self._stats = {}
+        for can_id, times in arrivals.items():
+            if len(times) < self.min_training_messages:
+                continue
+            gaps = np.diff(times)
+            # Timing jitter floors the std so a perfectly regular
+            # schedule does not produce a zero-width acceptance band.
+            std = max(float(gaps.std()), 0.01 * float(gaps.mean()), 1e-6)
+            self._stats[can_id] = _PeriodStats(
+                mean=float(gaps.mean()),
+                std=std,
+                count=len(times),
+                last_seen_s=times[-1],
+            )
+        if not self._stats:
+            raise TrainingError("no periodic identifiers found in training data")
+        return self
+
+    @property
+    def monitored_ids(self) -> set[int]:
+        return set(self._stats)
+
+    def observe(self, timestamp_s: float, can_id: int) -> Alert | None:
+        """Process one live message; returns an alert or None."""
+        stats = self._stats.get(can_id)
+        if stats is None:
+            return Alert(
+                timestamp_s=timestamp_s,
+                detector="period",
+                can_id=can_id,
+                reason="unknown-id",
+                detail="identifier never seen during training",
+            )
+        gap = timestamp_s - stats.last_seen_s
+        stats.last_seen_s = timestamp_s
+        early_limit = stats.mean - self.early_sigma * stats.std
+        if gap < early_limit:
+            return Alert(
+                timestamp_s=timestamp_s,
+                detector="period",
+                can_id=can_id,
+                reason="too-early",
+                detail=f"gap {gap * 1e3:.2f} ms vs period {stats.mean * 1e3:.2f} ms",
+            )
+        if gap > self.missing_factor * stats.mean:
+            return Alert(
+                timestamp_s=timestamp_s,
+                detector="period",
+                can_id=can_id,
+                reason="gap",
+                detail=f"silent for {gap / stats.mean:.1f} periods",
+            )
+        return None
+
+
+@dataclass
+class _SkewState:
+    """Recursive least-squares state for one identifier's clock offset."""
+
+    period: float
+    skew: float = 0.0           # seconds of offset per second (ppm scale)
+    p: float = 1e6              # RLS covariance
+    accumulated_offset: float = 0.0
+    expected_next: float = 0.0
+    origin_s: float = 0.0
+    cusum_pos: float = 0.0
+    cusum_neg: float = 0.0
+    residual_scale: float = 1e-5
+
+
+class ClockSkewIdentifier:
+    """CIDS-style clock-offset fingerprinting of periodic senders.
+
+    For each identifier the detector tracks the accumulated clock offset
+    (observed arrival minus ideal arrival from the learned period) and
+    fits its slope — the sender's clock skew — by recursive least
+    squares.  A CUSUM over the identification residuals raises an alarm
+    when the offsets stop following the learned skew, i.e. when another
+    ECU (with a different crystal) takes over the stream.
+
+    Parameters
+    ----------
+    forgetting:
+        RLS forgetting factor (1.0 = ordinary least squares).
+    cusum_threshold:
+        Alarm level for the one-sided CUSUM statistics.
+    cusum_drift:
+        CUSUM slack per update, in residual-sigma units.
+    """
+
+    def __init__(
+        self,
+        forgetting: float = 0.9995,
+        cusum_threshold: float = 8.0,
+        cusum_drift: float = 0.5,
+    ):
+        if not 0.9 <= forgetting <= 1.0:
+            raise TrainingError("forgetting factor must be in [0.9, 1.0]")
+        self.forgetting = forgetting
+        self.cusum_threshold = cusum_threshold
+        self.cusum_drift = cusum_drift
+        self._states: dict[int, _SkewState] = {}
+
+    def fit(self, observations: list[tuple[float, int]]) -> "ClockSkewIdentifier":
+        """Learn per-identifier periods and initial skews."""
+        arrivals: dict[int, list[float]] = {}
+        for timestamp, can_id in sorted(observations):
+            arrivals.setdefault(can_id, []).append(timestamp)
+        self._states = {}
+        for can_id, times in arrivals.items():
+            if len(times) < 10:
+                continue
+            gaps = np.diff(times)
+            period = float(np.median(gaps))
+            state = _SkewState(
+                period=period,
+                origin_s=times[0],
+                expected_next=times[0],
+            )
+            residuals = []
+            for timestamp in times:
+                residuals.append(self._update_state(state, timestamp))
+            settled = np.abs(residuals[len(residuals) // 2 :])
+            state.residual_scale = max(float(np.median(settled)) * 1.4826, 1e-7)
+            state.cusum_pos = 0.0
+            state.cusum_neg = 0.0
+            self._states[can_id] = state
+        if not self._states:
+            raise TrainingError("need >= 10 messages per id to fingerprint clocks")
+        return self
+
+    def skew_of(self, can_id: int) -> float:
+        """Learned clock skew (s/s) of an identifier's sender."""
+        if can_id not in self._states:
+            raise TrainingError(f"id 0x{can_id:X} was not fingerprinted")
+        return self._states[can_id].skew
+
+    def _update_state(self, state: _SkewState, timestamp_s: float) -> float:
+        """One RLS step; returns the pre-update identification residual."""
+        elapsed = timestamp_s - state.origin_s
+        ideal = state.expected_next
+        offset = timestamp_s - ideal
+        state.accumulated_offset += offset
+        predicted = state.skew * elapsed
+        residual = state.accumulated_offset - predicted
+        # RLS with scalar regressor (elapsed time).
+        lam = self.forgetting
+        denom = lam + state.p * elapsed * elapsed
+        gain = state.p * elapsed / denom
+        state.skew += gain * residual
+        state.p = (state.p - gain * elapsed * state.p) / lam
+        state.expected_next = timestamp_s + state.period
+        return residual
+
+    def observe(self, timestamp_s: float, can_id: int) -> Alert | None:
+        """Process one live message; returns an alert or None."""
+        state = self._states.get(can_id)
+        if state is None:
+            return None  # not a fingerprinted stream
+        residual = self._update_state(state, timestamp_s)
+        z = residual / state.residual_scale
+        state.cusum_pos = max(0.0, state.cusum_pos + z - self.cusum_drift)
+        state.cusum_neg = max(0.0, state.cusum_neg - z - self.cusum_drift)
+        if max(state.cusum_pos, state.cusum_neg) > self.cusum_threshold:
+            state.cusum_pos = 0.0
+            state.cusum_neg = 0.0
+            return Alert(
+                timestamp_s=timestamp_s,
+                detector="timing",
+                can_id=can_id,
+                reason="clock-skew",
+                detail=f"offset residual {residual * 1e6:.1f} us off the learned skew",
+            )
+        return None

@@ -1,0 +1,23 @@
+"""Synthetic vehicles standing in for the paper's test trucks."""
+
+from repro.vehicles.dataset import CaptureSession, capture_balanced, capture_session
+from repro.vehicles.profiles import (
+    DEFAULT_TRUNCATE_BITS,
+    EcuDefinition,
+    VehicleConfig,
+    sterling_acterra,
+    vehicle_a,
+    vehicle_b,
+)
+
+__all__ = [
+    "CaptureSession",
+    "capture_balanced",
+    "capture_session",
+    "DEFAULT_TRUNCATE_BITS",
+    "EcuDefinition",
+    "VehicleConfig",
+    "sterling_acterra",
+    "vehicle_a",
+    "vehicle_b",
+]

@@ -1,0 +1,359 @@
+"""Synthetic vehicle definitions standing in for the paper's test trucks.
+
+The paper evaluates on a 2016 Peterbilt 579 ("Vehicle A", captured at
+20 MS/s / 16 bit with an AlazarTech digitizer) and a confidential
+industry-partner vehicle ("Vehicle B", captured at 10 MS/s / 12 bit with
+custom hardware), both with 250 kb/s J1939 buses.  We cannot use those
+trucks, so each is replaced by a parameterised bus whose ECU fingerprints
+reproduce the *statistical relationships* the paper reports:
+
+* Vehicle A: five ECUs with visually distinct voltage profiles (paper
+  Figure 4.2).  ECUs 1 and 4 are the most similar pair, ECUs 0 and 1 the
+  next (Section 4.2.1/4.2.2), and ECUs 0 and 2 carry the largest
+  temperature coefficients (Figure 4.6).
+* Vehicle B: eight ECUs with much less distinct profiles and a noisier
+  (driving) capture, which is what degrades the Euclidean metric in
+  Table 4.2.
+* A two-ECU "2006 Sterling Acterra" used for Figures 2.5/3.1.
+
+All parameters are ordinary engineering numbers (volts, MHz, V/degC); see
+DESIGN.md for the calibration targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acquisition.adc import AdcConfig
+from repro.acquisition.sampler import CaptureChain
+from repro.analog.channel import NOISY_CHANNEL, QUIET_CHANNEL, ChannelNoise
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.analog.waveform import SynthesisConfig
+from repro.can.j1939 import (
+    PGN_CCVS,
+    PGN_DM1,
+    PGN_EBC1,
+    PGN_EEC1,
+    PGN_EEC2,
+    PGN_ET1,
+    PGN_ETC1,
+    PGN_VEP1,
+    J1939Id,
+)
+from repro.can.traffic import MessageSchedule
+from repro.errors import DatasetError
+
+#: Rendering enough wire bits for Algorithm 1 (bit 33 plus the following
+#: edge pair, stuffing included) without paying for full frames.
+DEFAULT_TRUNCATE_BITS = 60
+
+
+@dataclass(frozen=True)
+class EcuDefinition:
+    """One ECU: an electrical fingerprint plus its message schedule."""
+
+    name: str
+    transceiver: TransceiverParams
+    schedules: tuple[MessageSchedule, ...]
+
+    @property
+    def source_addresses(self) -> tuple[int, ...]:
+        """All SAs this ECU transmits under."""
+        return tuple(
+            sorted({s.j1939_id.source_address for s in self.schedules})
+        )
+
+
+@dataclass(frozen=True)
+class VehicleConfig:
+    """A complete synthetic vehicle: bus, ECUs, and capture hardware."""
+
+    name: str
+    bitrate: float
+    sample_rate: float
+    resolution_bits: int
+    ecus: tuple[EcuDefinition, ...]
+    noise: ChannelNoise
+
+    def __post_init__(self) -> None:
+        seen: dict[int, str] = {}
+        for ecu in self.ecus:
+            for sa in ecu.source_addresses:
+                if sa in seen and seen[sa] != ecu.name:
+                    raise DatasetError(
+                        f"SA 0x{sa:02X} claimed by both {seen[sa]} and {ecu.name}"
+                    )
+                seen[sa] = ecu.name
+
+    @property
+    def sa_clusters(self) -> dict[int, str]:
+        """The "fortunate" SA -> ECU lookup table for this vehicle."""
+        return {
+            sa: ecu.name for ecu in self.ecus for sa in ecu.source_addresses
+        }
+
+    @property
+    def ecu_names(self) -> list[str]:
+        return [ecu.name for ecu in self.ecus]
+
+    def ecu_named(self, name: str) -> EcuDefinition:
+        for ecu in self.ecus:
+            if ecu.name == name:
+                return ecu
+        raise DatasetError(f"{self.name} has no ECU named {name!r}")
+
+    def transceiver_of(self, name: str) -> TransceiverParams:
+        return self.ecu_named(name).transceiver
+
+    def capture_chain(
+        self, truncate_bits: int | None = DEFAULT_TRUNCATE_BITS
+    ) -> CaptureChain:
+        """Build the digitizer chain matching this vehicle's hardware."""
+        return CaptureChain(
+            synthesis=SynthesisConfig(
+                bitrate=self.bitrate,
+                sample_rate=self.sample_rate,
+                max_frame_bits=truncate_bits,
+            ),
+            adc=AdcConfig(resolution_bits=self.resolution_bits),
+            noise=self.noise,
+        )
+
+
+def _schedule(priority: int, pgn: int, sa: int, period_s: float, phase_s: float) -> MessageSchedule:
+    return MessageSchedule(
+        j1939_id=J1939Id(priority=priority, pgn=pgn, source_address=sa),
+        period_s=period_s,
+        phase_s=phase_s,
+        jitter_s=period_s * 0.02,
+    )
+
+
+def vehicle_a() -> VehicleConfig:
+    """The Vehicle A stand-in: 5 distinct ECUs, 20 MS/s, 16-bit capture.
+
+    Fingerprint geometry (dominant levels): ECU1 (2.02 V) and ECU4
+    (2.07 V) are the closest pair, then ECU0 (1.92 V) vs ECU1.  ECUs 0
+    and 2 get an order-of-magnitude larger temperature coefficient than
+    the rest, matching Figure 4.6's drift ranking.
+    """
+    ecu0 = TransceiverParams(
+        name="ECU0",
+        v_dominant=1.92,
+        v_recessive=0.012,
+        rise=EdgeDynamics(1.90e6, 0.62),
+        fall=EdgeDynamics(1.05e6, 1.10),
+        temp_coeff_v_per_c=-3.2e-4,
+        temp_coeff_freq_per_c=8e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecu1 = TransceiverParams(
+        name="ECU1",
+        v_dominant=2.025,
+        v_recessive=0.006,
+        rise=EdgeDynamics(2.10e6, 0.74),
+        fall=EdgeDynamics(1.15e6, 1.05),
+        temp_coeff_v_per_c=-0.5e-4,
+        temp_coeff_freq_per_c=2e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecu2 = TransceiverParams(
+        name="ECU2",
+        v_dominant=2.24,
+        v_recessive=0.018,
+        rise=EdgeDynamics(1.70e6, 0.55),
+        fall=EdgeDynamics(0.95e6, 1.20),
+        temp_coeff_v_per_c=-2.9e-4,
+        temp_coeff_freq_per_c=7e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecu3 = TransceiverParams(
+        name="ECU3",
+        v_dominant=1.78,
+        v_recessive=0.004,
+        rise=EdgeDynamics(2.40e6, 0.86),
+        fall=EdgeDynamics(1.30e6, 0.95),
+        temp_coeff_v_per_c=-0.4e-4,
+        temp_coeff_freq_per_c=1.5e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecu4 = TransceiverParams(
+        name="ECU4",
+        v_dominant=2.060,
+        v_recessive=0.009,
+        rise=EdgeDynamics(2.20e6, 0.78),
+        fall=EdgeDynamics(1.20e6, 1.02),
+        temp_coeff_v_per_c=-0.6e-4,
+        temp_coeff_freq_per_c=2.5e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecus = (
+        # ECU0 is the engine control module (paper Section 4.4.1); it
+        # also claims the engine-retarder SA, giving a multi-SA cluster.
+        EcuDefinition(
+            name="ECU0",
+            transceiver=ecu0,
+            schedules=(
+                _schedule(3, PGN_EEC1, 0x00, 0.020, 0.000),
+                _schedule(6, PGN_EEC2, 0x00, 0.050, 0.007),
+                _schedule(6, PGN_ET1, 0x00, 0.100, 0.013),
+                _schedule(6, PGN_DM1, 0x0F, 0.100, 0.031),
+            ),
+        ),
+        EcuDefinition(
+            name="ECU1",
+            transceiver=ecu1,
+            schedules=(
+                _schedule(3, PGN_ETC1, 0x03, 0.020, 0.003),
+                _schedule(6, PGN_CCVS, 0x03, 0.100, 0.041),
+            ),
+        ),
+        EcuDefinition(
+            name="ECU2",
+            transceiver=ecu2,
+            schedules=(
+                _schedule(3, PGN_EBC1, 0x0B, 0.020, 0.006),
+                _schedule(6, PGN_DM1, 0x0B, 0.100, 0.057),
+            ),
+        ),
+        EcuDefinition(
+            name="ECU3",
+            transceiver=ecu3,
+            schedules=(
+                _schedule(6, PGN_CCVS, 0x17, 0.050, 0.011),
+                _schedule(6, PGN_VEP1, 0x17, 0.050, 0.073),
+            ),
+        ),
+        EcuDefinition(
+            name="ECU4",
+            transceiver=ecu4,
+            schedules=(
+                _schedule(6, PGN_CCVS, 0x21, 0.050, 0.017),
+                _schedule(6, PGN_VEP1, 0x21, 0.050, 0.037),
+                _schedule(7, PGN_DM1, 0x21, 0.100, 0.089),
+            ),
+        ),
+    )
+    return VehicleConfig(
+        name="VehicleA",
+        bitrate=250_000.0,
+        sample_rate=20_000_000.0,
+        resolution_bits=16,
+        ecus=ecus,
+        noise=QUIET_CHANNEL,
+    )
+
+
+def vehicle_b() -> VehicleConfig:
+    """The Vehicle B stand-in: 8 similar ECUs, 10 MS/s, 12-bit capture.
+
+    Dominant levels are packed into a 0.09 V band (pairs differ by as
+    little as 12 mV) and the capture runs while driving (noisier
+    channel).  The remaining separability lives in the edge dynamics —
+    visible to the Mahalanobis metric, drowned for the Euclidean one,
+    reproducing the Table 4.2 vs 4.4 contrast.
+    """
+    base_kwargs = dict(
+        temp_coeff_v_per_c=-2e-4,
+        temp_coeff_freq_per_c=6e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    specs = [
+        # name, v_dom, v_rec, rise (f, zeta), fall (f, zeta).  Dominant
+        # levels sit ~40-46 mV apart: comparable to the per-message
+        # baseline wander of a driving capture, so the Euclidean metric
+        # confuses neighbours while the covariance-aware Mahalanobis
+        # metric still separates them.
+        ("ECU0", 2.000, 0.002, (1.36e6, 0.720), (0.950e6, 1.050)),
+        ("ECU1", 2.058, 0.012, (1.30e6, 0.700), (0.920e6, 1.070)),
+        ("ECU2", 2.115, 0.005, (1.42e6, 0.735), (0.975e6, 1.040)),
+        ("ECU3", 2.171, 0.015, (1.32e6, 0.710), (0.930e6, 1.065)),
+        ("ECU4", 2.226, 0.008, (1.40e6, 0.730), (0.968e6, 1.045)),
+        ("ECU5", 2.280, 0.018, (1.34e6, 0.715), (0.940e6, 1.060)),
+        ("ECU6", 2.333, 0.004, (1.38e6, 0.725), (0.960e6, 1.055)),
+        ("ECU7", 2.385, 0.014, (1.31e6, 0.705), (0.925e6, 1.068)),
+    ]
+    sas = [0x00, 0x03, 0x0B, 0x17, 0x21, 0x27, 0x31, 0x37]
+    pgns = [PGN_EEC1, PGN_ETC1, PGN_EBC1, PGN_CCVS, PGN_VEP1, PGN_ET1, PGN_DM1, PGN_EEC2]
+    ecus = []
+    for index, (name, v_dom, v_rec, rise, fall) in enumerate(specs):
+        transceiver = TransceiverParams(
+            name=name,
+            v_dominant=v_dom,
+            v_recessive=v_rec,
+            rise=EdgeDynamics(*rise),
+            fall=EdgeDynamics(*fall),
+            **base_kwargs,
+        )
+        sa = sas[index]
+        schedules = (
+            _schedule(3 if index < 3 else 6, pgns[index], sa, 0.020 + 0.010 * index, 0.001 * (index + 1)),
+            _schedule(6, PGN_DM1 if index != 6 else PGN_CCVS, sa, 0.100 + 0.020 * index, 0.050 + 0.007 * index),
+        )
+        ecus.append(EcuDefinition(name=name, transceiver=transceiver, schedules=schedules))
+    return VehicleConfig(
+        name="VehicleB",
+        bitrate=250_000.0,
+        sample_rate=10_000_000.0,
+        resolution_bits=12,
+        ecus=tuple(ecus),
+        noise=NOISY_CHANNEL,
+    )
+
+
+def sterling_acterra() -> VehicleConfig:
+    """The 2006 Sterling Acterra two-ECU bus behind Figures 2.5 and 3.1."""
+    ecu0 = TransceiverParams(
+        name="ECU0",
+        v_dominant=1.95,
+        v_recessive=0.010,
+        rise=EdgeDynamics(1.95e6, 0.65),
+        fall=EdgeDynamics(1.08e6, 1.08),
+        temp_coeff_v_per_c=-4e-4,
+        temp_coeff_freq_per_c=1e-3,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecu1 = TransceiverParams(
+        name="ECU1",
+        v_dominant=2.18,
+        v_recessive=0.006,
+        rise=EdgeDynamics(2.30e6, 0.82),
+        fall=EdgeDynamics(1.25e6, 0.98),
+        temp_coeff_v_per_c=-2e-4,
+        temp_coeff_freq_per_c=6e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1.2e-4,
+    )
+    ecus = (
+        EcuDefinition(
+            name="ECU0",
+            transceiver=ecu0,
+            schedules=(
+                _schedule(3, PGN_EEC1, 0x00, 0.020, 0.000),
+                _schedule(6, PGN_ET1, 0x00, 0.100, 0.013),
+            ),
+        ),
+        EcuDefinition(
+            name="ECU1",
+            transceiver=ecu1,
+            schedules=(
+                _schedule(3, PGN_EBC1, 0x0B, 0.020, 0.005),
+                _schedule(6, PGN_CCVS, 0x0B, 0.100, 0.047),
+            ),
+        ),
+    )
+    return VehicleConfig(
+        name="SterlingActerra",
+        bitrate=250_000.0,
+        sample_rate=10_000_000.0,
+        resolution_bits=16,
+        ecus=ecus,
+        noise=QUIET_CHANNEL,
+    )

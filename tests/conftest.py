@@ -1,0 +1,65 @@
+"""Shared fixtures: small captures reused across the test modules.
+
+Capture synthesis is the expensive part of the suite, so sessions are
+session-scoped and sized to the smallest capture that keeps every
+cluster's covariance full rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.edge_extraction import ExtractionConfig, extract_many
+from repro.vehicles.dataset import capture_session
+from repro.vehicles.profiles import sterling_acterra, vehicle_a, vehicle_b
+
+
+@pytest.fixture(scope="session")
+def sterling():
+    return sterling_acterra()
+
+
+@pytest.fixture(scope="session")
+def veh_a():
+    return vehicle_a()
+
+
+@pytest.fixture(scope="session")
+def veh_b():
+    return vehicle_b()
+
+
+@pytest.fixture(scope="session")
+def sterling_session(sterling):
+    """~6 s of two-ECU traffic (Figures 2.5/3.1 substrate)."""
+    return capture_session(sterling, 6.0, seed=100)
+
+
+@pytest.fixture(scope="session")
+def vehicle_a_session(veh_a):
+    """~12 s of Vehicle A traffic (enough for 64-dim covariances)."""
+    return capture_session(veh_a, 12.0, seed=101)
+
+
+@pytest.fixture(scope="session")
+def vehicle_b_session(veh_b):
+    """~10 s of Vehicle B traffic (32-dim edge sets, 8 ECUs)."""
+    return capture_session(veh_b, 10.0, seed=102)
+
+
+@pytest.fixture(scope="session")
+def vehicle_a_edge_sets(vehicle_a_session):
+    config = ExtractionConfig.for_trace(vehicle_a_session.traces[0])
+    return extract_many(vehicle_a_session.traces, config)
+
+
+@pytest.fixture(scope="session")
+def vehicle_b_edge_sets(vehicle_b_session):
+    config = ExtractionConfig.for_trace(vehicle_b_session.traces[0])
+    return extract_many(vehicle_b_session.traces, config)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

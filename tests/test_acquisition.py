@@ -1,0 +1,138 @@
+"""ADC model, voltage traces and the capture chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.acquisition.adc import AdcConfig, downsample, reduce_resolution
+from repro.acquisition.sampler import CaptureChain
+from repro.acquisition.trace import VoltageTrace
+from repro.analog.channel import QUIET_CHANNEL
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.analog.waveform import SynthesisConfig
+from repro.can.frame import CanFrame
+from repro.errors import AcquisitionError
+
+
+class TestAdcConfig:
+    def test_full_scale(self):
+        assert AdcConfig(resolution_bits=12).full_scale_counts == 4095
+
+    def test_midscale_is_zero_volts(self):
+        adc = AdcConfig(resolution_bits=16)
+        counts = adc.quantize(np.array([0.0]))
+        assert counts[0] == pytest.approx(32768, abs=1)
+
+    def test_paper_threshold_claim(self):
+        """1 V on a 16-bit +/-5 V front end sits near the paper's 38,000."""
+        adc = AdcConfig(resolution_bits=16)
+        assert 38_000 <= adc.volts_to_counts(1.0) <= 40_000
+
+    def test_clipping(self):
+        adc = AdcConfig(resolution_bits=8)
+        counts = adc.quantize(np.array([-100.0, 100.0]))
+        assert counts[0] == 0 and counts[1] == 255
+
+    @given(st.floats(min_value=-4.9, max_value=4.9))
+    def test_quantise_round_trip_within_lsb(self, volts):
+        adc = AdcConfig(resolution_bits=16)
+        recovered = adc.to_volts(adc.quantize(np.array([volts])))[0]
+        assert abs(recovered - volts) <= adc.volts_per_count
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(AcquisitionError):
+            AdcConfig(resolution_bits=1)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(AcquisitionError):
+            AdcConfig(v_min=1.0, v_max=-1.0)
+
+
+class TestReduction:
+    def test_reduce_resolution_drops_lsbs(self):
+        counts = np.array([0b1111_1111, 0b1010_1010])
+        assert list(reduce_resolution(counts, 8, 4)) == [0b1111, 0b1010]
+
+    def test_reduce_to_same_is_identity(self):
+        counts = np.array([17, 42])
+        assert list(reduce_resolution(counts, 8, 8)) == [17, 42]
+
+    def test_cannot_raise_resolution(self):
+        with pytest.raises(AcquisitionError):
+            reduce_resolution(np.array([1]), 8, 12)
+
+    def test_downsample(self):
+        assert list(downsample(np.arange(10), 3)) == [0, 3, 6, 9]
+
+    def test_downsample_identity(self):
+        assert list(downsample(np.arange(5), 1)) == [0, 1, 2, 3, 4]
+
+    def test_downsample_invalid(self):
+        with pytest.raises(AcquisitionError):
+            downsample(np.arange(5), 0)
+
+
+class TestVoltageTrace:
+    def make(self, n=100, fs=10e6, bits=12):
+        return VoltageTrace(
+            counts=np.arange(n, dtype=np.int32),
+            sample_rate=fs,
+            resolution_bits=bits,
+        )
+
+    def test_len_and_duration(self):
+        trace = self.make(n=50)
+        assert len(trace) == 50
+        assert trace.duration_s == pytest.approx(5e-6)
+
+    def test_samples_per_bit(self):
+        assert self.make().samples_per_bit == 40.0
+
+    def test_downsampled(self):
+        reduced = self.make(n=100).downsampled(2)
+        assert len(reduced) == 50
+        assert reduced.sample_rate == 5e6
+        assert reduced.resolution_bits == 12
+
+    def test_at_resolution(self):
+        reduced = self.make(bits=12).at_resolution(10)
+        assert reduced.resolution_bits == 10
+        assert reduced.counts.max() == self.make().counts.max() >> 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(AcquisitionError):
+            VoltageTrace(counts=np.zeros((2, 2)), sample_rate=1e6, resolution_bits=12)
+
+    def test_to_volts_checks_resolution(self):
+        with pytest.raises(AcquisitionError):
+            self.make(bits=12).to_volts(AdcConfig(resolution_bits=16))
+
+    def test_to_volts_default(self):
+        trace = self.make(bits=16)
+        volts = trace.to_volts()
+        assert volts[0] == pytest.approx(-5.0)
+
+
+class TestCaptureChain:
+    def make_chain(self):
+        return CaptureChain(
+            synthesis=SynthesisConfig(max_frame_bits=50),
+            adc=AdcConfig(resolution_bits=12),
+            noise=QUIET_CHANNEL,
+        )
+
+    def test_capture_records_metadata(self):
+        trx = TransceiverParams(
+            name="E", v_dominant=2.0, v_recessive=0.0,
+            rise=EdgeDynamics(2e6, 0.7), fall=EdgeDynamics(1.1e6, 1.05),
+        )
+        frame = CanFrame(can_id=0x18F00455, data=b"\x01")
+        trace = self.make_chain().capture_frame(
+            frame, trx, rng=np.random.default_rng(0), metadata={"tag": 1}
+        )
+        assert trace.metadata["sender"] == "E"
+        assert trace.metadata["frame"] == frame
+        assert trace.metadata["tag"] == 1
+        assert trace.resolution_bits == 12
+        assert trace.counts.dtype == np.int32

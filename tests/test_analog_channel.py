@@ -1,0 +1,67 @@
+"""Channel noise model statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analog.channel import NOISY_CHANNEL, QUIET_CHANNEL, ChannelNoise
+from repro.errors import WaveformError
+
+
+class TestValidation:
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(WaveformError):
+            ChannelNoise(white_sigma_v=-0.001)
+
+    def test_rejects_bad_ar_coeff(self):
+        with pytest.raises(WaveformError):
+            ChannelNoise(ar_coeff=1.0)
+
+    def test_presets_valid(self):
+        assert QUIET_CHANNEL.baseline_sigma_v < NOISY_CHANNEL.baseline_sigma_v
+
+
+class TestSampleNoise:
+    def test_zero_noise(self):
+        silent = ChannelNoise(white_sigma_v=0, ar_sigma_v=0, baseline_sigma_v=0, amplitude_jitter=0)
+        noise = silent.sample_noise(100, np.random.default_rng(0))
+        assert np.allclose(noise, 0.0)
+
+    def test_white_sigma_matches(self):
+        channel = ChannelNoise(white_sigma_v=0.01, ar_sigma_v=0.0)
+        noise = channel.sample_noise(200_000, np.random.default_rng(1))
+        assert noise.std() == pytest.approx(0.01, rel=0.02)
+
+    def test_ar_component_is_correlated(self):
+        channel = ChannelNoise(white_sigma_v=0.0, ar_sigma_v=0.01, ar_coeff=0.95)
+        noise = channel.sample_noise(100_000, np.random.default_rng(2))
+        lag1 = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert lag1 == pytest.approx(0.95, abs=0.02)
+
+    def test_ar_stationary_variance(self):
+        channel = ChannelNoise(white_sigma_v=0.0, ar_sigma_v=0.008, ar_coeff=0.9)
+        noise = channel.sample_noise(200_000, np.random.default_rng(3))
+        assert noise.std() == pytest.approx(0.008, rel=0.05)
+
+    def test_empty_request(self):
+        assert ChannelNoise().sample_noise(0, np.random.default_rng(0)).size == 0
+
+
+class TestMessageOffsets:
+    def test_baseline_distribution(self):
+        channel = ChannelNoise(baseline_sigma_v=0.02, amplitude_jitter=0.0)
+        rng = np.random.default_rng(4)
+        baselines = np.array([channel.sample_message_offsets(rng)[0] for _ in range(20_000)])
+        assert baselines.std() == pytest.approx(0.02, rel=0.05)
+        assert abs(baselines.mean()) < 0.001
+
+    def test_gain_centered_at_one(self):
+        channel = ChannelNoise(baseline_sigma_v=0.0, amplitude_jitter=0.005)
+        rng = np.random.default_rng(5)
+        gains = np.array([channel.sample_message_offsets(rng)[1] for _ in range(20_000)])
+        assert gains.mean() == pytest.approx(1.0, abs=1e-3)
+        assert gains.std() == pytest.approx(0.005, rel=0.05)
+
+    def test_disabled_offsets(self):
+        channel = ChannelNoise(baseline_sigma_v=0.0, amplitude_jitter=0.0)
+        baseline, gain = channel.sample_message_offsets(np.random.default_rng(6))
+        assert baseline == 0.0 and gain == 1.0

@@ -1,0 +1,123 @@
+"""Transceiver electrical model: levels, dynamics, environment response."""
+
+import math
+
+import pytest
+
+from repro.analog.environment import Environment, NOMINAL_ENVIRONMENT
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams, perturbed
+from repro.errors import WaveformError
+
+
+def make(name="T", **overrides):
+    params = dict(
+        name=name,
+        v_dominant=2.0,
+        v_recessive=0.01,
+        rise=EdgeDynamics(2.0e6, 0.7),
+        fall=EdgeDynamics(1.1e6, 1.05),
+        temp_coeff_v_per_c=-3e-4,
+        temp_coeff_freq_per_c=8e-4,
+        batt_coeff_per_v=4e-4,
+        load_coeff_v_per_a=1e-4,
+    )
+    params.update(overrides)
+    return TransceiverParams(**params)
+
+
+class TestEdgeDynamics:
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(WaveformError):
+            EdgeDynamics(0.0, 0.7)
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(WaveformError):
+            EdgeDynamics(1e6, 0.0)
+
+    def test_omega_n(self):
+        dyn = EdgeDynamics(1e6, 0.7)
+        assert dyn.omega_n == pytest.approx(2 * math.pi * 1e6)
+
+    def test_settle_time_scales_inversely_with_frequency(self):
+        fast = EdgeDynamics(4e6, 0.7)
+        slow = EdgeDynamics(1e6, 0.7)
+        assert fast.settle_time_s() == pytest.approx(slow.settle_time_s() / 4)
+
+
+class TestLevels:
+    def test_dominant_must_exceed_recessive(self):
+        with pytest.raises(WaveformError):
+            make(v_dominant=0.0, v_recessive=0.01)
+
+    def test_nominal_levels_unchanged(self):
+        v_dom, v_rec = make().effective_levels(NOMINAL_ENVIRONMENT)
+        assert v_dom == pytest.approx(2.0)
+        assert v_rec == pytest.approx(0.01)
+
+    def test_cold_raises_dominant_level(self):
+        """Negative temp coefficient: colder -> higher drive level."""
+        cold = Environment(temperature_c=-5.0)
+        v_cold, _ = make().effective_levels(cold)
+        v_nom, _ = make().effective_levels(NOMINAL_ENVIRONMENT)
+        assert v_cold > v_nom
+        assert v_cold - v_nom == pytest.approx(3e-4 * 30.0, rel=0.05)
+
+    def test_battery_scaling_is_relative(self):
+        high = Environment(battery_v=14.6)
+        v_high, _ = make().effective_levels(high)
+        assert v_high == pytest.approx(2.0 * (1 + 4e-4), rel=1e-6)
+
+    def test_load_sags_dominant(self):
+        loaded = Environment(load_current_a=40.0)
+        v_loaded, _ = make().effective_levels(loaded)
+        assert v_loaded == pytest.approx(2.0 - 1e-4 * 40.0)
+
+    def test_recessive_moves_less_than_dominant(self):
+        cold = Environment(temperature_c=-5.0)
+        t = make()
+        dv_dom = t.effective_levels(cold)[0] - t.effective_levels(NOMINAL_ENVIRONMENT)[0]
+        dv_rec = t.effective_levels(cold)[1] - t.effective_levels(NOMINAL_ENVIRONMENT)[1]
+        assert abs(dv_rec) < abs(dv_dom)
+
+
+class TestDynamicsDrift:
+    def test_temperature_scales_edge_frequency(self):
+        hot = Environment(temperature_c=45.0)
+        rise, fall = make().effective_dynamics(hot)
+        scale = 1 + 8e-4 * 20.0
+        assert rise.natural_freq_hz == pytest.approx(2.0e6 * scale)
+        assert fall.natural_freq_hz == pytest.approx(1.1e6 * scale)
+
+    def test_damping_unchanged(self):
+        rise, fall = make().effective_dynamics(Environment(temperature_c=-10))
+        assert rise.damping == 0.7
+        assert fall.damping == 1.05
+
+    def test_frequency_never_nonpositive(self):
+        # An absurd temperature must not produce a negative frequency.
+        rise, _ = make().effective_dynamics(Environment(temperature_c=-2000))
+        assert rise.natural_freq_hz > 0
+
+
+class TestPerturbed:
+    def test_applies_deltas(self):
+        base = make()
+        variant = perturbed(base, "V", dv_dominant=0.05, rise_freq_scale=1.1)
+        assert variant.name == "V"
+        assert variant.v_dominant == pytest.approx(2.05)
+        assert variant.rise.natural_freq_hz == pytest.approx(2.2e6)
+        assert variant.fall.natural_freq_hz == base.fall.natural_freq_hz
+
+    def test_keeps_environment_coefficients(self):
+        variant = perturbed(make(), "V")
+        assert variant.temp_coeff_v_per_c == -3e-4
+
+
+class TestEnvironment:
+    def test_with_helpers(self):
+        env = NOMINAL_ENVIRONMENT.with_temperature(0.0).with_battery(12.0).with_load(10.0)
+        assert env.temperature_c == 0.0
+        assert env.battery_v == 12.0
+        assert env.load_current_a == 10.0
+        # Original is untouched (frozen value object).
+        assert NOMINAL_ENVIRONMENT.temperature_c == 25.0

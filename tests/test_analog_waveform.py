@@ -1,0 +1,160 @@
+"""Waveform synthesis: step responses and full-frame rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analog.channel import ChannelNoise
+from repro.analog.environment import NOMINAL_ENVIRONMENT
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.analog.waveform import (
+    SynthesisConfig,
+    rendered_sample_count,
+    step_response,
+    synthesize_waveform,
+)
+from repro.can.frame import CanFrame
+from repro.errors import WaveformError
+
+TRX = TransceiverParams(
+    name="T",
+    v_dominant=2.0,
+    v_recessive=0.0,
+    rise=EdgeDynamics(2.0e6, 0.7),
+    fall=EdgeDynamics(1.1e6, 1.05),
+)
+CONFIG = SynthesisConfig(bitrate=250_000, sample_rate=10_000_000)
+
+
+class TestStepResponse:
+    def test_starts_at_initial_value(self):
+        v = step_response(np.array([0.0]), np.array([0.0]), np.array([2.0]), TRX.rise)
+        assert v[0] == pytest.approx(0.0)
+
+    def test_converges_to_target(self):
+        t = np.array([5e-6])
+        v = step_response(t, np.array([0.0]), np.array([2.0]), TRX.rise)
+        assert v[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_underdamped_overshoots(self):
+        t = np.linspace(0, 2e-6, 500)
+        v = step_response(t, 0.0, 2.0, EdgeDynamics(2e6, 0.4))
+        assert v.max() > 2.05
+
+    def test_overdamped_monotone(self):
+        t = np.linspace(0, 5e-6, 500)
+        v = step_response(t, 2.0, 0.0, EdgeDynamics(1e6, 1.3))
+        assert np.all(np.diff(v) <= 1e-12)
+        assert v.max() <= 2.0 + 1e-9
+
+    def test_critically_damped(self):
+        t = np.linspace(0, 5e-6, 100)
+        v = step_response(t, 0.0, 1.0, EdgeDynamics(1e6, 1.0))
+        assert v[0] == pytest.approx(0.0)
+        assert v[-1] == pytest.approx(1.0, abs=1e-2)
+        assert v.max() <= 1.0 + 1e-9
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(WaveformError):
+            step_response(np.array([-1e-9]), 0.0, 1.0, TRX.rise)
+
+
+class TestSynthesisConfig:
+    def test_samples_per_bit(self):
+        assert CONFIG.samples_per_bit == 40.0
+
+    def test_rejects_undersampling(self):
+        with pytest.raises(WaveformError):
+            SynthesisConfig(bitrate=250_000, sample_rate=500_000)
+
+    def test_requires_idle_prefix(self):
+        with pytest.raises(WaveformError):
+            SynthesisConfig(idle_prefix_bits=0)
+
+
+class TestSynthesize:
+    def test_idle_prefix_is_recessive(self):
+        volts = synthesize_waveform([0, 1, 0, 1], TRX, CONFIG, phase=0.0)
+        # First idle bit is fully recessive (bus idles at v_rec).
+        assert np.allclose(volts[:35], 0.0, atol=1e-6)
+
+    def test_sof_reaches_dominant(self):
+        volts = synthesize_waveform([0, 1], TRX, CONFIG, phase=0.0)
+        sof_center = int(2.5 * 40)  # 2 idle bits, middle of SOF
+        assert volts[sof_center] == pytest.approx(2.0, abs=0.05)
+
+    def test_steady_runs_hold_level(self):
+        volts = synthesize_waveform([0, 0, 0, 0], TRX, CONFIG, phase=0.0)
+        # Middle of the 4th dominant bit: fully settled.
+        index = int((2 + 3.5) * 40)
+        assert volts[index] == pytest.approx(2.0, abs=1e-3)
+
+    def test_sample_count(self):
+        bits = [0, 1, 0, 1, 1]
+        volts = synthesize_waveform(bits, TRX, CONFIG, phase=0.0)
+        assert volts.size == rendered_sample_count(len(bits), CONFIG)
+
+    def test_phase_shifts_samples(self):
+        a = synthesize_waveform([0, 1, 0], TRX, CONFIG, phase=0.0)
+        b = synthesize_waveform([0, 1, 0], TRX, CONFIG, phase=0.5)
+        assert a.size in (b.size, b.size + 1)
+        assert not np.allclose(a[: b.size], b)
+
+    def test_noiseless_is_deterministic(self):
+        a = synthesize_waveform([0, 1, 0], TRX, CONFIG, phase=0.25)
+        b = synthesize_waveform([0, 1, 0], TRX, CONFIG, phase=0.25)
+        assert np.array_equal(a, b)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(WaveformError):
+            synthesize_waveform([0, 1], TRX, CONFIG, noise=ChannelNoise(), phase=0.0)
+
+    def test_noise_changes_output(self):
+        rng = np.random.default_rng(0)
+        clean = synthesize_waveform([0, 1, 0], TRX, CONFIG, phase=0.0)
+        noisy = synthesize_waveform(
+            [0, 1, 0], TRX, CONFIG, noise=ChannelNoise(), rng=rng, phase=0.0
+        )
+        assert not np.allclose(clean, noisy)
+
+    def test_truncation(self):
+        config = SynthesisConfig(max_frame_bits=10)
+        volts = synthesize_waveform([0, 1] * 20, TRX, config, phase=0.0)
+        assert volts.size == rendered_sample_count(40, config)
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(WaveformError):
+            synthesize_waveform([], TRX, CONFIG)
+
+    def test_invalid_phase_rejected(self):
+        with pytest.raises(WaveformError):
+            synthesize_waveform([0], TRX, CONFIG, phase=1.5)
+
+    def test_ack_driver_changes_ack_bit_only(self):
+        frame = CanFrame(can_id=0x18F00410, data=b"\x01" * 4)
+        bits = frame.stuffed_bits()
+        ack_index = len(bits) - 9
+        stronger = TransceiverParams(
+            name="ACK",
+            v_dominant=2.4,
+            v_recessive=0.0,
+            rise=TRX.rise,
+            fall=TRX.fall,
+        )
+        base = synthesize_waveform(bits, TRX, CONFIG, phase=0.0)
+        acked = synthesize_waveform(
+            bits, TRX, CONFIG, phase=0.0, ack_bit_index=ack_index, ack_driver=stronger
+        )
+        diff = np.nonzero(~np.isclose(base, acked))[0]
+        assert diff.size > 0
+        ack_start = (CONFIG.idle_prefix_bits + ack_index) * 40
+        # All differences confined to the ACK bit and its settling tail.
+        assert diff.min() >= ack_start
+        assert diff.max() < ack_start + 2 * 40
+
+    def test_edge_between_bits(self):
+        """The transition starts exactly at the bit boundary."""
+        volts = synthesize_waveform([0, 1, 0], TRX, CONFIG, phase=0.0)
+        boundary = 2 * 40  # idle bits end, SOF begins
+        assert volts[boundary - 1] == pytest.approx(0.0, abs=1e-6)
+        # A quarter bit later the rise is clearly under way.
+        assert volts[boundary + 10] > 0.5

@@ -1,0 +1,75 @@
+"""Trace archives: the record-once, replay-everywhere workflow."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.archive import load_traces, save_traces
+from repro.acquisition.trace import VoltageTrace
+from repro.core.edge_extraction import extract_many
+from repro.errors import AcquisitionError
+
+
+class TestRoundTrip:
+    def test_counts_and_parameters_preserved(self, sterling_session, tmp_path):
+        path = tmp_path / "capture.npz"
+        original = sterling_session.traces[:50]
+        save_traces(path, original)
+        loaded = load_traces(path)
+        assert len(loaded) == 50
+        for before, after in zip(original, loaded):
+            assert np.array_equal(before.counts, after.counts)
+            assert after.sample_rate == before.sample_rate
+            assert after.resolution_bits == before.resolution_bits
+            assert after.bitrate == before.bitrate
+            assert after.start_s == pytest.approx(before.start_s)
+
+    def test_metadata_preserved(self, sterling_session, tmp_path):
+        path = tmp_path / "capture.npz"
+        save_traces(path, sterling_session.traces[:20])
+        loaded = load_traces(path)
+        for before, after in zip(sterling_session.traces, loaded):
+            assert after.metadata["sender"] == before.metadata["sender"]
+            assert after.metadata["frame"] == before.metadata["frame"]
+
+    def test_replayed_traces_extract_identically(self, sterling_session, tmp_path):
+        path = tmp_path / "capture.npz"
+        save_traces(path, sterling_session.traces[:30])
+        original = extract_many(sterling_session.traces[:30])
+        replayed = extract_many(load_traces(path))
+        for a, b in zip(original, replayed):
+            assert a.source_address == b.source_address
+            assert np.array_equal(a.vector, b.vector)
+
+    def test_traces_without_metadata(self, tmp_path):
+        trace = VoltageTrace(
+            counts=np.arange(100, dtype=np.int32),
+            sample_rate=10e6,
+            resolution_bits=12,
+        )
+        path = tmp_path / "bare.npz"
+        save_traces(path, [trace])
+        loaded = load_traces(path)
+        assert "frame" not in loaded[0].metadata
+        assert "sender" not in loaded[0].metadata
+
+
+class TestValidation:
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(AcquisitionError):
+            save_traces(tmp_path / "x.npz", [])
+
+    def test_mixed_lengths_rejected(self, tmp_path):
+        traces = [
+            VoltageTrace(np.zeros(10, np.int32), 1e6, 12),
+            VoltageTrace(np.zeros(20, np.int32), 1e6, 12),
+        ]
+        with pytest.raises(AcquisitionError):
+            save_traces(tmp_path / "x.npz", traces)
+
+    def test_mixed_parameters_rejected(self, tmp_path):
+        traces = [
+            VoltageTrace(np.zeros(10, np.int32), 1e6, 12),
+            VoltageTrace(np.zeros(10, np.int32), 2e6, 12),
+        ]
+        with pytest.raises(AcquisitionError):
+            save_traces(tmp_path / "x.npz", traces)

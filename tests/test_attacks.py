@@ -1,0 +1,130 @@
+"""Attack simulations: hijack SA rewriting and foreign devices."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.adc import AdcConfig
+from repro.acquisition.sampler import CaptureChain
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.analog.waveform import SynthesisConfig
+from repro.attacks.foreign import (
+    ForeignDongle,
+    ForeignScenario,
+    apply_foreign_imitation,
+    most_similar_pair,
+)
+from repro.attacks.hijack import apply_hijack
+from repro.core.edge_extraction import ExtractedEdgeSet
+from repro.core.training import TrainingData, train_model
+from repro.errors import DatasetError
+
+LUT = {0x10: "A", 0x11: "A", 0x20: "B", 0x30: "C"}
+
+
+def edge_sets(rng, n=300):
+    sas = rng.choice([0x10, 0x11, 0x20, 0x30], size=n)
+    return [
+        ExtractedEdgeSet(
+            source_address=int(sa),
+            vector=rng.normal(size=4),
+            metadata={"sender": LUT[int(sa)]},
+        )
+        for sa in sas
+    ]
+
+
+class TestHijack:
+    def test_probability_respected(self, rng):
+        labelled = apply_hijack(edge_sets(rng, 3000), LUT, probability=0.2, rng=rng)
+        rate = np.mean([l.is_attack for l in labelled])
+        assert 0.16 < rate < 0.24
+
+    def test_forged_sa_in_other_cluster(self, rng):
+        labelled = apply_hijack(edge_sets(rng), LUT, probability=1.0, rng=rng)
+        for item in labelled:
+            assert item.is_attack
+            assert LUT[item.edge_set.source_address] != item.true_sender
+
+    def test_zero_probability_is_clean(self, rng):
+        labelled = apply_hijack(edge_sets(rng), LUT, probability=0.0, rng=rng)
+        assert not any(l.is_attack for l in labelled)
+
+    def test_vectors_untouched(self, rng):
+        """Hijack rewrites the claimed SA, never the analog waveform."""
+        originals = edge_sets(rng, 50)
+        labelled = apply_hijack(originals, LUT, probability=1.0, rng=rng)
+        for original, item in zip(originals, labelled):
+            assert np.array_equal(original.vector, item.edge_set.vector)
+
+    def test_requires_two_clusters(self, rng):
+        with pytest.raises(DatasetError):
+            apply_hijack(edge_sets(rng, 10), {0x10: "A", 0x11: "A"}, rng=rng)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(DatasetError):
+            apply_hijack(edge_sets(rng, 10), LUT, probability=1.5, rng=rng)
+
+
+class TestForeignScenario:
+    def make_model(self, rng, metric):
+        centers = {0x10: 0.0, 0x20: 1.0, 0x30: 10.0}
+        vectors, sas = [], []
+        for sa, c in centers.items():
+            vectors.append(c + rng.normal(scale=0.3, size=(120, 4)))
+            sas.extend([sa] * 120)
+        return train_model(
+            TrainingData(np.concatenate(vectors), np.array(sas)),
+            metric=metric,
+            sa_clusters={0x10: "A", 0x20: "B", 0x30: "C"},
+        )
+
+    @pytest.mark.parametrize("metric", ["euclidean", "mahalanobis"])
+    def test_most_similar_pair(self, rng, metric):
+        scenario = most_similar_pair(self.make_model(rng, metric))
+        assert {scenario.imposter, scenario.victim} == {"A", "B"}
+        assert scenario.similarity > 0
+
+    def test_apply_imitation(self, rng):
+        scenario = ForeignScenario(imposter="A", victim="B", similarity=1.0)
+        labelled = apply_foreign_imitation(edge_sets(rng, 200), scenario, victim_sa=0x20)
+        for item in labelled:
+            if item.true_sender == "A":
+                assert item.is_attack
+                assert item.edge_set.source_address == 0x20
+            else:
+                assert not item.is_attack
+
+
+class TestForeignDongle:
+    def make_dongle(self):
+        trx = TransceiverParams(
+            name="dongle",
+            v_dominant=2.1,
+            v_recessive=0.0,
+            rise=EdgeDynamics(2.2e6, 0.8),
+            fall=EdgeDynamics(1.2e6, 1.0),
+        )
+        return ForeignDongle(transceiver=trx, victim_sa=0x17)
+
+    def test_crafted_frame_claims_victim_sa(self):
+        frame = self.make_dongle().craft_frame()
+        assert frame.can_id & 0xFF == 0x17
+        assert frame.extended
+
+    def test_inject_produces_attack_traces(self, rng):
+        chain = CaptureChain(
+            synthesis=SynthesisConfig(max_frame_bits=60),
+            adc=AdcConfig(resolution_bits=16),
+        )
+        traces = self.make_dongle().inject(chain, 5, rng=rng)
+        assert len(traces) == 5
+        assert all(t.metadata["is_attack"] for t in traces)
+        assert all(t.metadata["sender"] == "dongle" for t in traces)
+
+    def test_inject_count_validated(self, rng):
+        chain = CaptureChain(
+            synthesis=SynthesisConfig(max_frame_bits=60),
+            adc=AdcConfig(resolution_bits=16),
+        )
+        with pytest.raises(DatasetError):
+            self.make_dongle().inject(chain, 0, rng=rng)

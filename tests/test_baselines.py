@@ -1,0 +1,208 @@
+"""Related-work baselines and their ML substrates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fda import FisherDiscriminant
+from repro.baselines.features import (
+    message_feature_vector,
+    segment_features,
+    segment_message,
+    steady_state_averages,
+)
+from repro.baselines.logistic import LogisticRegression
+from repro.baselines.murvay import MurvayGrozaIdentifier
+from repro.baselines.scission import ScissionIdentifier
+from repro.baselines.simple_ids import SimpleAuthenticator, _equal_error_threshold
+from repro.baselines.viden import VidenIdentifier
+from repro.core.edge_extraction import ExtractionConfig
+from repro.errors import TrainingError
+
+
+@pytest.fixture(scope="module")
+def capture(vehicle_a_session):
+    train, test = vehicle_a_session.split(0.6, seed=9)
+    train, test = train[:900], test[:300]
+    return (
+        train,
+        [t.metadata["sender"] for t in train],
+        test,
+        [t.metadata["sender"] for t in test],
+        ExtractionConfig.for_trace(train[0]).threshold,
+    )
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self, rng):
+        X = np.concatenate([rng.normal(size=(100, 3)), 5 + rng.normal(size=(100, 3))])
+        y = ["a"] * 100 + ["b"] * 100
+        clf = LogisticRegression(epochs=200).fit(X, y)
+        assert clf.score(X, y) > 0.98
+
+    def test_three_classes(self, rng):
+        X = np.concatenate(
+            [rng.normal(size=(80, 2)), [0, 8] + rng.normal(size=(80, 2)), [8, 0] + rng.normal(size=(80, 2))]
+        )
+        y = ["a"] * 80 + ["b"] * 80 + ["c"] * 80
+        clf = LogisticRegression().fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_probabilities_normalised(self, rng):
+        X = np.concatenate([rng.normal(size=(50, 2)), 4 + rng.normal(size=(50, 2))])
+        y = ["a"] * 50 + ["b"] * 50
+        clf = LogisticRegression().fit(X, y)
+        probs = clf.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_needs_two_classes(self, rng):
+        with pytest.raises(TrainingError):
+            LogisticRegression().fit(rng.normal(size=(10, 2)), ["a"] * 10)
+
+    def test_unfitted_predict(self, rng):
+        with pytest.raises(TrainingError):
+            LogisticRegression().predict(rng.normal(size=(3, 2)))
+
+
+class TestFisherDiscriminant:
+    def test_projection_separates(self, rng):
+        X = np.concatenate([rng.normal(size=(100, 5)), 3 + rng.normal(size=(100, 5))])
+        y = ["a"] * 100 + ["b"] * 100
+        fda = FisherDiscriminant().fit(X, y)
+        projected = fda.transform(X)
+        assert projected.shape == (200, 1)  # k-1 components
+        assert abs(projected[:100].mean() - projected[100:].mean()) > 3 * projected[:100].std()
+
+    def test_predict_nearest_mean(self, rng):
+        X = np.concatenate([rng.normal(size=(60, 4)), 6 + rng.normal(size=(60, 4))])
+        y = ["a"] * 60 + ["b"] * 60
+        fda = FisherDiscriminant().fit(X, y)
+        predictions = fda.predict(X)
+        accuracy = np.mean([p == t for p, t in zip(predictions, y)])
+        assert accuracy > 0.98
+
+    def test_component_cap(self, rng):
+        X = rng.normal(size=(90, 6))
+        X[30:60] += 4
+        X[60:] -= 4
+        y = ["a"] * 30 + ["b"] * 30 + ["c"] * 30
+        fda = FisherDiscriminant(n_components=10).fit(X, y)
+        assert fda.projection_.shape[1] == 2  # capped at k-1
+
+    def test_small_class_rejected(self, rng):
+        with pytest.raises(TrainingError):
+            FisherDiscriminant().fit(rng.normal(size=(3, 2)), ["a", "a", "b"])
+
+
+class TestFeatures:
+    def test_segments_partition_message(self, capture):
+        train, _, _, _, threshold = capture
+        segments = segment_message(train[0], threshold)
+        assert segments.dominant.size > 0
+        assert segments.recessive.size > 0
+        assert segments.rising.size > 0
+        assert segments.falling.size > 0
+        assert segments.dominant.min() >= threshold
+        assert segments.recessive.max() < threshold
+
+    def test_segment_features_shape(self, rng):
+        assert segment_features(rng.normal(size=100)).shape == (9,)
+        assert segment_features(np.empty(0)).shape == (9,)
+
+    def test_message_vector_dimension(self, capture):
+        train, _, _, _, threshold = capture
+        assert message_feature_vector(train[0], threshold).shape == (36,)
+
+    def test_steady_state_averages(self, capture):
+        train, _, _, _, threshold = capture
+        features = steady_state_averages(train[0], threshold, samples_per_state=8)
+        assert features.shape == (16,)
+        # Dominant averages clearly above recessive averages.
+        assert features[:8].mean() > features[8:].mean() + 1000
+
+
+class TestIdentifiers:
+    def test_viden_accuracy(self, capture):
+        train, y_train, test, y_test, threshold = capture
+        viden = VidenIdentifier(threshold).fit(train, y_train)
+        assert viden.score(test, y_test) > 0.9
+
+    def test_viden_update_moves_profile(self, capture):
+        train, y_train, _, _, threshold = capture
+        viden = VidenIdentifier(threshold).fit(train, y_train)
+        before = viden.profiles_[y_train[0]].copy()
+        viden.update(train[0], y_train[0])
+        assert not np.array_equal(before, viden.profiles_[y_train[0]])
+
+    def test_scission_accuracy(self, capture):
+        train, y_train, test, y_test, threshold = capture
+        scission = ScissionIdentifier(threshold, epochs=150).fit(train, y_train)
+        assert scission.score(test, y_test) > 0.9
+
+    def test_simple_accuracy(self, capture):
+        train, y_train, test, y_test, threshold = capture
+        simple = SimpleAuthenticator(threshold).fit(train, y_train)
+        assert simple.score(test, y_test) > 0.95
+
+    def test_simple_authenticate(self, capture):
+        train, y_train, test, y_test, threshold = capture
+        simple = SimpleAuthenticator(threshold).fit(train, y_train)
+        genuine = np.mean(
+            [simple.authenticate(t, l) for t, l in zip(test[:100], y_test[:100])]
+        )
+        imposter_label = "ECU0"
+        imposter = np.mean(
+            [
+                simple.authenticate(t, imposter_label)
+                for t, l in zip(test[:100], y_test[:100])
+                if l != imposter_label
+            ]
+        )
+        assert genuine > 0.9
+        assert imposter < 0.1
+
+    def test_simple_unknown_claim_rejected(self, capture):
+        train, y_train, test, _, threshold = capture
+        simple = SimpleAuthenticator(threshold).fit(train, y_train)
+        assert not simple.authenticate(test[0], "ECU99")
+
+    def test_murvay_beats_chance_but_weak(self, capture):
+        """Murvay & Groza is the weak baseline (paper Section 1.2.1)."""
+        train, y_train, test, y_test, _ = capture
+        murvay = MurvayGrozaIdentifier("mse", prefix_samples=1200).fit(train, y_train)
+        accuracy = murvay.score(test, y_test)
+        assert accuracy > 0.3  # well above 1/5 chance
+
+    def test_murvay_methods_disagree_allowed(self, capture):
+        train, y_train, test, _, _ = capture
+        for method in MurvayGrozaIdentifier.METHODS:
+            ident = MurvayGrozaIdentifier(method, prefix_samples=1200).fit(train, y_train)
+            assert ident.predict_one(test[0]) in set(y_train)
+
+    def test_murvay_invalid_method(self):
+        with pytest.raises(TrainingError):
+            MurvayGrozaIdentifier("dtw")
+
+    def test_fit_validates_lengths(self, capture):
+        train, y_train, _, _, threshold = capture
+        with pytest.raises(TrainingError):
+            VidenIdentifier(threshold).fit(train, y_train[:-1])
+
+
+class TestEqualErrorThreshold:
+    def test_separable(self):
+        genuine = np.array([1.0, 2.0, 3.0])
+        imposter = np.array([10.0, 11.0, 12.0])
+        threshold = _equal_error_threshold(genuine, imposter)
+        # Both error rates are zero anywhere in [3, 10); the search
+        # settles on the tightest such threshold.
+        assert 3.0 <= threshold < 10.0
+        assert (genuine <= threshold).all()
+        assert (imposter > threshold).all()
+
+    def test_balances_rates(self, rng):
+        genuine = np.abs(rng.normal(0, 1, size=2000))
+        imposter = np.abs(rng.normal(4, 1, size=2000))
+        threshold = _equal_error_threshold(genuine, imposter)
+        frr = np.mean(genuine > threshold)
+        far = np.mean(imposter <= threshold)
+        assert abs(frr - far) < 0.03

@@ -1,0 +1,70 @@
+"""Bitwise arbitration behaviour."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.arbitration import arbitrate, arbitration_order
+from repro.can.frame import CanFrame
+from repro.errors import CanError
+
+
+def ext(can_id: int) -> CanFrame:
+    return CanFrame(can_id=can_id, data=b"\x00", extended=True)
+
+
+class TestArbitrate:
+    def test_single_frame_wins(self):
+        result = arbitrate([ext(0x100)])
+        assert result.winner_index == 0
+        assert result.loss_bit == (None,)
+
+    def test_lower_id_wins(self):
+        result = arbitrate([ext(0x200), ext(0x100)])
+        assert result.winner_index == 1
+
+    def test_loser_records_loss_bit(self):
+        result = arbitrate([ext(0x1FFFFFFF), ext(0x00000000)])
+        assert result.winner_index == 1
+        loss = result.loss_bit[0]
+        assert loss is not None and loss >= 1  # lost somewhere after SOF
+
+    def test_figure_2_3_example(self):
+        """ECU1 loses to ECU0 at the first differing identifier bit."""
+        # ids differing in one bit: 0b...0100... vs 0b...0000...
+        winner = ext(0b0_0000_0000_0000_0000_0000_0000_0000)
+        loser = ext(0b0_0000_0100_0000_0000_0000_0000_0000)
+        result = arbitrate([loser, winner])
+        assert result.winner_index == 1
+        # Differing id bit is base-id bit index 6 -> logical bit 7 (after SOF).
+        assert result.loss_bit[0] == 7
+
+    def test_standard_beats_extended_same_base(self):
+        """A standard frame's dominant RTR beats extended SRR (bit 12)."""
+        standard = CanFrame(can_id=0x123, data=b"", extended=False)
+        extended = CanFrame(can_id=(0x123 << 18) | 0x45, data=b"", extended=True)
+        result = arbitrate([extended, standard])
+        assert result.winner_index == 1
+
+    def test_identical_arbitration_fields_rejected(self):
+        with pytest.raises(CanError):
+            arbitrate([ext(0x100), ext(0x100)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CanError):
+            arbitrate([])
+
+    @given(st.lists(st.integers(0, (1 << 29) - 1), min_size=2, max_size=6, unique=True))
+    def test_minimum_id_always_wins(self, ids):
+        frames = [ext(i) for i in ids]
+        result = arbitrate(frames)
+        assert frames[result.winner_index].can_id == min(ids)
+
+
+class TestArbitrationOrder:
+    @given(st.lists(st.integers(0, (1 << 29) - 1), min_size=1, max_size=6, unique=True))
+    def test_drains_in_priority_order(self, ids):
+        frames = [ext(i) for i in ids]
+        order = arbitration_order(frames)
+        drained = [frames[i].can_id for i in order]
+        assert drained == sorted(ids)

@@ -1,0 +1,100 @@
+"""Bit stuffing, destuffing and integer/bit conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.bits import (
+    bits_to_int,
+    count_stuff_bits,
+    destuff_bits,
+    int_to_bits,
+    stuff_bits,
+    stuffed_length,
+)
+from repro.errors import CanEncodingError, StuffingError
+
+bit_lists = st.lists(st.integers(0, 1), max_size=200)
+
+
+class TestIntBits:
+    def test_round_trip_known(self):
+        assert int_to_bits(0b1011, 4) == [1, 0, 1, 1]
+        assert bits_to_int([1, 0, 1, 1]) == 0b1011
+
+    def test_msb_first(self):
+        assert int_to_bits(1, 8) == [0, 0, 0, 0, 0, 0, 0, 1]
+        assert int_to_bits(128, 8) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == []
+
+    def test_value_too_large(self):
+        with pytest.raises(CanEncodingError):
+            int_to_bits(16, 4)
+
+    def test_negative_value(self):
+        with pytest.raises(CanEncodingError):
+            int_to_bits(-1, 4)
+
+    def test_negative_width(self):
+        with pytest.raises(CanEncodingError):
+            int_to_bits(0, -1)
+
+    @given(st.integers(0, 2**29 - 1))
+    def test_round_trip_property(self, value):
+        assert bits_to_int(int_to_bits(value, 29)) == value
+
+
+class TestStuffing:
+    def test_inserts_after_five_identical(self):
+        assert stuff_bits([0, 0, 0, 0, 0]) == [0, 0, 0, 0, 0, 1]
+        assert stuff_bits([1, 1, 1, 1, 1]) == [1, 1, 1, 1, 1, 0]
+
+    def test_no_stuffing_needed(self):
+        bits = [0, 1, 0, 1, 0, 1]
+        assert stuff_bits(bits) == bits
+
+    def test_stuff_bit_seeds_next_run(self):
+        # 00000 -> stuff 1; then four more 1s complete a run of five 1s
+        # (stuff bit included) -> stuff 0.
+        stuffed = stuff_bits([0, 0, 0, 0, 0, 1, 1, 1, 1])
+        assert stuffed == [0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0]
+
+    def test_long_run_multiple_stuffs(self):
+        stuffed = stuff_bits([0] * 10)
+        # 00000 1 0000 1 0 -> one stuff after 5, another after next 4+prev? no:
+        # after stuff bit (1) the run restarts; five more 0s trigger again.
+        assert stuffed == [0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1]
+
+    def test_never_six_identical(self):
+        stuffed = stuff_bits([0] * 50 + [1] * 50)
+        run, prev = 0, None
+        for bit in stuffed:
+            run = run + 1 if bit == prev else 1
+            prev = bit
+            assert run <= 5
+
+    @given(bit_lists)
+    def test_round_trip_property(self, bits):
+        assert destuff_bits(stuff_bits(bits)) == bits
+
+    @given(bit_lists)
+    def test_stuffed_never_six_identical(self, bits):
+        run, prev = 0, None
+        for bit in stuff_bits(bits):
+            run = run + 1 if bit == prev else 1
+            prev = bit
+            assert run <= 5
+
+    @given(bit_lists)
+    def test_stuffed_length_matches(self, bits):
+        assert stuffed_length(bits) == len(stuff_bits(bits))
+        assert count_stuff_bits(bits) == len(stuff_bits(bits)) - len(bits)
+
+    def test_destuff_rejects_six_identical(self):
+        with pytest.raises(StuffingError):
+            destuff_bits([0, 0, 0, 0, 0, 0])
+
+    def test_destuff_empty(self):
+        assert destuff_bits([]) == []

@@ -1,0 +1,88 @@
+"""Bus scheduling: serialisation, arbitration under contention, timing."""
+
+import pytest
+
+from repro.can.bus import INTERFRAME_SPACE_BITS, CanBus
+from repro.can.frame import CanFrame
+from repro.can.j1939 import J1939Id
+from repro.can.traffic import MessageSchedule, ScheduledFrame, TrafficGenerator
+from repro.errors import CanError
+
+
+def release(t: float, can_id: int, sender: str) -> ScheduledFrame:
+    return ScheduledFrame(t, CanFrame(can_id=can_id, data=b"\x00" * 4), sender)
+
+
+class TestSchedule:
+    def test_empty(self):
+        assert CanBus().schedule([]) == []
+
+    def test_single_frame_at_release(self):
+        txs = CanBus().schedule([release(0.5, 0x100, "a")])
+        assert len(txs) == 1
+        assert txs[0].start_s == pytest.approx(0.5)
+        assert not txs[0].contended
+
+    def test_no_overlap(self):
+        bus = CanBus(bitrate=250_000)
+        releases = [release(0.0, 0x100 + i, f"e{i}") for i in range(6)]
+        txs = bus.schedule(releases)
+        for first, second in zip(txs, txs[1:]):
+            end = first.start_s + first.duration_s(bus.bitrate)
+            assert second.start_s >= end
+
+    def test_interframe_space_respected(self):
+        bus = CanBus(bitrate=250_000)
+        txs = bus.schedule([release(0.0, 0x100, "a"), release(0.0, 0x200, "b")])
+        gap = txs[1].start_s - (txs[0].start_s + txs[0].duration_s(bus.bitrate))
+        assert gap >= INTERFRAME_SPACE_BITS * bus.bit_time_s - 1e-12
+
+    def test_simultaneous_releases_resolved_by_priority(self):
+        txs = CanBus().schedule([release(0.0, 0x300, "low"), release(0.0, 0x100, "high")])
+        assert [t.sender for t in txs] == ["high", "low"]
+        # The winner fought an arbitration round; the loser retries on an
+        # idle bus afterwards.
+        assert txs[0].contended and not txs[1].contended
+
+    def test_later_release_waits_for_busy_bus(self):
+        bus = CanBus(bitrate=250_000)
+        first = release(0.0, 0x100, "a")
+        # Released in the middle of the first transmission.
+        second = release(0.0001, 0x200, "b")
+        txs = bus.schedule([first, second])
+        first_end = txs[0].start_s + txs[0].duration_s(bus.bitrate)
+        assert txs[1].start_s >= first_end
+
+    def test_result_sorted_by_start(self):
+        releases = [release(0.01 * i, 0x100 + (i % 3), f"e{i}") for i in range(10)]
+        txs = CanBus().schedule(releases)
+        starts = [t.start_s for t in txs]
+        assert starts == sorted(starts)
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(CanError):
+            CanBus(bitrate=0)
+
+
+class TestUtilisation:
+    def test_utilisation_fraction(self):
+        bus = CanBus(bitrate=250_000)
+        txs = bus.schedule([release(0.0, 0x100, "a")])
+        u = bus.utilisation(txs, horizon_s=1.0)
+        assert 0.0 < u < 0.01
+
+    def test_invalid_horizon(self):
+        with pytest.raises(CanError):
+            CanBus().utilisation([], horizon_s=0.0)
+
+
+class TestEndToEndTraffic:
+    def test_generator_through_bus(self):
+        j = J1939Id(priority=6, pgn=0xFEF1, source_address=0x10)
+        generator = TrafficGenerator(
+            schedules=[("ecu", MessageSchedule(j1939_id=j, period_s=0.01))], seed=3
+        )
+        bus = CanBus(bitrate=250_000)
+        txs = bus.schedule(generator.frames_until(0.2))
+        assert len(txs) == 20
+        assert all(t.sender == "ecu" for t in txs)

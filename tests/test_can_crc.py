@@ -1,0 +1,62 @@
+"""CAN CRC-15 computation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.crc import CAN_CRC15_POLY, crc15, crc15_bits, verify_crc15
+
+bit_lists = st.lists(st.integers(0, 1), min_size=1, max_size=120)
+
+
+class TestCrc15:
+    def test_empty_is_zero(self):
+        assert crc15([]) == 0
+
+    def test_all_zero_input_is_zero(self):
+        assert crc15([0] * 40) == 0
+
+    def test_single_one_gives_polynomial(self):
+        # A single 1 entering an all-zero register XORs in the generator.
+        assert crc15([1]) == CAN_CRC15_POLY
+
+    def test_is_15_bits(self):
+        for pattern in ([1] * 64, [1, 0] * 50, [0, 1, 1] * 30):
+            assert 0 <= crc15(pattern) < (1 << 15)
+
+    def test_bits_msb_first(self):
+        value = crc15([1, 0, 1, 1, 0])
+        bits = crc15_bits([1, 0, 1, 1, 0])
+        assert len(bits) == 15
+        rebuilt = 0
+        for bit in bits:
+            rebuilt = (rebuilt << 1) | bit
+        assert rebuilt == value
+
+    @given(bit_lists)
+    def test_verify_accepts_own_crc(self, bits):
+        assert verify_crc15(bits, crc15_bits(bits))
+
+    @given(bit_lists, st.data())
+    def test_single_bit_error_detected(self, bits, data):
+        """Any single-bit payload corruption must change the CRC."""
+        crc = crc15_bits(bits)
+        flip = data.draw(st.integers(0, len(bits) - 1))
+        corrupted = list(bits)
+        corrupted[flip] ^= 1
+        assert not verify_crc15(corrupted, crc)
+
+    @given(bit_lists, st.integers(0, 14))
+    def test_single_bit_crc_error_detected(self, bits, flip):
+        crc = crc15_bits(bits)
+        crc[flip] ^= 1
+        assert not verify_crc15(bits, crc)
+
+    def test_verify_rejects_wrong_length(self):
+        assert not verify_crc15([1, 0, 1], [0] * 14)
+
+    @given(bit_lists)
+    def test_linearity(self, bits):
+        """CRC over GF(2) is linear: crc(a^b) == crc(a)^crc(b)."""
+        other = [(b + 1) % 2 for b in bits]  # complement, same length
+        xored = [a ^ b for a, b in zip(bits, other)]
+        assert crc15(xored) == crc15(bits) ^ crc15(other)

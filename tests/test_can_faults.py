@@ -1,0 +1,188 @@
+"""Fault confinement rules and the bus-off attack."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.attacks.bus_off import (
+    minimum_messages_to_bus_off,
+    simulate_bus_off_attack,
+    victim_timeline_with_bus_off,
+)
+from repro.can.faults import (
+    BUS_OFF_LIMIT,
+    ERROR_PASSIVE_LIMIT,
+    ErrorState,
+    FaultConfinement,
+)
+from repro.errors import CanError
+
+
+class TestCounters:
+    def test_starts_error_active(self):
+        assert FaultConfinement().state is ErrorState.ERROR_ACTIVE
+
+    def test_tx_error_adds_eight(self):
+        node = FaultConfinement()
+        node.on_tx_error()
+        assert node.tec == 8
+
+    def test_tx_success_subtracts_one(self):
+        node = FaultConfinement(tec=10)
+        node.on_tx_success()
+        assert node.tec == 9
+
+    def test_counters_never_negative(self):
+        node = FaultConfinement()
+        node.on_tx_success()
+        node.on_rx_success()
+        assert node.tec == 0 and node.rec == 0
+
+    def test_rx_error_penalties(self):
+        node = FaultConfinement()
+        node.on_rx_error()
+        assert node.rec == 1
+        node.on_rx_error(primary=True)
+        assert node.rec == 9
+
+    def test_error_passive_thresholds(self):
+        assert FaultConfinement(tec=ERROR_PASSIVE_LIMIT).state is ErrorState.ERROR_ACTIVE
+        assert FaultConfinement(tec=ERROR_PASSIVE_LIMIT + 1).state is ErrorState.ERROR_PASSIVE
+        assert FaultConfinement(rec=ERROR_PASSIVE_LIMIT + 1).state is ErrorState.ERROR_PASSIVE
+
+    def test_bus_off_threshold(self):
+        assert FaultConfinement(tec=BUS_OFF_LIMIT).state is ErrorState.ERROR_PASSIVE
+        assert FaultConfinement(tec=BUS_OFF_LIMIT + 1).state is ErrorState.BUS_OFF
+
+    def test_bus_off_node_cannot_transmit(self):
+        node = FaultConfinement(tec=BUS_OFF_LIMIT + 1)
+        with pytest.raises(CanError):
+            node.on_tx_success()
+        with pytest.raises(CanError):
+            node.on_tx_error()
+
+    @given(st.lists(st.sampled_from(["te", "ts", "re", "rs"]), max_size=60))
+    def test_state_always_consistent_with_counters(self, events):
+        node = FaultConfinement()
+        for event in events:
+            if node.is_bus_off:
+                break
+            if event == "te":
+                node.on_tx_error()
+            elif event == "ts":
+                node.on_tx_success()
+            elif event == "re":
+                node.on_rx_error()
+            else:
+                node.on_rx_success()
+        assert node.tec >= 0 and node.rec >= 0
+        if node.tec > BUS_OFF_LIMIT:
+            assert node.state is ErrorState.BUS_OFF
+        elif node.tec > ERROR_PASSIVE_LIMIT or node.rec > ERROR_PASSIVE_LIMIT:
+            assert node.state is ErrorState.ERROR_PASSIVE
+        else:
+            assert node.state is ErrorState.ERROR_ACTIVE
+
+
+class TestRecovery:
+    def test_recovery_requires_128_sequences(self):
+        node = FaultConfinement(tec=BUS_OFF_LIMIT + 1)
+        assert not node.observe_recessive_bits(127 * 11)
+        assert node.observe_recessive_bits(11)
+        assert node.state is ErrorState.ERROR_ACTIVE
+        assert node.tec == 0
+
+    def test_partial_sequences_do_not_count(self):
+        node = FaultConfinement(tec=BUS_OFF_LIMIT + 1)
+        assert not node.observe_recessive_bits(10)  # less than one sequence
+        assert node.recovery_progress == 0
+
+    def test_recovery_time(self):
+        node = FaultConfinement(tec=BUS_OFF_LIMIT + 1)
+        assert node.recovery_time_s(250_000.0) == pytest.approx(128 * 11 / 250_000.0)
+
+    def test_active_node_cannot_recover(self):
+        with pytest.raises(CanError):
+            FaultConfinement().observe_recessive_bits(11)
+
+
+class TestBusOffAttack:
+    def test_classic_attack_takes_32_messages(self):
+        result = simulate_bus_off_attack(attack_every=1)
+        assert result.messages_to_bus_off == 32
+        assert result.messages_to_bus_off == minimum_messages_to_bus_off()
+
+    def test_tec_trajectory_monotone_under_full_attack(self):
+        result = simulate_bus_off_attack(attack_every=1)
+        diffs = [
+            b - a
+            for a, b in zip(result.tec_trajectory, result.tec_trajectory[1:])
+        ]
+        assert all(d == 8 for d in diffs)
+
+    def test_error_passive_before_bus_off(self):
+        result = simulate_bus_off_attack(attack_every=1)
+        assert result.reached_error_passive_at is not None
+        assert result.reached_error_passive_at < result.messages_to_bus_off
+
+    def test_sparse_attack_never_succeeds(self):
+        """Destroying every 9th frame loses to the -1/frame decay."""
+        result = simulate_bus_off_attack(attack_every=9, max_attempts=20_000)
+        assert result.messages_to_bus_off is None
+
+    def test_time_estimate(self):
+        result = simulate_bus_off_attack(attack_every=1, victim_period_s=0.02)
+        assert result.time_to_bus_off_s == pytest.approx(32 * 0.02)
+
+    def test_invalid_intensity(self):
+        with pytest.raises(CanError):
+            simulate_bus_off_attack(attack_every=0)
+
+
+class TestVictimTimeline:
+    def test_silence_window(self):
+        times = victim_timeline_with_bus_off(
+            period_s=0.02, horizon_s=2.0, bus_off_at_s=1.0, recovery=True
+        )
+        recovery_delay = 128 * 11 / 250_000.0
+        in_window = [
+            t for t in times if 1.0 <= t < 1.0 + recovery_delay
+        ]
+        assert not in_window
+        assert any(t >= 1.0 + recovery_delay for t in times)
+
+    def test_no_recovery_means_permanent_silence(self):
+        times = victim_timeline_with_bus_off(
+            period_s=0.02, horizon_s=2.0, bus_off_at_s=1.0, recovery=False
+        )
+        assert max(times) < 1.0
+
+    def test_period_monitor_flags_the_silence(self):
+        """Integration with repro.ids: the gap alert fires on bus-off."""
+        from repro.ids.timing import PeriodMonitor
+
+        clean = victim_timeline_with_bus_off(
+            period_s=0.02, horizon_s=0.9, bus_off_at_s=10.0
+        )
+        monitor = PeriodMonitor().fit([(t, 0x100) for t in clean])
+        # At 250 kb/s recovery only takes ~5.6 ms (shorter than one
+        # period); a repeatedly-attacked victim on a slow bus shows the
+        # multi-period silence the gap rule looks for.
+        attacked = victim_timeline_with_bus_off(
+            period_s=0.02,
+            horizon_s=3.0,
+            bus_off_at_s=1.0,
+            recovery=True,
+            bitrate=5_000.0,
+        )
+        alerts = [
+            monitor.observe(t, 0x100)
+            for t in attacked
+            if t >= 0.9
+        ]
+        reasons = [a.reason for a in alerts if a is not None]
+        assert "gap" in reasons
+
+    def test_validation(self):
+        with pytest.raises(CanError):
+            victim_timeline_with_bus_off(period_s=0, horizon_s=1, bus_off_at_s=0.5)

@@ -1,0 +1,151 @@
+"""CAN frame encoding, decoding and field layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.bits import destuff_bits
+from repro.can.frame import (
+    EXT_FIRST_BIT_AFTER_ARBITRATION,
+    EXT_SA_FIRST_BIT,
+    EXT_SA_LAST_BIT,
+    CanFrame,
+)
+from repro.errors import CanDecodingError, CanEncodingError, CrcError
+
+ext_ids = st.integers(0, (1 << 29) - 1)
+std_ids = st.integers(0, (1 << 11) - 1)
+payloads = st.binary(min_size=0, max_size=8)
+
+
+class TestConstruction:
+    def test_extended_id_range(self):
+        CanFrame(can_id=(1 << 29) - 1, extended=True)
+        with pytest.raises(CanEncodingError):
+            CanFrame(can_id=1 << 29, extended=True)
+
+    def test_standard_id_range(self):
+        CanFrame(can_id=(1 << 11) - 1, extended=False)
+        with pytest.raises(CanEncodingError):
+            CanFrame(can_id=1 << 11, extended=False)
+
+    def test_data_too_long(self):
+        with pytest.raises(CanEncodingError):
+            CanFrame(can_id=1, data=b"123456789")
+
+    def test_dlc(self):
+        assert CanFrame(can_id=1, data=b"abc").dlc == 3
+
+    def test_source_address(self):
+        frame = CanFrame(can_id=0x18F00423, extended=True)
+        assert frame.source_address == 0x23
+
+    def test_standard_frame_has_no_sa(self):
+        with pytest.raises(CanEncodingError):
+            CanFrame(can_id=5, extended=False).source_address
+
+
+class TestLayout:
+    def test_extended_header_length(self):
+        frame = CanFrame(can_id=0x1ABCDEF0, data=b"\x11" * 8)
+        # SOF + 11 + SRR + IDE + 18 + RTR + r1 + r0 + DLC(4) + 64 data
+        assert len(frame.header_bits()) == 1 + 11 + 2 + 18 + 1 + 2 + 4 + 64
+
+    def test_standard_header_length(self):
+        frame = CanFrame(can_id=0x123, data=b"\x22" * 2, extended=False)
+        # SOF + 11 + RTR + IDE + r0 + DLC(4) + 16 data
+        assert len(frame.header_bits()) == 1 + 11 + 3 + 4 + 16
+
+    def test_unstuffed_total_length(self):
+        frame = CanFrame(can_id=0x1ABCDEF0, data=b"\x11" * 8)
+        header = len(frame.header_bits())
+        # header + CRC(15) + CRC delim + ACK + ACK delim + EOF(7)
+        assert len(frame.unstuffed_bits()) == header + 15 + 1 + 1 + 1 + 7
+
+    def test_sof_is_dominant(self):
+        assert CanFrame(can_id=1).unstuffed_bits()[0] == 0
+
+    def test_eof_is_recessive(self):
+        assert CanFrame(can_id=1).unstuffed_bits()[-7:] == [1] * 7
+
+    def test_sa_bit_positions(self):
+        """The J1939 SA occupies logical bits 24-31, as Algorithm 1 assumes."""
+        frame = CanFrame(can_id=0x0CF004A5, extended=True)  # SA = 0xA5
+        bits = frame.unstuffed_bits()
+        sa_bits = bits[EXT_SA_FIRST_BIT : EXT_SA_LAST_BIT + 1]
+        value = 0
+        for bit in sa_bits:
+            value = (value << 1) | bit
+        assert value == 0xA5
+
+    def test_bit_33_is_first_after_arbitration(self):
+        frame = CanFrame(can_id=0x0CF004A5, extended=True)
+        arb = frame.arbitration_bits()
+        # Arbitration covers SOF..RTR = 33 bits, so bit index 33 is next.
+        assert len(arb) == EXT_FIRST_BIT_AFTER_ARBITRATION
+        # r1 (bit 33) is transmitted dominant.
+        assert frame.unstuffed_bits()[33] == 0
+
+    def test_ack_slot_dominant(self):
+        bits = CanFrame(can_id=1).unstuffed_bits()
+        # [..., CRC delim(1), ACK(0), ACK delim(1), EOF x7]
+        assert bits[-10] == 1 and bits[-9] == 0 and bits[-8] == 1
+
+
+class TestRoundTrip:
+    @given(ext_ids, payloads)
+    def test_extended_stuffed_round_trip(self, can_id, data):
+        frame = CanFrame(can_id=can_id, data=data, extended=True)
+        decoded = CanFrame.from_stuffed_bits(frame.stuffed_bits())
+        assert decoded == frame
+
+    @given(std_ids, payloads)
+    def test_standard_stuffed_round_trip(self, can_id, data):
+        frame = CanFrame(can_id=can_id, data=data, extended=False)
+        decoded = CanFrame.from_stuffed_bits(frame.stuffed_bits())
+        assert decoded == frame
+
+    @given(ext_ids, payloads)
+    def test_unstuffed_round_trip(self, can_id, data):
+        frame = CanFrame(can_id=can_id, data=data, extended=True)
+        assert CanFrame.from_unstuffed_bits(frame.unstuffed_bits()) == frame
+
+    def test_stuffing_consistency(self):
+        """Destuffing the CRC-covered wire region recovers the logical bits."""
+        from repro.can.bits import stuffed_length
+
+        frame = CanFrame(can_id=0, data=b"\x00" * 8)  # heavy stuffing
+        header_and_crc = len(frame.header_bits()) + 15
+        logical = frame.unstuffed_bits()[:header_and_crc]
+        wire = frame.stuffed_bits()[: stuffed_length(logical)]
+        assert destuff_bits(wire) == logical
+
+    def test_len_is_stuffed_length(self):
+        frame = CanFrame(can_id=0x1FFFFFFF, data=b"\xff" * 8)
+        assert len(frame) == len(frame.stuffed_bits())
+
+
+class TestDecodingErrors:
+    def test_rejects_missing_sof(self):
+        with pytest.raises(CanDecodingError):
+            CanFrame.from_unstuffed_bits([1, 0, 1])
+
+    def test_rejects_truncated(self):
+        frame = CanFrame(can_id=0x155, data=b"ab")
+        with pytest.raises(CanDecodingError):
+            CanFrame.from_unstuffed_bits(frame.unstuffed_bits()[:20])
+
+    def test_crc_error_detected(self):
+        frame = CanFrame(can_id=0x18F00400, data=b"\x01\x02")
+        bits = frame.unstuffed_bits()
+        bits[40] ^= 1  # corrupt a payload-region bit
+        with pytest.raises((CrcError, CanDecodingError)):
+            CanFrame.from_unstuffed_bits(bits)
+
+    def test_remote_frames_unsupported(self):
+        frame = CanFrame(can_id=0x18F00400, data=b"")
+        bits = frame.unstuffed_bits()
+        rtr_index = 1 + 11 + 2 + 18  # SOF + base + SRR/IDE + ext id
+        bits[rtr_index] = 1
+        with pytest.raises(CanDecodingError):
+            CanFrame.from_unstuffed_bits(bits)

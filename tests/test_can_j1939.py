@@ -1,0 +1,85 @@
+"""J1939 identifier semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.j1939 import (
+    J1939Id,
+    PGN_EEC1,
+    PGN_TSC1,
+    extract_source_address,
+)
+from repro.errors import CanEncodingError
+
+
+class TestFields:
+    def test_pack_layout(self):
+        j = J1939Id(priority=3, pgn=PGN_EEC1, source_address=0x00)
+        assert j.to_can_id() == (3 << 26) | (PGN_EEC1 << 8) | 0x00
+
+    def test_pdu2_is_broadcast(self):
+        j = J1939Id(priority=6, pgn=PGN_EEC1, source_address=0x10)
+        assert not j.is_pdu1
+        assert j.destination_address is None
+
+    def test_pdu1_carries_destination(self):
+        j = J1939Id(priority=3, pgn=PGN_TSC1, source_address=0x05, destination_address=0x00)
+        assert j.is_pdu1
+        decoded = J1939Id.from_can_id(j.to_can_id())
+        assert decoded.destination_address == 0x00
+        assert decoded.pgn == PGN_TSC1
+
+    def test_pdu2_rejects_destination(self):
+        with pytest.raises(CanEncodingError):
+            J1939Id(priority=6, pgn=PGN_EEC1, source_address=0, destination_address=5)
+
+    def test_priority_range(self):
+        with pytest.raises(CanEncodingError):
+            J1939Id(priority=8, pgn=0, source_address=0)
+
+    def test_pgn_range(self):
+        with pytest.raises(CanEncodingError):
+            J1939Id(priority=0, pgn=1 << 18, source_address=0)
+
+    def test_sa_range(self):
+        with pytest.raises(CanEncodingError):
+            J1939Id(priority=0, pgn=0, source_address=256)
+
+    def test_str_contains_fields(self):
+        text = str(J1939Id(priority=3, pgn=PGN_EEC1, source_address=0x17))
+        assert "P=3" in text and "SA=0x17" in text
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(0, 7),
+        st.integers(240, 255),  # PDU2 PF byte
+        st.integers(0, 255),    # group extension
+        st.integers(0, 255),
+    )
+    def test_pdu2_round_trip(self, priority, pf, ge, sa):
+        pgn = (pf << 8) | ge
+        j = J1939Id(priority=priority, pgn=pgn, source_address=sa)
+        assert J1939Id.from_can_id(j.to_can_id()) == j
+
+    @given(
+        st.integers(0, 7),
+        st.integers(0, 239),  # PDU1 PF byte
+        st.integers(0, 255),  # destination
+        st.integers(0, 255),
+    )
+    def test_pdu1_round_trip(self, priority, pf, da, sa):
+        pgn = pf << 8
+        j = J1939Id(
+            priority=priority, pgn=pgn, source_address=sa, destination_address=da
+        )
+        assert J1939Id.from_can_id(j.to_can_id()) == j
+
+    @given(st.integers(0, (1 << 29) - 1))
+    def test_sa_is_low_byte(self, can_id):
+        assert extract_source_address(can_id) == can_id & 0xFF
+
+    def test_extract_sa_rejects_wide_id(self):
+        with pytest.raises(CanEncodingError):
+            extract_source_address(1 << 29)

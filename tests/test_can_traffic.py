@@ -1,0 +1,92 @@
+"""Periodic traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.can.j1939 import J1939Id
+from repro.can.traffic import MessageSchedule, TrafficGenerator
+from repro.errors import CanEncodingError
+
+
+def schedule(period=0.01, phase=0.0, jitter=0.0, sa=0x10, dlc=8):
+    return MessageSchedule(
+        j1939_id=J1939Id(priority=6, pgn=0xFEF1, source_address=sa),
+        period_s=period,
+        dlc=dlc,
+        phase_s=phase,
+        jitter_s=jitter,
+    )
+
+
+class TestMessageSchedule:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(CanEncodingError):
+            schedule(period=0.0)
+
+    def test_rejects_bad_dlc(self):
+        with pytest.raises(CanEncodingError):
+            schedule(dlc=9)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(CanEncodingError):
+            schedule(jitter=-1.0)
+
+
+class TestTrafficGenerator:
+    def test_count_matches_period(self):
+        gen = TrafficGenerator(schedules=[("e", schedule(period=0.01))], seed=1)
+        assert len(gen.frames_until(1.0)) == 100
+
+    def test_phase_offsets_first_release(self):
+        gen = TrafficGenerator(schedules=[("e", schedule(phase=0.005))], seed=1)
+        frames = gen.frames_until(0.1)
+        assert frames[0].release_s == pytest.approx(0.005)
+
+    def test_jitter_bounded(self):
+        jitter = 0.002
+        gen = TrafficGenerator(schedules=[("e", schedule(jitter=jitter))], seed=1)
+        for k, scheduled in enumerate(gen.frames_until(0.5)):
+            nominal = k * 0.01
+            assert nominal <= scheduled.release_s <= nominal + jitter + 1e-12
+
+    def test_releases_sorted(self):
+        gen = TrafficGenerator(
+            schedules=[("a", schedule(sa=0x10)), ("b", schedule(period=0.007, sa=0x20))],
+            seed=2,
+        )
+        times = [s.release_s for s in gen.frames_until(0.3)]
+        assert times == sorted(times)
+
+    def test_horizon_excluded(self):
+        gen = TrafficGenerator(schedules=[("e", schedule())], seed=1)
+        assert all(s.release_s < 0.05 for s in gen.frames_until(0.05))
+
+    def test_payloads_vary(self):
+        gen = TrafficGenerator(schedules=[("e", schedule())], seed=1)
+        payloads = {s.frame.data for s in gen.frames_until(0.3)}
+        assert len(payloads) > 10
+
+    def test_sender_labels_preserved(self):
+        gen = TrafficGenerator(
+            schedules=[("alpha", schedule(sa=0x10)), ("beta", schedule(sa=0x20))],
+            seed=2,
+        )
+        senders = {s.sender for s in gen.frames_until(0.1)}
+        assert senders == {"alpha", "beta"}
+
+    def test_frame_ids_match_schedule(self):
+        sched = schedule(sa=0x42)
+        gen = TrafficGenerator(schedules=[("e", sched)], seed=1)
+        for scheduled in gen.frames_until(0.1):
+            assert scheduled.frame.can_id == sched.j1939_id.to_can_id()
+
+    def test_deterministic_with_seed(self):
+        a = TrafficGenerator(schedules=[("e", schedule(jitter=0.001))], seed=9)
+        b = TrafficGenerator(schedules=[("e", schedule(jitter=0.001))], seed=9)
+        times_a = [s.release_s for s in a.frames_until(0.2)]
+        times_b = [s.release_s for s in b.frames_until(0.2)]
+        assert np.allclose(times_a, times_b)
+
+    def test_zero_dlc(self):
+        gen = TrafficGenerator(schedules=[("e", schedule(dlc=0))], seed=1)
+        assert gen.frames_until(0.05)[0].frame.data == b""

@@ -1,0 +1,92 @@
+"""Command-line interface workflows."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_vehicle_a(self, capsys):
+        assert main(["info", "--vehicle", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "VehicleA" in out
+        assert "ECU0" in out and "ECU4" in out
+
+    def test_sterling(self, capsys):
+        assert main(["info", "--vehicle", "sterling"]) == 0
+        assert "SterlingActerra" in capsys.readouterr().out
+
+
+class TestCaptureTrainDetect:
+    @pytest.fixture(scope="class")
+    def capture_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "capture.npz"
+        assert main([
+            "capture", "--vehicle", "sterling", "--duration", "6",
+            "--seed", "3", "--output", str(path),
+        ]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def model_path(self, capture_path, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-model") / "model.npz"
+        assert main([
+            "train", "--vehicle", "sterling", "--input", str(capture_path),
+            "--output", str(path),
+        ]) == 0
+        return path
+
+    def test_capture_creates_archive(self, capture_path):
+        assert capture_path.exists()
+
+    def test_train_reports_clusters(self, model_path, capsys):
+        assert model_path.exists()
+
+    def test_detect_clean(self, model_path, capsys):
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "2", "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy=" in out
+        accuracy = float(out.split("accuracy=")[1].split()[0])
+        assert accuracy > 0.99
+
+    def test_detect_hijack(self, model_path, capsys):
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "2", "--seed", "9", "--hijack", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        f_score = float(out.split("F=")[1].split()[0])
+        assert f_score > 0.99
+
+    def test_detect_fixed_margin(self, model_path, capsys):
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "1", "--seed", "9", "--margin", "5.0",
+        ]) == 0
+        assert "auto-tuned" not in capsys.readouterr().out
+
+    def test_train_cluster_by_distance(self, capture_path, tmp_path, capsys):
+        path = tmp_path / "auto.npz"
+        assert main([
+            "train", "--vehicle", "sterling", "--input", str(capture_path),
+            "--cluster-by-distance", "--output", str(path),
+        ]) == 0
+        assert "2 clusters" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_suite(self, capsys):
+        assert main([
+            "experiment", "suite", "--vehicle", "sterling",
+            "--duration", "8", "--metric", "mahalanobis",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "False positive test" in out
+        assert "Foreign device imitation test" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,84 @@
+"""Confusion matrices and headline scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.eval.confusion import ConfusionMatrix
+
+counts = st.integers(0, 10_000)
+
+
+class TestScores:
+    def test_paper_table_4_1a(self):
+        """Vehicle A / Euclidean false-positive test: accuracy 0.99994."""
+        cm = ConfusionMatrix(
+            true_positive=0, false_negative=0, false_positive=53, true_negative=841_188
+        )
+        assert cm.accuracy == pytest.approx(0.99994, abs=5e-6)
+
+    def test_perfect_detection(self):
+        cm = ConfusionMatrix(100, 0, 0, 900)
+        assert cm.accuracy == 1.0
+        assert cm.precision == 1.0
+        assert cm.recall == 1.0
+        assert cm.f_score == 1.0
+
+    def test_missed_attacks(self):
+        cm = ConfusionMatrix(true_positive=0, false_negative=50, false_positive=0, true_negative=50)
+        assert cm.recall == 0.0
+        assert cm.f_score == 0.0
+
+    def test_no_attacks_recall_is_one(self):
+        cm = ConfusionMatrix(0, 0, 5, 95)
+        assert cm.recall == 1.0
+        assert cm.precision == 0.0
+
+    def test_false_positive_rate(self):
+        cm = ConfusionMatrix(0, 0, 10, 90)
+        assert cm.false_positive_rate == pytest.approx(0.1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            ConfusionMatrix(-1, 0, 0, 0)
+
+    @given(counts, counts, counts, counts)
+    def test_score_ranges(self, tp, fn, fp, tn):
+        cm = ConfusionMatrix(tp, fn, fp, tn)
+        if cm.total:
+            assert 0.0 <= cm.accuracy <= 1.0
+        assert 0.0 <= cm.precision <= 1.0
+        assert 0.0 <= cm.recall <= 1.0
+        assert 0.0 <= cm.f_score <= 1.0
+
+    @given(counts, counts, counts, counts)
+    def test_f_score_between_precision_and_recall(self, tp, fn, fp, tn):
+        cm = ConfusionMatrix(tp, fn, fp, tn)
+        lo, hi = sorted((cm.precision, cm.recall))
+        assert lo - 1e-12 <= cm.f_score <= hi + 1e-12
+
+
+class TestConstruction:
+    def test_from_predictions(self):
+        actual = np.array([True, True, False, False])
+        predicted = np.array([True, False, True, False])
+        cm = ConfusionMatrix.from_predictions(actual, predicted)
+        assert (cm.true_positive, cm.false_negative, cm.false_positive, cm.true_negative) == (1, 1, 1, 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            ConfusionMatrix.from_predictions(np.zeros(3, bool), np.zeros(4, bool))
+
+    def test_addition(self):
+        a = ConfusionMatrix(1, 2, 3, 4)
+        b = ConfusionMatrix(10, 20, 30, 40)
+        total = a + b
+        assert total.true_positive == 11
+        assert total.total == a.total + b.total
+
+    def test_table_rendering(self):
+        text = ConfusionMatrix(1, 2, 3, 4).as_table()
+        assert "Predicted" in text
+        assert "Anomaly" in text and "Normal" in text

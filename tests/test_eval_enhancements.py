@@ -1,0 +1,74 @@
+"""Chapter 5 enhancement studies (Tables 5.1 and 5.2)."""
+
+import pytest
+
+from repro.eval.enhancements import multi_edge_enhancement, threshold_enhancement
+from repro.vehicles.dataset import capture_session
+
+
+@pytest.fixture(scope="module")
+def long_session(veh_a):
+    """Traces long enough for three edge sets 25 us apart."""
+    return capture_session(veh_a, 5.0, seed=200, truncate_bits=85)
+
+
+class TestThresholdEnhancement:
+    @pytest.fixture(scope="class")
+    def result(self, long_session):
+        return threshold_enhancement(long_session.traces)
+
+    def test_all_ecus_covered(self, result):
+        assert [s.ecu for s in result.baseline] == [f"ECU{i}" for i in range(5)]
+        assert len(result.enhanced) == 5
+
+    def test_statistics_positive(self, result):
+        for base, enhanced in result.paired():
+            assert base.std > 0 and enhanced.std > 0
+            assert base.max_distance > 0 and enhanced.max_distance > 0
+
+    def test_thresholds_change_values(self, result):
+        """The paper: cluster thresholds move the statistics (in either
+        direction) without changing the headline detection rates."""
+        deltas = [
+            abs(b.std - e.std) + abs(b.max_distance - e.max_distance)
+            for b, e in result.paired()
+        ]
+        assert any(d > 1e-6 for d in deltas)
+
+    def test_labels(self, result):
+        assert result.baseline_label == "static threshold"
+        assert result.enhanced_label == "cluster threshold"
+
+
+class TestMultiEdgeEnhancement:
+    @pytest.fixture(scope="class")
+    def result(self, long_session):
+        return multi_edge_enhancement(long_session.traces)
+
+    def test_std_reduced_for_every_cluster(self, result):
+        """Table 5.2: averaging three edge sets lowers every cluster's
+        per-sample standard deviation."""
+        for base, enhanced in result.paired():
+            assert enhanced.std < base.std
+
+    def test_max_distance_mostly_reduced(self, result):
+        """Measured in the single-edge metric, the averaged edge sets sit
+        closer to their mean for most clusters (paper: all but ECU 1)."""
+        improved = sum(
+            1 for b, e in result.paired() if e.max_distance < b.max_distance
+        )
+        assert improved >= len(result.baseline) - 1
+
+    def test_counts_match(self, result):
+        for base, enhanced in result.paired():
+            assert base.count == enhanced.count
+
+
+class TestReporting:
+    def test_format(self, long_session):
+        from repro.eval.reporting import format_enhancement
+
+        result = threshold_enhancement(long_session.traces)
+        text = format_enhancement(result, "Table 5.1")
+        assert "Table 5.1" in text
+        assert "ECU0" in text

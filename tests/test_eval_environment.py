@@ -1,0 +1,79 @@
+"""Environmental experiments (Tables 4.8/4.9, Figures 4.6-4.8) at small scale."""
+
+import pytest
+
+from repro.eval.environment import temperature_experiment, voltage_experiment
+
+
+@pytest.fixture(scope="module")
+def temp_result(veh_a):
+    return temperature_experiment(
+        veh_a,
+        bin_edges=(-5.0, 0.0, 10.0, 25.0),
+        trials=1,
+        duration_per_capture_s=4.0,
+        seed=33,
+    )
+
+
+@pytest.fixture(scope="module")
+def volt_result(veh_a):
+    return voltage_experiment(
+        veh_a, trials=2, duration_per_capture_s=1.5, seed=34
+    )
+
+
+class TestTemperature:
+    def test_false_positive_rate_low(self, temp_result):
+        assert temp_result.confusion.false_positive_rate < 0.02
+
+    def test_no_attacks_in_experiment(self, temp_result):
+        assert temp_result.confusion.true_positive == 0
+        assert temp_result.confusion.false_negative == 0
+
+    def test_warm_training_data_reduces_false_positives(self, temp_result):
+        assert (
+            temp_result.confusion_with_warm_data.false_positive
+            <= temp_result.confusion.false_positive
+        )
+
+    def test_drift_grows_with_temperature(self, temp_result):
+        """Figure 4.6: distances increase with temperature for ECU0."""
+        ecu0 = [p for p in temp_result.drift if p.ecu == "ECU0"]
+        assert len(ecu0) == 2  # two warm bins
+        assert ecu0[-1].percent_delta > ecu0[0].percent_delta
+        assert ecu0[-1].percent_delta > 3.0
+
+    def test_high_coefficient_ecus_drift_most(self, temp_result):
+        """ECUs 0 and 2 drift drastically, the others subtly."""
+        hottest = {}
+        for p in temp_result.drift:
+            hottest[p.ecu] = p.percent_delta  # last bin wins
+        ranked = sorted(hottest, key=hottest.get, reverse=True)
+        assert set(ranked[:2]) == {"ECU0", "ECU2"}
+
+    def test_confidence_intervals_positive(self, temp_result):
+        assert all(p.ci_99 > 0 for p in temp_result.drift)
+
+
+class TestVoltage:
+    def test_detection_unaffected(self, volt_result):
+        """Table 4.9: high-power loads cause (almost) no false alarms."""
+        assert volt_result.confusion.false_positive_rate < 0.005
+
+    def test_drift_small_for_all_events(self, volt_result):
+        """Figure 4.7: percent deltas stay within a few percent."""
+        assert all(abs(p.percent_delta) < 10.0 for p in volt_result.event_drift)
+
+    def test_lights_ac_drift_exceeds_single_loads(self, volt_result):
+        """The largest drift occurs with lights + A/C (Section 4.4.2)."""
+        by_event = {}
+        for p in volt_result.event_drift:
+            by_event.setdefault(p.condition, []).append(p.percent_delta)
+        mean = {k: sum(v) / len(v) for k, v in by_event.items()}
+        assert mean["lights+ac"] >= mean["lights"] - 0.5
+        assert mean["lights+ac"] >= mean["ac"] - 0.5
+
+    def test_trial_drift_reported(self, volt_result):
+        conditions = {p.condition for p in volt_result.trial_drift}
+        assert conditions == {"trial 2"}

@@ -1,0 +1,93 @@
+"""Figure data generators (Figures 2.5, 3.1, 4.2, 4.4, 4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    distance_comparison,
+    edge_set_overlay,
+    sample_stddev_profile,
+    sampling_effects,
+    vehicle_voltage_profiles,
+)
+
+
+class TestEdgeSetOverlay:
+    @pytest.fixture(scope="class")
+    def overlay(self, sterling):
+        return edge_set_overlay(sterling, traces_per_ecu=100, duration_s=5.0, seed=7)
+
+    def test_both_ecus_present(self, overlay):
+        assert overlay.ecu_names() == ["ECU0", "ECU1"]
+
+    def test_waveforms_cluster_by_ecu(self, overlay):
+        """Figure 2.5's claim: same-ECU traces are near-identical, the
+        two ECUs' waveforms are clearly distinct."""
+        mean0 = overlay.vectors_by_ecu["ECU0"].mean(axis=0)
+        mean1 = overlay.vectors_by_ecu["ECU1"].mean(axis=0)
+        inter = np.linalg.norm(mean0 - mean1)
+        intra0 = np.linalg.norm(
+            overlay.vectors_by_ecu["ECU0"] - mean0, axis=1
+        ).mean()
+        assert inter > 2 * intra0
+
+
+class TestSamplingEffects:
+    @pytest.fixture(scope="class")
+    def effects(self, sterling):
+        return sampling_effects(sterling, seed=8)
+
+    def test_rate_series_shrink(self, effects):
+        sizes = [v.size for _, v in sorted(effects.by_rate.items())]
+        assert sizes == sorted(sizes)  # lower rate -> fewer samples
+
+    def test_resolution_series_same_length(self, effects):
+        lengths = {v.size for v in effects.by_resolution.values()}
+        assert len(lengths) == 1
+
+    def test_lower_resolution_smaller_codes(self, effects):
+        v16 = effects.by_resolution[16]
+        v8 = effects.by_resolution[8]
+        assert v8.max() <= v16.max() / 200  # 8 fewer bits ~ /256
+
+
+class TestVoltageProfiles:
+    def test_five_profiles(self, veh_a):
+        profiles = vehicle_voltage_profiles(veh_a, duration_s=2.0, seed=9)
+        assert sorted(profiles) == [f"ECU{i}" for i in range(5)]
+        dims = {v.size for v in profiles.values()}
+        assert len(dims) == 1
+
+    def test_profiles_distinct(self, veh_a):
+        profiles = vehicle_voltage_profiles(veh_a, duration_s=2.0, seed=9)
+        names = sorted(profiles)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                assert np.linalg.norm(profiles[a] - profiles[b]) > 100
+
+
+class TestStdDevProfile:
+    def test_edges_much_noisier_than_steady(self, veh_a):
+        """Figure 4.4: edge samples have far higher standard deviation."""
+        profile = sample_stddev_profile(veh_a, "ECU0", duration_s=2.5, seed=10)
+        assert profile.edge_to_steady_ratio > 3.0
+
+    def test_edge_indices_are_argmax(self, veh_a):
+        profile = sample_stddev_profile(veh_a, "ECU0", duration_s=2.5, seed=10)
+        top = set(np.argsort(profile.per_index_std)[-4:])
+        assert set(profile.edge_indices) == top
+
+
+class TestDistanceComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, sterling):
+        return distance_comparison(sterling, duration_s=4.0, seed=11)
+
+    def test_both_metrics_pick_own_cluster(self, comparison):
+        assert comparison.euclidean["ECU0"] < comparison.euclidean["ECU1"]
+        assert comparison.mahalanobis["ECU0"] < comparison.mahalanobis["ECU1"]
+
+    def test_mahalanobis_quotient_much_larger(self, comparison):
+        """Table 4.5: the Mahalanobis quotient is ~an order of magnitude
+        larger than the Euclidean one."""
+        assert comparison.quotient("mahalanobis") > 3 * comparison.quotient("euclidean")

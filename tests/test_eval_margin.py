@@ -1,0 +1,113 @@
+"""Margin tuning: optimality against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import BatchDetection
+from repro.errors import ReproError
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.margin import margin_removing_false_positives, tune_margin
+
+
+def make_batch(expected, predicted, slack):
+    return BatchDetection(
+        expected_cluster=np.asarray(expected, dtype=np.int64),
+        predicted_cluster=np.asarray(predicted, dtype=np.int64),
+        min_distance=np.abs(np.asarray(slack, dtype=float)),
+        slack=np.asarray(slack, dtype=float),
+        margin=0.0,
+    )
+
+
+def brute_force_best(batch, actual, objective):
+    candidates = np.unique(np.concatenate([[0.0], np.maximum(batch.slack + 1e-9, 0), [1e9]]))
+    best = -1.0
+    for margin in candidates:
+        cm = ConfusionMatrix.from_predictions(actual, batch.anomalies(margin))
+        score = cm.accuracy if objective == "accuracy" else cm.f_score
+        best = max(best, score)
+    return best
+
+
+class TestTuneMargin:
+    def test_separable_case(self):
+        # Normal slacks below zero, attack slacks above: perfect at 0.
+        batch = make_batch([0] * 6, [0] * 6, [-1, -2, -0.5, 3, 4, 5])
+        actual = np.array([False, False, False, True, True, True])
+        choice = tune_margin(batch, actual, "f-score")
+        assert choice.score == 1.0
+        assert choice.margin < 3
+
+    def test_hard_anomalies_always_flagged(self):
+        batch = make_batch([0, 1], [1, 1], [-5.0, -5.0])
+        actual = np.array([True, False])
+        choice = tune_margin(batch, actual, "accuracy")
+        flags = batch.anomalies(choice.margin)
+        assert flags[0] and not flags[1]
+        assert choice.score == 1.0
+
+    def test_prefers_smallest_margin_on_tie(self):
+        batch = make_batch([0] * 3, [0] * 3, [-1.0, -2.0, -3.0])
+        actual = np.zeros(3, dtype=bool)
+        choice = tune_margin(batch, actual, "accuracy")
+        assert choice.margin == 0.0  # every margin ties at accuracy 1
+
+    def test_invalid_objective(self):
+        batch = make_batch([0], [0], [0.0])
+        with pytest.raises(ReproError):
+            tune_margin(batch, np.array([False]), "auc")
+
+    def test_length_mismatch(self):
+        batch = make_batch([0], [0], [0.0])
+        with pytest.raises(ReproError):
+            tune_margin(batch, np.array([False, True]), "accuracy")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),                      # is attack
+                st.booleans(),                      # hard anomaly
+                st.floats(-10, 10, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=40,
+        ),
+        st.sampled_from(["accuracy", "f-score"]),
+    )
+    def test_matches_brute_force(self, rows, objective):
+        actual = np.array([r[0] for r in rows])
+        expected = np.zeros(len(rows), dtype=np.int64)
+        predicted = np.array([1 if r[1] else 0 for r in rows], dtype=np.int64)
+        slack = np.array([r[2] for r in rows])
+        batch = make_batch(expected, predicted, slack)
+        choice = tune_margin(batch, actual, objective)
+        assert choice.score == pytest.approx(
+            brute_force_best(batch, actual, objective), abs=1e-9
+        )
+        # The reported score is achievable at the reported margin.
+        cm = ConfusionMatrix.from_predictions(actual, batch.anomalies(choice.margin))
+        achieved = cm.accuracy if objective == "accuracy" else cm.f_score
+        assert achieved == pytest.approx(choice.score, abs=1e-9)
+
+
+class TestZeroFpMargin:
+    def test_simple(self):
+        batch = make_batch([0] * 4, [0] * 4, [1.0, 2.0, -1.0, 5.0])
+        actual = np.array([False, False, False, True])
+        margin = margin_removing_false_positives(batch, actual)
+        flags = batch.anomalies(margin)
+        assert not flags[:3].any()
+        assert flags[3]
+
+    def test_unreachable_with_hard_fp(self):
+        batch = make_batch([0, 0], [1, 0], [-1.0, -1.0])
+        actual = np.array([False, False])
+        assert margin_removing_false_positives(batch, actual) is None
+
+    def test_no_normals_above_threshold(self):
+        batch = make_batch([0, 0], [0, 0], [-1.0, -2.0])
+        actual = np.array([False, False])
+        assert margin_removing_false_positives(batch, actual) == 0.0

@@ -1,0 +1,78 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.environment import DriftPoint
+from repro.eval.plotting import ascii_bars, ascii_chart, drift_bars
+
+
+class TestAsciiChart:
+    def test_single_series(self):
+        chart = ascii_chart(np.sin(np.linspace(0, 6, 80)), width=60, height=10)
+        lines = chart.splitlines()
+        assert len(lines) == 11  # 10 rows + axis
+        assert "*" in chart
+
+    def test_extremes_labelled(self):
+        chart = ascii_chart([0.0, 5.0, 2.5], width=20, height=5)
+        assert "5" in chart.splitlines()[0]
+        assert "0" in chart.splitlines()[4]
+
+    def test_overlay_legend(self):
+        chart = ascii_chart(
+            {"ECU0": [1, 2, 3], "ECU1": [3, 2, 1]}, width=20, height=5
+        )
+        assert "* ECU0" in chart
+        assert "o ECU1" in chart
+
+    def test_title(self):
+        chart = ascii_chart([1, 2], title="Figure X", width=10, height=4)
+        assert chart.splitlines()[0] == "Figure X"
+
+    def test_constant_series(self):
+        chart = ascii_chart([2.0, 2.0, 2.0], width=12, height=4)
+        assert "*" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart([])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart([1, 2], width=4, height=2)
+
+
+class TestAsciiBars:
+    def test_positive_and_negative(self):
+        chart = ascii_bars({"up": 10.0, "down": -5.0}, width=20, unit="%")
+        lines = chart.splitlines()
+        assert "+10.00%" in lines[0]
+        assert "-5.00%" in lines[1]
+        up_bar = lines[0].split("|")[1]
+        down_bar = lines[1].split("|")[0]
+        assert up_bar.count("#") == 10
+        assert down_bar.count("#") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_bars({})
+
+
+class TestDriftBars:
+    def points(self):
+        return [
+            DriftPoint("ECU0", "20..25 degC", 20.0, 1.0, 100),
+            DriftPoint("ECU1", "20..25 degC", 2.0, 1.0, 100),
+            DriftPoint("ECU0", "0..5 degC", 1.0, 1.0, 100),
+        ]
+
+    def test_selects_condition(self):
+        chart = drift_bars(self.points(), "20..25 degC")
+        assert "ECU0" in chart and "ECU1" in chart
+        assert "+20.00%" in chart
+
+    def test_missing_condition(self):
+        with pytest.raises(ReproError):
+            drift_bars(self.points(), "nope")

@@ -1,0 +1,134 @@
+"""Text rendering of experiment results."""
+
+import pytest
+
+from repro.core.model import Metric
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.enhancements import ClusterStats, EnhancementComparison
+from repro.eval.environment import DriftPoint, TemperatureResult, VoltageResult
+from repro.eval.reporting import (
+    format_confusion,
+    format_drift,
+    format_enhancement,
+    format_suite,
+    format_sweep,
+    format_temperature,
+    format_voltage,
+)
+from repro.eval.suite import DetectionSuiteResult, TestOutcome
+from repro.eval.sweeps import SweepCell
+from repro.attacks.foreign import ForeignScenario
+
+
+def outcome(name, tp=10, fn=0, fp=1, tn=100, margin=1.5, zero_fp=0.9):
+    return TestOutcome(
+        name=name,
+        confusion=ConfusionMatrix(tp, fn, fp, tn),
+        margin=margin,
+        zero_fp_score=zero_fp,
+    )
+
+
+@pytest.fixture()
+def suite_result():
+    return DetectionSuiteResult(
+        vehicle_name="VehicleX",
+        metric=Metric.MAHALANOBIS,
+        false_positive=outcome("false-positive", tp=0, fn=0),
+        hijack=outcome("hijack"),
+        foreign=outcome("foreign"),
+        foreign_scenario=ForeignScenario(imposter="ECU1", victim="ECU4", similarity=12.5),
+    )
+
+
+class TestFormatSuite:
+    def test_contains_all_three_tests(self, suite_result):
+        text = format_suite(suite_result)
+        assert "False positive test" in text
+        assert "Hijack imitation test" in text
+        assert "Foreign device imitation test" in text
+        assert "ECU1 -> victim ECU4" in text
+        assert "VehicleX / mahalanobis" in text
+
+    def test_zero_fp_note(self, suite_result):
+        text = format_suite(suite_result)
+        assert "all false positives removed" in text
+
+    def test_no_zero_fp_margin(self, suite_result):
+        from dataclasses import replace
+
+        result = replace(
+            suite_result, foreign=TestOutcome(
+                name="foreign",
+                confusion=ConfusionMatrix(1, 1, 1, 1),
+                margin=0.0,
+                zero_fp_score=None,
+            )
+        )
+        assert "no margin removes all false positives" in format_suite(result)
+
+
+class TestFormatSweep:
+    def test_grid_rendering(self):
+        cells = [
+            SweepCell(10e6, 12, 1.0, 0.999, 0.99, 1.0),
+            SweepCell(5e6, 12, None, None, None, None, singular=True),
+        ]
+        text = format_sweep(cells, "demo")
+        assert "demo" in text
+        assert "sing." in text
+        assert "1.00000" in text
+        assert "12 bit" in text
+
+
+class TestFormatDrift:
+    def test_rows(self):
+        points = [DriftPoint("ECU0", "20..25 degC", 12.3, 1.1, 300)]
+        text = format_drift(points, "demo drift")
+        assert "ECU0" in text and "12.30%" in text and "+/-" in text
+
+
+class TestFormatEnvironment:
+    def test_temperature(self):
+        result = TemperatureResult(
+            confusion=ConfusionMatrix(0, 0, 4, 996),
+            confusion_with_warm_data=ConfusionMatrix(0, 0, 0, 1000),
+            drift=(DriftPoint("ECU0", "0..5 degC", 2.0, 0.5, 100),),
+            margin=3.2,
+            train_bin=(-5.0, 0.0),
+        )
+        text = format_temperature(result)
+        assert "trained on -5..0 degC" in text
+        assert "false positives: 4" in text
+        assert "after adding 20 degC training data: 0" in text
+
+    def test_voltage(self):
+        result = VoltageResult(
+            confusion=ConfusionMatrix(0, 0, 0, 500),
+            event_drift=(DriftPoint("ECU0", "lights", 0.5, 0.2, 50),),
+            trial_drift=(DriftPoint("ECU0", "trial 2", 1.0, 0.3, 50),),
+            margin=2.0,
+        )
+        text = format_voltage(result)
+        assert "High-power vehicle functions" in text
+        assert "lights" in text and "trial 2" in text
+
+
+class TestFormatEnhancement:
+    def test_pairs(self):
+        comparison = EnhancementComparison(
+            baseline=(ClusterStats("ECU0", 150.0, 10.0, 500),),
+            enhanced=(ClusterStats("ECU0", 140.0, 8.0, 500),),
+            baseline_label="1 edge set",
+            enhanced_label="3 edge sets",
+        )
+        text = format_enhancement(comparison, "Table 5.2")
+        assert "Table 5.2" in text
+        assert "150.000" in text and "140.000" in text
+
+
+class TestFormatConfusion:
+    def test_scores_line(self):
+        text = format_confusion(ConfusionMatrix(5, 0, 0, 95), "demo")
+        assert "accuracy=1.00000" in text
+        assert "F=1.00000" in text

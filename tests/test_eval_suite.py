@@ -1,0 +1,91 @@
+"""Detection-suite experiments on a small Vehicle A capture.
+
+These are the integration tests for the paper's headline claims
+(Tables 4.1 and 4.3) at reduced scale.
+"""
+
+import pytest
+
+from repro.core.model import Metric
+from repro.eval.suite import SuiteInputs, run_detection_suite
+
+
+@pytest.fixture(scope="module")
+def inputs(vehicle_a_session):
+    return SuiteInputs.from_session(vehicle_a_session, train_fraction=0.5, seed=2)
+
+
+@pytest.fixture(scope="module")
+def mahalanobis_result(inputs):
+    return run_detection_suite(inputs, Metric.MAHALANOBIS, seed=4)
+
+
+@pytest.fixture(scope="module")
+def euclidean_result(inputs):
+    return run_detection_suite(inputs, Metric.EUCLIDEAN, seed=4)
+
+
+class TestMahalanobisSuite:
+    def test_false_positive_accuracy(self, mahalanobis_result):
+        assert mahalanobis_result.false_positive.accuracy >= 0.999
+
+    def test_hijack_f_score(self, mahalanobis_result):
+        assert mahalanobis_result.hijack.f_score >= 0.999
+
+    def test_foreign_f_score(self, mahalanobis_result):
+        assert mahalanobis_result.foreign.f_score >= 0.99
+
+    def test_hijack_has_attacks(self, mahalanobis_result):
+        cm = mahalanobis_result.hijack.confusion
+        attacks = cm.true_positive + cm.false_negative
+        assert 0.15 <= attacks / cm.total <= 0.25  # ~20 % rewrite rate
+
+    def test_foreign_pair_is_ecu1_ecu4(self, mahalanobis_result):
+        pair = {
+            mahalanobis_result.foreign_scenario.imposter,
+            mahalanobis_result.foreign_scenario.victim,
+        }
+        assert pair == {"ECU1", "ECU4"}
+
+
+class TestEuclideanSuite:
+    def test_false_positive_accuracy_high(self, euclidean_result):
+        assert euclidean_result.false_positive.accuracy >= 0.99
+
+    def test_hijack_f_score_high(self, euclidean_result):
+        assert euclidean_result.hijack.f_score >= 0.97
+
+    def test_foreign_attack_mostly_missed(self, euclidean_result):
+        """The paper's key negative result: Euclidean F-score ~ 0."""
+        assert euclidean_result.foreign.f_score <= 0.3
+
+    def test_foreign_pair_matches_paper(self, euclidean_result):
+        pair = {
+            euclidean_result.foreign_scenario.imposter,
+            euclidean_result.foreign_scenario.victim,
+        }
+        assert pair == {"ECU1", "ECU4"}
+
+    def test_similarity_ranking_matches_paper(self, euclidean_result):
+        """Closest pair ECU1-ECU4, next ECU0-ECU1 (Section 4.2.1)."""
+        ranking = euclidean_result.similarity_ranking
+        assert {ranking[0][1], ranking[0][2]} == {"ECU1", "ECU4"}
+        assert {ranking[1][1], ranking[1][2]} == {"ECU0", "ECU1"}
+
+
+class TestMetricComparison:
+    def test_mahalanobis_beats_euclidean_on_foreign(
+        self, mahalanobis_result, euclidean_result
+    ):
+        assert (
+            mahalanobis_result.foreign.f_score
+            > euclidean_result.foreign.f_score + 0.5
+        )
+
+    def test_report_formatting(self, mahalanobis_result):
+        from repro.eval.reporting import format_suite
+
+        text = format_suite(mahalanobis_result)
+        assert "False positive test" in text
+        assert "Hijack imitation test" in text
+        assert "Foreign device imitation test" in text

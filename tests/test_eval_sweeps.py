@@ -1,0 +1,54 @@
+"""Rate/resolution sweep mechanics (Tables 4.6/4.7 at reduced scale)."""
+
+import pytest
+
+from repro.errors import SingularCovarianceError
+from repro.eval.sweeps import rate_resolution_sweep
+from repro.eval.reporting import format_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_cells(vehicle_b_session):
+    """Vehicle B (32-dim edge sets) keeps the sweep affordable."""
+    return rate_resolution_sweep(
+        vehicle_b_session, rate_divisors=(1, 2), resolutions=(12,), seed=6
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, sweep_cells):
+        assert len(sweep_cells) == 2
+
+    def test_rates_derived(self, sweep_cells):
+        rates = sorted(c.sample_rate for c in sweep_cells)
+        assert rates == [5e6, 10e6]
+
+    def test_scores_high_at_native_rate(self, sweep_cells):
+        native = next(c for c in sweep_cells if c.sample_rate == 10e6)
+        assert not native.singular
+        assert native.fp_accuracy >= 0.995
+        assert native.hijack_f >= 0.99
+        assert native.foreign_f >= 0.95
+
+    def test_downsampled_still_usable(self, sweep_cells):
+        half = next(c for c in sweep_cells if c.sample_rate == 5e6)
+        assert not half.singular
+        assert half.fp_accuracy >= 0.99
+
+    def test_labels(self, sweep_cells):
+        labels = {c.label for c in sweep_cells}
+        assert "10 MS/s @ 12 bit" in labels
+
+    def test_low_resolution_goes_singular(self, vehicle_b_session):
+        """The paper's <= 10-bit failure: coarse codes collapse the
+        covariance.  At 6 bits the edge-set columns quantise to constants."""
+        cells = rate_resolution_sweep(
+            vehicle_b_session, rate_divisors=(1,), resolutions=(6,), seed=6
+        )
+        assert cells[0].singular
+        assert cells[0].fp_accuracy is None
+
+    def test_formatting(self, sweep_cells):
+        text = format_sweep(sweep_cells, "test sweep")
+        assert "False positive" in text
+        assert "12 bit" in text

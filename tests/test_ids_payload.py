@@ -1,0 +1,97 @@
+"""Payload envelope monitor."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.ids.alerts import Alert, AlertLog
+from repro.ids.payload import PayloadMonitor
+
+
+def training_records(can_id=0x100, n=256):
+    """Four signal kinds: bounded walk, constant, wrapping counter, free.
+
+    * byte 0 — random walk confined to [95, 105], steps of at most 1
+      (training deterministically ends at 96);
+    * byte 1 — constant 0x55;
+    * byte 2 — full-range counter (k mod 256), ends at 255;
+    * byte 3 — pseudo-random, full range.
+    """
+    records = []
+    walk = 100
+    for k in range(n):
+        walk = min(105, max(95, walk + (1 if (k * 7) % 3 == 0 else -1)))
+        free = (k * 101 + 17) % 256
+        records.append(
+            (k * 0.01, can_id, bytes([walk, 0x55, k % 256, free]))
+        )
+    return records
+
+
+class TestPayloadMonitor:
+    def make(self):
+        return PayloadMonitor().fit(training_records())
+
+    def test_in_envelope_passes(self):
+        monitor = self.make()
+        assert monitor.observe(2.0, 0x100, bytes([96, 0x55, 0, 7])) is None
+
+    def test_out_of_range_flagged(self):
+        monitor = self.make()
+        alert = monitor.observe(2.0, 0x100, bytes([250, 0x55, 0, 7]))
+        assert alert is not None
+        assert alert.reason == "out-of-range"
+
+    def test_impossible_step_flagged(self):
+        """Both values in range, but the jump is physically impossible."""
+        monitor = self.make()
+        assert monitor.observe(2.0, 0x100, bytes([96, 0x55, 0, 7])) is None
+        alert = monitor.observe(2.01, 0x100, bytes([99, 0x55, 1, 8]))
+        assert alert is not None
+        assert alert.reason == "step"
+
+    def test_wrapping_counter_not_flagged(self):
+        """255 -> 0 is a modular step of 1; the monitor must not alarm."""
+        monitor = self.make()
+        assert monitor.observe(2.0, 0x100, bytes([96, 0x55, 255, 7])) is None
+        assert monitor.observe(2.01, 0x100, bytes([96, 0x55, 0, 8])) is None
+
+    def test_constant_byte_deviation_flagged(self):
+        monitor = self.make()
+        alert = monitor.observe(2.0, 0x100, bytes([96, 0xAA, 0, 7]))
+        assert alert is not None
+        assert alert.reason in ("out-of-range", "step")
+
+    def test_truncated_payload_flagged(self):
+        monitor = self.make()
+        alert = monitor.observe(2.0, 0x100, bytes([96]))
+        assert alert is not None
+        assert alert.reason == "truncated"
+
+    def test_unmonitored_id_ignored(self):
+        monitor = self.make()
+        assert monitor.observe(2.0, 0x999, bytes([1, 2, 3])) is None
+
+    def test_needs_data(self):
+        with pytest.raises(TrainingError):
+            PayloadMonitor().fit([(0.0, 0x1, b"\x00")])
+
+    def test_invalid_guards(self):
+        with pytest.raises(TrainingError):
+            PayloadMonitor(step_guard=0.5)
+
+
+class TestAlertLog:
+    def test_aggregation(self):
+        log = AlertLog()
+        log.record(Alert(1.0, "voltage", 0x100, "cluster-mismatch"))
+        log.record(Alert(2.0, "period", 0x100, "too-early"))
+        log.record(Alert(3.0, "period", 0x200, "gap"))
+        assert len(log) == 3
+        assert log.by_detector() == {"voltage": 1, "period": 2}
+        assert log.by_can_id() == {0x100: 2, 0x200: 1}
+        assert log.by_reason()["too-early"] == 1
+        assert len(log.in_window(1.5, 2.5)) == 1
+        assert "3 alerts" in log.summary()
+
+    def test_empty_summary(self):
+        assert AlertLog().summary() == "no alerts"

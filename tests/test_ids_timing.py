@@ -1,0 +1,120 @@
+"""Timing-based IDS: period monitor and clock-skew fingerprinting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ids.timing import ClockSkewIdentifier, PeriodMonitor
+
+
+def periodic_stream(can_id, period, n, *, skew=0.0, jitter=0.0, start=0.0, seed=0):
+    """Arrivals of a periodic sender with clock skew and release jitter."""
+    rng = np.random.default_rng(seed)
+    times = start + np.arange(n) * period * (1.0 + skew)
+    if jitter:
+        times = times + rng.uniform(0, jitter, size=n)
+    return [(float(t), can_id) for t in times]
+
+
+class TestPeriodMonitor:
+    def make(self, **kwargs):
+        monitor = PeriodMonitor(**kwargs)
+        monitor.fit(periodic_stream(0x100, 0.01, 200, jitter=2e-4, seed=1))
+        return monitor
+
+    def test_learns_period(self):
+        monitor = self.make()
+        assert monitor.monitored_ids == {0x100}
+
+    def test_normal_cadence_passes(self):
+        monitor = self.make()
+        t = 2.0
+        for _ in range(50):
+            t += 0.01
+            assert monitor.observe(t, 0x100) is None
+
+    def test_injection_flagged(self):
+        """An extra message squeezed between two periodic ones."""
+        monitor = self.make()
+        assert monitor.observe(2.0, 0x100) is None
+        alert = monitor.observe(2.0005, 0x100)  # 0.5 ms after the last
+        assert alert is not None
+        assert alert.reason == "too-early"
+        assert alert.detector == "period"
+
+    def test_suspension_flagged(self):
+        monitor = self.make()
+        assert monitor.observe(2.0, 0x100) is None
+        alert = monitor.observe(2.5, 0x100)  # 50 periods of silence
+        assert alert is not None
+        assert alert.reason == "gap"
+
+    def test_unknown_id_flagged(self):
+        monitor = self.make()
+        alert = monitor.observe(2.0, 0x999)
+        assert alert is not None and alert.reason == "unknown-id"
+
+    def test_sparse_ids_unmonitored(self):
+        monitor = PeriodMonitor()
+        data = periodic_stream(0x100, 0.01, 100, seed=2) + [(0.5, 0x200)] * 2
+        monitor.fit(data)
+        assert 0x200 not in monitor.monitored_ids
+
+    def test_needs_periodic_data(self):
+        with pytest.raises(TrainingError):
+            PeriodMonitor().fit([(0.0, 0x1)])
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(TrainingError):
+            PeriodMonitor(early_sigma=0)
+
+
+class TestClockSkewIdentifier:
+    def test_learns_skew_sign(self):
+        ident = ClockSkewIdentifier()
+        fast = periodic_stream(0x10, 0.02, 400, skew=+200e-6, jitter=5e-5, seed=3)
+        slow = periodic_stream(0x20, 0.02, 400, skew=-200e-6, jitter=5e-5, seed=4)
+        ident.fit(fast + slow)
+        assert ident.skew_of(0x10) > ident.skew_of(0x20)
+
+    def test_consistent_sender_stays_quiet(self):
+        ident = ClockSkewIdentifier()
+        stream = periodic_stream(0x10, 0.02, 500, skew=150e-6, jitter=5e-5, seed=5)
+        ident.fit(stream[:300])
+        alarms = sum(
+            1 for t, cid in stream[300:] if ident.observe(t, cid) is not None
+        )
+        assert alarms <= 2  # near-zero false alarms
+
+    def test_masquerading_sender_detected(self):
+        """Another ECU (different crystal) takes over the stream."""
+        ident = ClockSkewIdentifier()
+        genuine = periodic_stream(0x10, 0.02, 400, skew=150e-6, jitter=5e-5, seed=6)
+        ident.fit(genuine)
+        # Attacker continues the id at the same period but with a very
+        # different clock skew.
+        takeover_start = genuine[-1][0] + 0.02
+        attacker = periodic_stream(
+            0x10, 0.02, 400, skew=-450e-6, jitter=5e-5, start=takeover_start, seed=7
+        )
+        alarms = sum(1 for t, cid in attacker if ident.observe(t, cid) is not None)
+        assert alarms >= 1
+
+    def test_unfingerprinted_id_ignored(self):
+        ident = ClockSkewIdentifier()
+        ident.fit(periodic_stream(0x10, 0.02, 100, seed=8))
+        assert ident.observe(1.0, 0x99) is None
+
+    def test_skew_of_unknown_raises(self):
+        ident = ClockSkewIdentifier()
+        ident.fit(periodic_stream(0x10, 0.02, 100, seed=9))
+        with pytest.raises(TrainingError):
+            ident.skew_of(0x77)
+
+    def test_too_little_data(self):
+        with pytest.raises(TrainingError):
+            ClockSkewIdentifier().fit(periodic_stream(0x10, 0.02, 5))
+
+    def test_invalid_forgetting(self):
+        with pytest.raises(TrainingError):
+            ClockSkewIdentifier(forgetting=0.5)

@@ -1,0 +1,95 @@
+"""Model container: validation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ClusterProfile, Metric, VProfileModel
+from repro.core.training import TrainingData, train_model
+from repro.errors import DetectionError, TrainingError
+
+
+def small_model(metric="mahalanobis"):
+    rng = np.random.default_rng(55)
+    vectors = np.concatenate(
+        [rng.normal(size=(80, 3)), 6 + rng.normal(size=(80, 3))]
+    )
+    sas = np.array([0x10] * 80 + [0x20] * 80)
+    return train_model(
+        TrainingData(vectors, sas),
+        metric=metric,
+        sa_clusters={0x10: "A", 0x20: "B"},
+    )
+
+
+class TestValidation:
+    def test_requires_clusters(self):
+        with pytest.raises(TrainingError):
+            VProfileModel(metric=Metric.EUCLIDEAN, clusters=[])
+
+    def test_sa_map_range_checked(self):
+        cluster = ClusterProfile(name="A", mean=np.zeros(2), max_distance=1.0, count=5)
+        with pytest.raises(TrainingError):
+            VProfileModel(
+                metric=Metric.EUCLIDEAN, clusters=[cluster], sa_to_cluster={1: 3}
+            )
+
+    def test_dimension_consistency(self):
+        a = ClusterProfile(name="A", mean=np.zeros(2), max_distance=1.0, count=5)
+        b = ClusterProfile(name="B", mean=np.zeros(3), max_distance=1.0, count=5)
+        with pytest.raises(TrainingError):
+            VProfileModel(metric=Metric.EUCLIDEAN, clusters=[a, b])
+
+    def test_mahalanobis_needs_covariances(self):
+        cluster = ClusterProfile(name="A", mean=np.zeros(2), max_distance=1.0, count=5)
+        with pytest.raises(TrainingError):
+            VProfileModel(metric=Metric.MAHALANOBIS, clusters=[cluster])
+
+
+class TestAccessors:
+    def test_known_sas(self):
+        model = small_model()
+        assert model.known_sas == {0x10, 0x20}
+        assert model.cluster_of_sa(0x10) == 0
+        assert model.cluster_of_sa(0x99) is None
+
+    def test_means_stacked(self):
+        model = small_model()
+        assert model.means.shape == (2, 3)
+
+    def test_cluster_named_missing(self):
+        with pytest.raises(DetectionError):
+            small_model().cluster_named("nope")
+
+    def test_euclidean_has_no_covariances(self):
+        with pytest.raises(DetectionError):
+            small_model("euclidean").inv_covariances
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("metric", ["euclidean", "mahalanobis"])
+    def test_save_load_round_trip(self, metric, tmp_path):
+        model = small_model(metric)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = VProfileModel.load(path)
+        assert loaded.metric == model.metric
+        assert loaded.sa_to_cluster == model.sa_to_cluster
+        assert [c.name for c in loaded.clusters] == ["A", "B"]
+        assert np.allclose(loaded.means, model.means)
+        assert np.allclose(loaded.max_distances, model.max_distances)
+        if metric == "mahalanobis":
+            assert np.allclose(loaded.inv_covariances, model.inv_covariances)
+
+    def test_loaded_model_detects_identically(self, tmp_path):
+        from repro.core.detection import Detector
+
+        model = small_model()
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = VProfileModel.load(path)
+        rng = np.random.default_rng(8)
+        vectors = rng.normal(scale=4, size=(50, 3))
+        sas = rng.choice([0x10, 0x20], size=50)
+        a = Detector(model, 0.5).classify_batch(vectors, sas)
+        b = Detector(loaded, 0.5).classify_batch(vectors, sas)
+        assert np.array_equal(a.anomalies(), b.anomalies())

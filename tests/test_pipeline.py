@@ -1,0 +1,89 @@
+"""End-to-end streaming pipeline."""
+
+import pytest
+
+from repro.core.detection import Verdict
+from repro.core.model import Metric
+from repro.core.pipeline import PipelineConfig, VProfilePipeline
+from repro.errors import DetectionError
+
+
+@pytest.fixture(scope="module")
+def split_session(vehicle_a_session):
+    return vehicle_a_session.split(0.5, seed=3)
+
+
+class TestTraining:
+    def test_train_builds_model(self, split_session, veh_a):
+        train, _ = split_session
+        pipeline = VProfilePipeline(PipelineConfig(sa_clusters=veh_a.sa_clusters))
+        model = pipeline.train(train)
+        assert pipeline.is_trained
+        assert model.n_clusters == len(veh_a.ecus)
+
+    def test_untrained_process_rejected(self, vehicle_a_session):
+        pipeline = VProfilePipeline()
+        with pytest.raises(DetectionError):
+            pipeline.process(vehicle_a_session.traces[0])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(DetectionError):
+            VProfilePipeline().train([])
+
+
+class TestProcessing:
+    def test_clean_stream_mostly_ok(self, split_session, veh_a):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(margin=5.0, sa_clusters=veh_a.sa_clusters)
+        )
+        pipeline.train(train)
+        results = list(pipeline.process_stream(test[:400]))
+        ok = sum(1 for r in results if r.verdict is Verdict.OK)
+        assert ok >= 398
+        assert pipeline.stats.processed == 400
+        assert pipeline.anomaly_rate() <= 0.005
+
+    def test_stats_track_reasons(self, split_session, veh_a):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(margin=5.0, sa_clusters=veh_a.sa_clusters)
+        )
+        pipeline.train(train)
+        pipeline.process(test[0])
+        assert pipeline.stats.processed == 1
+
+    def test_online_update_counts(self, split_session, veh_a):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(
+                margin=5.0,
+                sa_clusters=veh_a.sa_clusters,
+                online_update=True,
+            )
+        )
+        model = pipeline.train(train)
+        counts_before = [c.count for c in model.clusters]
+        for trace in test[:100]:
+            pipeline.process(trace)
+        assert pipeline.stats.updated > 0
+        assert sum(c.count for c in model.clusters) > sum(counts_before)
+
+    def test_load_model(self, split_session, veh_a):
+        train, test = split_session
+        source = VProfilePipeline(PipelineConfig(sa_clusters=veh_a.sa_clusters))
+        model = source.train(train)
+        clone = VProfilePipeline(PipelineConfig(margin=5.0))
+        clone.load_model(model, source.extraction)
+        assert clone.process(test[0]).verdict is Verdict.OK
+
+    def test_euclidean_config(self, split_session, veh_a):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(
+                metric=Metric.EUCLIDEAN, margin=500.0, sa_clusters=veh_a.sa_clusters
+            )
+        )
+        pipeline.train(train)
+        result = pipeline.process(test[0])
+        assert result.min_distance is not None

@@ -1,0 +1,162 @@
+"""End-to-end property tests across the whole synthesis/extraction stack.
+
+These are the invariants the reproduction rests on:
+
+* every well-formed J1939 frame, synthesised through any plausible
+  transceiver at any sampling phase, yields an edge set whose decoded SA
+  equals the frame's SA;
+* waveform voltages stay inside the physical envelope implied by the
+  transceiver's levels and damping;
+* distance metrics behave like metrics on the extracted features.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acquisition.adc import AdcConfig
+from repro.acquisition.sampler import CaptureChain
+from repro.analog.channel import ChannelNoise
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.analog.waveform import SynthesisConfig, synthesize_waveform
+from repro.can.frame import CanFrame
+from repro.can.j1939 import J1939Id
+from repro.core.edge_extraction import ExtractionConfig, extract_edge_set
+
+transceivers = st.builds(
+    TransceiverParams,
+    name=st.just("T"),
+    v_dominant=st.floats(1.7, 2.4),
+    v_recessive=st.floats(0.0, 0.05),
+    rise=st.builds(
+        EdgeDynamics,
+        natural_freq_hz=st.floats(0.9e6, 3.0e6),
+        damping=st.floats(0.45, 1.0),
+    ),
+    fall=st.builds(
+        EdgeDynamics,
+        natural_freq_hz=st.floats(0.7e6, 2.0e6),
+        damping=st.floats(0.9, 1.4),
+    ),
+)
+
+j1939_frames = st.builds(
+    lambda priority, pgn, sa, data: CanFrame(
+        can_id=J1939Id(priority=priority, pgn=pgn, source_address=sa).to_can_id(),
+        data=data,
+    ),
+    priority=st.integers(0, 7),
+    pgn=st.integers(240 << 8, (1 << 18) - 1),  # PDU2 broadcast PGNs
+    sa=st.integers(0, 255),
+    data=st.binary(min_size=0, max_size=8),
+)
+
+
+class TestSaDecodingProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(frame=j1939_frames, transceiver=transceivers, phase=st.floats(0.0, 0.999))
+    def test_decoded_sa_matches_frame(self, frame, transceiver, phase):
+        """Algorithm 1 recovers the SA for arbitrary frames/fingerprints."""
+        chain = CaptureChain(
+            synthesis=SynthesisConfig(max_frame_bits=60),
+            adc=AdcConfig(resolution_bits=16),
+            noise=None,
+        )
+        wire = frame.stuffed_bits()
+        volts = synthesize_waveform(
+            wire, transceiver, chain.synthesis, phase=phase
+        )
+        trace_counts = chain.adc.quantize(volts)
+        from repro.acquisition.trace import VoltageTrace
+
+        trace = VoltageTrace(
+            counts=trace_counts,
+            sample_rate=chain.synthesis.sample_rate,
+            resolution_bits=16,
+        )
+        config = ExtractionConfig.for_trace(trace)
+        result = extract_edge_set(trace, config)
+        assert result.source_address == frame.source_address
+
+    @settings(max_examples=30, deadline=None)
+    @given(frame=j1939_frames, seed=st.integers(0, 2**31 - 1))
+    def test_decoded_sa_survives_noise(self, frame, seed):
+        """Realistic channel noise never corrupts the digital decode."""
+        transceiver = TransceiverParams(
+            name="T",
+            v_dominant=2.0,
+            v_recessive=0.01,
+            rise=EdgeDynamics(1.9e6, 0.7),
+            fall=EdgeDynamics(1.1e6, 1.05),
+        )
+        chain = CaptureChain(
+            synthesis=SynthesisConfig(max_frame_bits=60),
+            adc=AdcConfig(resolution_bits=16),
+            noise=ChannelNoise(
+                white_sigma_v=0.008, ar_sigma_v=0.005, baseline_sigma_v=0.02
+            ),
+        )
+        trace = chain.capture_frame(
+            frame, transceiver, rng=np.random.default_rng(seed)
+        )
+        result = extract_edge_set(trace, ExtractionConfig.for_trace(trace))
+        assert result.source_address == frame.source_address
+
+
+class TestWaveformEnvelopeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(transceiver=transceivers, phase=st.floats(0.0, 0.999))
+    def test_voltages_stay_in_physical_envelope(self, transceiver, phase):
+        """No sample may exceed the step-response overshoot bound."""
+        bits = [0, 1, 0, 0, 1, 1, 0, 1] * 4
+        volts = synthesize_waveform(
+            bits, transceiver, SynthesisConfig(), phase=phase
+        )
+        v_dom, v_rec = transceiver.v_dominant, transceiver.v_recessive
+        swing = v_dom - v_rec
+        zeta = min(transceiver.rise.damping, transceiver.fall.damping)
+        if zeta < 1.0:
+            overshoot = float(np.exp(-np.pi * zeta / np.sqrt(1 - zeta**2)))
+        else:
+            overshoot = 0.0
+        upper = v_dom + swing * overshoot + 1e-9
+        lower = v_rec - swing * overshoot - 1e-9
+        assert volts.max() <= upper
+        assert volts.min() >= lower
+
+    @settings(max_examples=40, deadline=None)
+    @given(transceiver=transceivers)
+    def test_waveform_settles_to_levels(self, transceiver):
+        """Long runs settle to exactly the configured plateau levels."""
+        bits = [0] * 6 + [1] * 6
+        volts = synthesize_waveform(bits, transceiver, SynthesisConfig(), phase=0.0)
+        spb = 40
+        dominant_sample = volts[(2 + 5) * spb + spb // 2]   # 6th dominant bit
+        recessive_sample = volts[(2 + 11) * spb + spb // 2]  # 6th recessive bit
+        assert dominant_sample == pytest.approx(transceiver.v_dominant, abs=0.02)
+        assert recessive_sample == pytest.approx(transceiver.v_recessive, abs=0.02)
+
+
+class TestMetricProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.floats(-50, 50), min_size=4, max_size=4),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_mahalanobis_triangle_like_symmetry(self, rows):
+        """With a shared covariance the induced norm is a true metric."""
+        from repro.core.distances import mahalanobis_distance
+
+        x, y, z = (np.array(r) for r in rows)
+        inv_cov = np.diag([1.0, 0.5, 2.0, 4.0])
+
+        def d(a, b):
+            return mahalanobis_distance(a, b, inv_cov)
+
+        assert d(x, y) == pytest.approx(d(y, x), rel=1e-9, abs=1e-9)
+        assert d(x, z) <= d(x, y) + d(y, z) + 1e-9
+        assert d(x, x) == pytest.approx(0.0, abs=1e-12)

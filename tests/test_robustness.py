@@ -1,0 +1,150 @@
+"""Failure injection: the pipeline under degraded or hostile inputs.
+
+A field IDS sees saturated front ends, dropouts, EMI bursts and
+truncated captures.  These tests pin down how the library behaves:
+graceful errors where extraction is impossible, alarms (never silent
+acceptance) where the signal is corrupted beyond the model.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.detection import Detector
+from repro.core.edge_extraction import ExtractionConfig, extract_edge_set, extract_many
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+from repro.errors import ExtractionError
+from repro.eval.margin import tune_margin
+
+
+@pytest.fixture(scope="module")
+def trained(vehicle_a_session, veh_a):
+    train, test = vehicle_a_session.split(0.5, seed=41)
+    config = ExtractionConfig.for_trace(train[0])
+    model = train_model(
+        TrainingData.from_edge_sets(extract_many(train, config)),
+        metric=Metric.MAHALANOBIS,
+        sa_clusters=veh_a.sa_clusters,
+    )
+    return model, config, test
+
+
+def corrupt(trace, counts):
+    return replace(trace, counts=counts.astype(trace.counts.dtype))
+
+
+class TestSaturation:
+    def test_clipped_adc_flagged_or_rejected(self, trained):
+        """A rail-stuck front end must never authenticate."""
+        model, config, test = trained
+        trace = test[0]
+        full_scale = (1 << trace.resolution_bits) - 1
+        saturated = corrupt(trace, np.minimum(trace.counts * 4, full_scale))
+        detector = Detector(model, margin=10.0)
+        try:
+            result = detector.classify(extract_edge_set(saturated, config))
+        except ExtractionError:
+            return  # rejection is acceptable
+        assert result.is_anomaly
+
+    def test_attenuated_signal_flagged_or_rejected(self, trained):
+        """A weak tap (half amplitude) must not pass as genuine."""
+        model, config, test = trained
+        trace = test[0]
+        attenuated = corrupt(trace, trace.counts // 2)
+        detector = Detector(model, margin=10.0)
+        try:
+            result = detector.classify(extract_edge_set(attenuated, config))
+        except ExtractionError:
+            return
+        assert result.is_anomaly
+
+
+class TestDropouts:
+    def test_zeroed_tail_rejected(self, trained):
+        """The digitizer dying mid-message must raise, not misclassify."""
+        _, config, test = trained
+        trace = test[0]
+        counts = trace.counts.copy()
+        counts[len(counts) // 3 :] = 0
+        with pytest.raises(ExtractionError):
+            extract_edge_set(corrupt(trace, counts), config)
+
+    def test_all_zero_trace_rejected(self, trained):
+        _, config, test = trained
+        trace = test[0]
+        with pytest.raises(ExtractionError):
+            extract_edge_set(corrupt(trace, np.zeros(len(trace))), config)
+
+    def test_extract_many_survives_mixed_stream(self, trained):
+        """skip_failures drops corrupt traces and keeps the rest."""
+        _, config, test = trained
+        bad = corrupt(test[0], np.zeros(len(test[0])))
+        stream = [test[1], bad, test[2], bad, test[3]]
+        results = extract_many(stream, config, skip_failures=True)
+        assert len(results) == 3
+
+
+class TestBurstNoise:
+    def test_burst_on_edge_set_flagged(self, trained):
+        """An EMI burst across the extraction region must alarm."""
+        model, config, test = trained
+        detector = Detector(model, margin=10.0)
+        rng = np.random.default_rng(7)
+        flagged = 0
+        tried = 0
+        for trace in test[:30]:
+            counts = trace.counts.astype(np.int64).copy()
+            # Hit the region past the arbitration field with a big burst.
+            start = int(33 * config.bit_width)
+            stop = min(counts.size, start + int(14 * config.bit_width))
+            counts[start:stop] += rng.integers(-12000, 12000, size=stop - start)
+            counts = np.clip(counts, 0, (1 << trace.resolution_bits) - 1)
+            try:
+                result = detector.classify(
+                    extract_edge_set(corrupt(trace, counts), config)
+                )
+            except ExtractionError:
+                flagged += 1
+                tried += 1
+                continue
+            tried += 1
+            flagged += result.is_anomaly
+        assert flagged >= 0.85 * tried
+
+    def test_small_noise_tolerated(self, trained):
+        """A realistic extra noise floor must not break detection."""
+        model, config, test = trained
+        rng = np.random.default_rng(8)
+        clean_sets = extract_many(test[:200], config)
+        vectors = np.stack([e.vector for e in clean_sets])
+        sas = np.array([e.source_address for e in clean_sets])
+        batch = Detector(model).classify_batch(vectors, sas)
+        margin = tune_margin(batch, np.zeros(len(clean_sets), bool), "accuracy").margin
+        detector = Detector(model, margin=margin + 2.0)
+        ok = 0
+        for trace in test[200:300]:
+            counts = trace.counts + rng.integers(-15, 16, size=len(trace))
+            result = detector.classify(
+                extract_edge_set(corrupt(trace, counts), config)
+            )
+            ok += not result.is_anomaly
+        assert ok >= 95
+
+
+class TestShortCaptures:
+    def test_truncated_before_bit_33_rejected(self, trained):
+        _, config, test = trained
+        trace = test[0]
+        short = replace(trace, counts=trace.counts[: int(20 * config.bit_width)])
+        with pytest.raises(ExtractionError):
+            extract_edge_set(short, config)
+
+    def test_truncated_inside_edge_window_rejected(self, trained):
+        _, config, test = trained
+        trace = test[0]
+        short = replace(trace, counts=trace.counts[: int(34 * config.bit_width)])
+        with pytest.raises(ExtractionError):
+            extract_edge_set(short, config)

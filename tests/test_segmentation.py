@@ -1,0 +1,106 @@
+"""Continuous-capture segmentation and stream assembly."""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.segmentation import (
+    SegmentationConfig,
+    assemble_stream,
+    segment_capture,
+)
+from repro.acquisition.trace import VoltageTrace
+from repro.core.edge_extraction import ExtractionConfig, extract_edge_set
+from repro.errors import AcquisitionError
+
+
+@pytest.fixture(scope="module")
+def message_traces(sterling_session):
+    """Per-message traces with enough spacing to assemble cleanly."""
+    return sterling_session.traces[:40]
+
+
+class TestAssemble:
+    def test_stream_length_covers_all_messages(self, message_traces):
+        stream = assemble_stream(message_traces)
+        last = message_traces[-1]
+        expected_end = last.start_s + last.duration_s
+        assert stream.duration_s == pytest.approx(
+            expected_end - message_traces[0].start_s, rel=1e-6
+        )
+
+    def test_idle_gaps_are_recessive(self, message_traces):
+        stream = assemble_stream(message_traces)
+        first = message_traces[0]
+        gap_start = len(first) + 5
+        config = ExtractionConfig.for_trace(stream)
+        # Just past the first message the stream should sit below the
+        # dominant threshold (idle).
+        assert stream.counts[gap_start + 50] < config.threshold
+
+    def test_empty_rejected(self):
+        with pytest.raises(AcquisitionError):
+            assemble_stream([])
+
+    def test_overlap_rejected(self, message_traces):
+        from dataclasses import replace
+
+        a = message_traces[0]
+        b = replace(message_traces[1], start_s=a.start_s + 1e-6)
+        with pytest.raises(AcquisitionError):
+            assemble_stream([a, b])
+
+
+class TestSegment:
+    def test_round_trip_counts(self, message_traces):
+        """assemble -> segment recovers every message's samples."""
+        stream = assemble_stream(message_traces)
+        segments = segment_capture(stream)
+        assert len(segments) == len(message_traces)
+        for original, segment in zip(message_traces, segments):
+            # The segment must contain the original's dominant region.
+            config = ExtractionConfig.for_trace(original)
+            original_first = np.nonzero(
+                np.asarray(original.counts) >= config.threshold
+            )[0][0]
+            segment_first = np.nonzero(
+                np.asarray(segment.counts) >= config.threshold
+            )[0][0]
+            o = np.asarray(original.counts)[original_first:]
+            s = np.asarray(segment.counts)[segment_first:]
+            length = min(o.size, s.size)
+            assert np.array_equal(o[:length], s[:length])
+
+    def test_round_trip_extraction(self, message_traces):
+        """Edge sets extracted from segments match the originals."""
+        stream = assemble_stream(message_traces)
+        segments = segment_capture(stream)
+        config = ExtractionConfig.for_trace(message_traces[0])
+        for original, segment in zip(message_traces[:15], segments[:15]):
+            a = extract_edge_set(original, config)
+            b = extract_edge_set(segment, config)
+            assert a.source_address == b.source_address
+            assert np.array_equal(a.vector, b.vector)
+
+    def test_start_times_preserved(self, message_traces):
+        stream = assemble_stream(message_traces)
+        segments = segment_capture(stream)
+        for original, segment in zip(message_traces, segments):
+            assert segment.start_s == pytest.approx(original.start_s, abs=1e-5)
+
+    def test_silent_stream_yields_nothing(self):
+        silent = VoltageTrace(
+            counts=np.zeros(50_000, dtype=np.int32),
+            sample_rate=10e6,
+            resolution_bits=16,
+        )
+        assert segment_capture(silent) == []
+
+    def test_glitch_discarded(self):
+        counts = np.zeros(50_000, dtype=np.int32)
+        counts[10_000:10_004] = 50_000  # 4-sample spike, way under a frame
+        glitchy = VoltageTrace(counts=counts, sample_rate=10e6, resolution_bits=16)
+        assert segment_capture(glitchy) == []
+
+    def test_config_validation(self):
+        with pytest.raises(AcquisitionError):
+            SegmentationConfig(threshold=100.0, min_idle_bits=0)

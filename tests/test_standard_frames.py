@@ -1,0 +1,115 @@
+"""Standard-frame (CAN 2.0A) support — the paper's Section 6.1 adaptation.
+
+The identity key becomes the 11-bit identifier and the first stable bit
+moves to position 13 (IDE); everything downstream — training, detection
+— is unchanged, just as the paper anticipated ("we do not anticipate
+many required changes").
+"""
+
+import numpy as np
+import pytest
+
+from repro.acquisition.adc import AdcConfig
+from repro.acquisition.sampler import CaptureChain
+from repro.analog.channel import QUIET_CHANNEL
+from repro.analog.transceiver import EdgeDynamics, TransceiverParams
+from repro.analog.waveform import SynthesisConfig
+from repro.can.frame import CanFrame
+from repro.core.detection import Detector
+from repro.core.edge_extraction import (
+    ExtractionConfig,
+    FrameFormat,
+    extract_edge_set,
+    extract_many,
+)
+from repro.core.model import Metric
+from repro.core.training import TrainingData, train_model
+
+
+def make_transceiver(name, v_dom):
+    return TransceiverParams(
+        name=name,
+        v_dominant=v_dom,
+        v_recessive=0.005,
+        rise=EdgeDynamics(2.0e6, 0.7),
+        fall=EdgeDynamics(1.1e6, 1.05),
+    )
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return CaptureChain(
+        synthesis=SynthesisConfig(max_frame_bits=45),
+        adc=AdcConfig(resolution_bits=16),
+        noise=QUIET_CHANNEL,
+    )
+
+
+def capture_std(chain, can_id, transceiver, seed, payload=b"\x5a\x3c"):
+    frame = CanFrame(can_id=can_id, data=payload, extended=False)
+    return chain.capture_frame(frame, transceiver, rng=np.random.default_rng(seed))
+
+
+class TestStandardExtraction:
+    def test_identifier_decoded(self, chain):
+        trx = make_transceiver("E", 2.0)
+        for can_id in (0x001, 0x123, 0x555, 0x7FF):
+            trace = capture_std(chain, can_id, trx, seed=can_id)
+            config = ExtractionConfig.for_trace(
+                trace, frame_format=FrameFormat.STANDARD
+            )
+            result = extract_edge_set(trace, config)
+            assert result.source_address == can_id
+            assert result.identity == can_id
+
+    def test_identifier_survives_stuffing(self, chain):
+        """An all-zero identifier stuffs inside the arbitration field."""
+        trx = make_transceiver("E", 2.0)
+        trace = capture_std(chain, 0x000, trx, seed=1, payload=b"\x00")
+        config = ExtractionConfig.for_trace(trace, frame_format=FrameFormat.STANDARD)
+        assert extract_edge_set(trace, config).source_address == 0x000
+
+    def test_edge_set_dimension_unchanged(self, chain):
+        trx = make_transceiver("E", 2.0)
+        trace = capture_std(chain, 0x123, trx, seed=2)
+        config = ExtractionConfig.for_trace(trace, frame_format=FrameFormat.STANDARD)
+        assert extract_edge_set(trace, config).vector.shape == (
+            config.edge_set_length,
+        )
+
+    def test_format_landmarks(self):
+        assert FrameFormat.STANDARD.id_first_bit == 1
+        assert FrameFormat.STANDARD.id_last_bit == 11
+        assert FrameFormat.STANDARD.first_stable_bit == 13
+        assert FrameFormat.EXTENDED.first_stable_bit == 33
+
+
+class TestStandardDetection:
+    def test_end_to_end_sender_identification(self, chain):
+        """Two standard-frame ECUs: train, verify, catch an imposter."""
+        ecu_a = make_transceiver("A", 1.95)
+        ecu_b = make_transceiver("B", 2.12)
+        traces = []
+        for seed in range(160):
+            traces.append(capture_std(chain, 0x100, ecu_a, seed=seed))
+            traces.append(capture_std(chain, 0x200, ecu_b, seed=1000 + seed))
+        config = ExtractionConfig.for_trace(
+            traces[0], frame_format=FrameFormat.STANDARD
+        )
+        edge_sets = extract_many(traces, config)
+        model = train_model(
+            TrainingData.from_edge_sets(edge_sets),
+            metric=Metric.MAHALANOBIS,
+            sa_clusters={0x100: "A", 0x200: "B"},
+        )
+        detector = Detector(model, margin=3.0)
+
+        # Legitimate message passes.
+        fresh = capture_std(chain, 0x100, ecu_a, seed=5000)
+        assert not detector.classify(extract_edge_set(fresh, config)).is_anomaly
+
+        # ECU B forging id 0x100 is flagged with the right origin.
+        forged = capture_std(chain, 0x100, ecu_b, seed=5001)
+        result = detector.classify(extract_edge_set(forged, config))
+        assert result.is_anomaly
+        assert result.origin_name(model) == "B"

@@ -1,0 +1,120 @@
+"""Linear SVM substrate and the VoltageIDS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.svm import LinearSvm, OneVsRestSvm
+from repro.baselines.voltageids import (
+    SECTION_STATISTIC_NAMES,
+    VoltageIdsIdentifier,
+    section_statistics,
+)
+from repro.core.edge_extraction import ExtractionConfig
+from repro.errors import TrainingError
+
+
+class TestLinearSvm:
+    def test_separable_blobs(self, rng):
+        X = np.concatenate([rng.normal(size=(150, 3)), 4 + rng.normal(size=(150, 3))])
+        y = np.array([-1.0] * 150 + [1.0] * 150)
+        svm = LinearSvm(epochs=20).fit(X, y)
+        accuracy = np.mean(svm.predict(X) == y)
+        assert accuracy > 0.98
+
+    def test_decision_sign_matches_predict(self, rng):
+        X = np.concatenate([rng.normal(size=(50, 2)), 3 + rng.normal(size=(50, 2))])
+        y = np.array([-1.0] * 50 + [1.0] * 50)
+        svm = LinearSvm().fit(X, y)
+        margins = svm.decision_function(X)
+        assert np.array_equal(np.sign(margins) >= 0, svm.predict(X) == 1.0)
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = np.where(X[:, 0] > 0, 1.0, -1.0)
+        a = LinearSvm(seed=3).fit(X, y)
+        b = LinearSvm(seed=3).fit(X, y)
+        assert np.allclose(a.weights_, b.weights_)
+
+    def test_rejects_bad_labels(self, rng):
+        with pytest.raises(TrainingError):
+            LinearSvm().fit(rng.normal(size=(4, 2)), np.array([0.0, 1, 1, 0]))
+
+    def test_rejects_unfitted_predict(self, rng):
+        with pytest.raises(TrainingError):
+            LinearSvm().predict(rng.normal(size=(3, 2)))
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(TrainingError):
+            LinearSvm(regularisation=0.0)
+
+
+class TestOneVsRest:
+    def test_three_classes(self, rng):
+        X = np.concatenate(
+            [
+                rng.normal(size=(80, 2)),
+                [6, 0] + rng.normal(size=(80, 2)),
+                [0, 6] + rng.normal(size=(80, 2)),
+            ]
+        )
+        y = ["a"] * 80 + ["b"] * 80 + ["c"] * 80
+        clf = OneVsRestSvm(epochs=15).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_decision_matrix_shape(self, rng):
+        X = np.concatenate([rng.normal(size=(40, 3)), 5 + rng.normal(size=(40, 3))])
+        y = ["a"] * 40 + ["b"] * 40
+        clf = OneVsRestSvm().fit(X, y)
+        assert clf.decision_matrix(X).shape == (80, 2)
+
+    def test_needs_two_classes(self, rng):
+        with pytest.raises(TrainingError):
+            OneVsRestSvm().fit(rng.normal(size=(10, 2)), ["a"] * 10)
+
+
+class TestSectionStatistics:
+    def test_dimension(self, rng):
+        assert section_statistics(rng.normal(size=200)).shape == (
+            len(SECTION_STATISTIC_NAMES),
+        )
+
+    def test_empty_section(self):
+        assert np.allclose(section_statistics(np.empty(0)), 0.0)
+
+    def test_known_values(self):
+        stats = section_statistics(np.array([1.0, 2.0, 3.0, 4.0]))
+        names = list(SECTION_STATISTIC_NAMES)
+        assert stats[names.index("mean")] == pytest.approx(2.5)
+        assert stats[names.index("max")] == 4.0
+        assert stats[names.index("min")] == 1.0
+        assert stats[names.index("median")] == pytest.approx(2.5)
+
+
+class TestVoltageIds:
+    @pytest.fixture(scope="class")
+    def capture(self, vehicle_a_session):
+        train, test = vehicle_a_session.split(0.6, seed=31)
+        train, test = train[:800], test[:250]
+        threshold = ExtractionConfig.for_trace(train[0]).threshold
+        return (
+            train,
+            [t.metadata["sender"] for t in train],
+            test,
+            [t.metadata["sender"] for t in test],
+            threshold,
+        )
+
+    def test_feature_dimension(self, capture):
+        train, _, _, _, threshold = capture
+        ident = VoltageIdsIdentifier(threshold)
+        assert ident.features(train[0]).shape == (3 * len(SECTION_STATISTIC_NAMES),)
+
+    def test_identification_accuracy(self, capture):
+        train, y_train, test, y_test, threshold = capture
+        ident = VoltageIdsIdentifier(threshold, epochs=12).fit(train, y_train)
+        assert ident.score(test, y_test) > 0.9
+
+    def test_fit_validates_lengths(self, capture):
+        train, y_train, _, _, threshold = capture
+        with pytest.raises(TrainingError):
+            VoltageIdsIdentifier(threshold).fit(train, y_train[:-1])

@@ -1,0 +1,145 @@
+"""Algorithm 2: model training and SA clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import euclidean_distances, mahalanobis_distances
+from repro.core.model import Metric
+from repro.core.training import (
+    TrainingData,
+    cluster_sas_by_distance,
+    train_from_grouped,
+    train_model,
+)
+from repro.errors import TrainingError
+
+
+def synthetic_data(rng, *, n_per_sa=60, dim=6):
+    """Three ECUs; ECU 'A' owns two SAs with identical statistics."""
+    centers = {
+        0x10: np.zeros(dim),
+        0x11: np.zeros(dim),          # same ECU as 0x10
+        0x20: np.full(dim, 10.0),
+        0x30: np.full(dim, -10.0),
+    }
+    vectors, sas = [], []
+    for sa, center in centers.items():
+        vectors.append(center + rng.normal(scale=0.5, size=(n_per_sa, dim)))
+        sas.extend([sa] * n_per_sa)
+    return TrainingData(np.concatenate(vectors), np.array(sas))
+
+
+LUT = {0x10: "A", 0x11: "A", 0x20: "B", 0x30: "C"}
+
+
+class TestTrainingData:
+    def test_length_mismatch(self):
+        with pytest.raises(TrainingError):
+            TrainingData(np.zeros((3, 2)), np.zeros(2, dtype=int))
+
+    def test_empty(self):
+        with pytest.raises(TrainingError):
+            TrainingData(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+class TestTrainWithLut:
+    def test_clusters_follow_lut(self, rng):
+        model = train_model(synthetic_data(rng), metric="euclidean", sa_clusters=LUT)
+        assert [c.name for c in model.clusters] == ["A", "B", "C"]
+        assert model.clusters[0].count == 120  # both SAs of ECU A
+        assert model.sa_to_cluster == {0x10: 0, 0x11: 0, 0x20: 1, 0x30: 2}
+
+    def test_cluster_means(self, rng):
+        model = train_model(synthetic_data(rng), metric="euclidean", sa_clusters=LUT)
+        b = model.cluster_named("B")
+        assert np.allclose(b.mean, 10.0, atol=0.3)
+
+    def test_max_distance_is_training_max(self, rng):
+        data = synthetic_data(rng)
+        model = train_model(data, metric="euclidean", sa_clusters=LUT)
+        for index, cluster in enumerate(model.clusters):
+            rows = np.array(
+                [model.sa_to_cluster[int(sa)] == index for sa in data.source_addresses]
+            )
+            distances = euclidean_distances(data.vectors[rows], cluster.mean)
+            assert cluster.max_distance == pytest.approx(distances.max())
+
+    def test_mahalanobis_stores_covariances(self, rng):
+        model = train_model(synthetic_data(rng), metric="mahalanobis", sa_clusters=LUT)
+        for cluster in model.clusters:
+            assert cluster.covariance is not None
+            assert np.allclose(
+                cluster.inv_covariance @ cluster.covariance,
+                np.eye(model.dim),
+                atol=1e-6,
+            )
+
+    def test_mahalanobis_max_distance(self, rng):
+        data = synthetic_data(rng)
+        model = train_model(data, metric="mahalanobis", sa_clusters=LUT)
+        cluster = model.clusters[1]
+        rows = data.source_addresses == 0x20
+        distances = mahalanobis_distances(
+            data.vectors[rows], cluster.mean, cluster.inv_covariance
+        )
+        assert cluster.max_distance == pytest.approx(distances.max())
+
+    def test_unknown_sa_rejected(self, rng):
+        with pytest.raises(TrainingError):
+            train_model(synthetic_data(rng), sa_clusters={0x10: "A"})
+
+    def test_min_cluster_size(self, rng):
+        data = TrainingData(np.zeros((3, 2)), np.array([1, 1, 2]))
+        with pytest.raises(TrainingError):
+            train_model(data, metric="euclidean", sa_clusters={1: "A", 2: "B"})
+
+
+class TestClusterByDistance:
+    def test_merges_same_ecu_sas(self, rng):
+        model = train_from_grouped(synthetic_data(rng), metric="euclidean")
+        assert model.n_clusters == 3
+        # 0x10 and 0x11 land in the same cluster.
+        assert model.cluster_of_sa(0x10) == model.cluster_of_sa(0x11)
+        assert model.cluster_of_sa(0x20) != model.cluster_of_sa(0x10)
+
+    def test_explicit_threshold(self):
+        means = {1: np.array([0.0]), 2: np.array([0.1]), 3: np.array([5.0])}
+        clusters = cluster_sas_by_distance(means, threshold=1.0)
+        groups = sorted(tuple(v) for v in clusters.values())
+        assert groups == [(1, 2), (3,)]
+
+    def test_gap_heuristic(self):
+        means = {
+            1: np.array([0.0]),
+            2: np.array([0.01]),
+            3: np.array([10.0]),
+            4: np.array([10.01]),
+        }
+        clusters = cluster_sas_by_distance(means)
+        groups = sorted(tuple(v) for v in clusters.values())
+        assert groups == [(1, 2), (3, 4)]
+
+    def test_no_gap_means_singletons(self):
+        means = {1: np.array([0.0]), 2: np.array([1.0]), 3: np.array([2.0])}
+        clusters = cluster_sas_by_distance(means)
+        assert len(clusters) == 3
+
+    def test_single_sa(self):
+        assert cluster_sas_by_distance({7: np.array([1.0])}) == {"cluster0": [7]}
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            cluster_sas_by_distance({})
+
+
+class TestRealCapture:
+    def test_auto_clusters_match_vehicle(self, veh_a, vehicle_a_edge_sets):
+        """ClusterByDist discovers the vehicle's true ECU partition."""
+        data = TrainingData.from_edge_sets(vehicle_a_edge_sets)
+        model = train_from_grouped(data, metric="euclidean")
+        assert model.n_clusters == len(veh_a.ecus)
+        # Every pair of SAs of the same ECU shares a cluster.
+        for ecu in veh_a.ecus:
+            sas = ecu.source_addresses
+            clusters = {model.cluster_of_sa(sa) for sa in sas}
+            assert len(clusters) == 1

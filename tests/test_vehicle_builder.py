@@ -1,0 +1,102 @@
+"""Vehicle inference: capture -> synthetic twin round trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.vehicles.builder import (
+    estimate_channel_noise,
+    infer_schedules,
+    infer_vehicle,
+)
+from repro.vehicles.dataset import capture_session
+
+
+@pytest.fixture(scope="module")
+def twin(sterling, sterling_session):
+    return infer_vehicle(sterling_session.traces, name="SterlingTwin")
+
+
+class TestInferVehicle:
+    def test_ecu_count_recovered(self, sterling, twin):
+        assert len(twin.ecus) == len(sterling.ecus)
+
+    def test_sa_partition_recovered(self, sterling, twin):
+        truth = {
+            frozenset(ecu.source_addresses) for ecu in sterling.ecus
+        }
+        inferred = {
+            frozenset(ecu.source_addresses) for ecu in twin.ecus
+        }
+        assert inferred == truth
+
+    def test_levels_recovered(self, sterling, twin):
+        truth_levels = sorted(e.transceiver.v_dominant for e in sterling.ecus)
+        inferred_levels = sorted(e.transceiver.v_dominant for e in twin.ecus)
+        for a, b in zip(truth_levels, inferred_levels):
+            assert b == pytest.approx(a, abs=0.02)
+
+    def test_capture_parameters_copied(self, sterling, twin):
+        assert twin.bitrate == sterling.bitrate
+        assert twin.sample_rate == sterling.sample_rate
+        assert twin.resolution_bits == sterling.resolution_bits
+
+    def test_twin_is_capturable(self, twin):
+        """The inferred vehicle feeds straight back into the simulator."""
+        session = capture_session(twin, 0.5, seed=9)
+        assert len(session) > 10
+
+    def test_twin_trains_a_transferable_model(self, sterling, sterling_session, twin):
+        """A model trained on the twin classifies the real capture."""
+        from repro.core import (
+            Detector,
+            ExtractionConfig,
+            Metric,
+            TrainingData,
+            extract_many,
+            train_model,
+        )
+
+        twin_session = capture_session(twin, 4.0, seed=10)
+        config = ExtractionConfig.for_trace(twin_session.traces[0])
+        model = train_model(
+            TrainingData.from_edge_sets(extract_many(twin_session.traces, config)),
+            metric=Metric.MAHALANOBIS,
+            sa_clusters=twin.sa_clusters,
+        )
+        real_sets = extract_many(sterling_session.traces[:300], config)
+        vectors = np.stack([e.vector for e in real_sets])
+        sas = np.array([e.source_address for e in real_sets])
+        batch = Detector(model).classify_batch(vectors, sas)
+        # Cluster prediction must transfer (thresholds may not).
+        mismatches = (batch.expected_cluster != batch.predicted_cluster).mean()
+        assert mismatches < 0.05
+
+    def test_empty_capture_rejected(self):
+        with pytest.raises(DatasetError):
+            infer_vehicle([])
+
+
+class TestInferSchedules:
+    def test_periods_recovered(self, sterling, sterling_session):
+        schedules = infer_schedules(sterling_session.traces)
+        truth = {
+            s.j1939_id.to_can_id(): s.period_s
+            for ecu in sterling.ecus
+            for s in ecu.schedules
+        }
+        assert set(schedules) == set(truth)
+        for can_id, schedule in schedules.items():
+            assert schedule.period_s == pytest.approx(truth[can_id], rel=0.08)
+
+
+class TestEstimateNoise:
+    def test_white_noise_magnitude(self, sterling, sterling_session):
+        noise = estimate_channel_noise(sterling_session.traces[:200])
+        truth = sterling.noise
+        combined_truth = np.hypot(truth.white_sigma_v, truth.ar_sigma_v)
+        assert noise.white_sigma_v == pytest.approx(combined_truth, rel=0.5)
+
+    def test_too_few_traces_rejected(self):
+        with pytest.raises(DatasetError):
+            estimate_channel_noise([])

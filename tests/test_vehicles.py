@@ -1,0 +1,125 @@
+"""Synthetic vehicle presets and dataset capture."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.vehicles.dataset import capture_balanced, capture_session
+from repro.vehicles.profiles import (
+    EcuDefinition,
+    VehicleConfig,
+    sterling_acterra,
+    vehicle_a,
+    vehicle_b,
+)
+
+
+class TestProfiles:
+    def test_vehicle_a_shape(self, veh_a):
+        assert len(veh_a.ecus) == 5
+        assert veh_a.sample_rate == 20e6
+        assert veh_a.resolution_bits == 16
+        assert veh_a.bitrate == 250e3
+
+    def test_vehicle_b_shape(self, veh_b):
+        assert len(veh_b.ecus) == 8
+        assert veh_b.sample_rate == 10e6
+        assert veh_b.resolution_bits == 12
+
+    def test_vehicle_a_similarity_ordering(self, veh_a):
+        """ECUs 1 and 4 are the closest dominant-level pair, 0-1 next."""
+        levels = {e.name: e.transceiver.v_dominant for e in veh_a.ecus}
+        gaps = {}
+        names = sorted(levels)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                gaps[(a, b)] = abs(levels[a] - levels[b])
+        ordered = sorted(gaps, key=gaps.get)
+        assert ordered[0] == ("ECU1", "ECU4")
+        assert ordered[1] == ("ECU0", "ECU1")
+
+    def test_vehicle_a_temp_coefficients(self, veh_a):
+        """ECUs 0 and 2 drift most with temperature (Figure 4.6)."""
+        coeffs = {
+            e.name: abs(e.transceiver.temp_coeff_v_per_c) for e in veh_a.ecus
+        }
+        ranked = sorted(coeffs, key=coeffs.get, reverse=True)
+        assert set(ranked[:2]) == {"ECU0", "ECU2"}
+
+    def test_sa_clusters_lut(self, veh_a):
+        lut = veh_a.sa_clusters
+        assert lut[0x00] == "ECU0"
+        assert lut[0x0F] == "ECU0"  # multi-SA ECU
+        assert len({v for v in lut.values()}) == 5
+
+    def test_duplicate_sa_rejected(self, veh_a):
+        ecu = veh_a.ecus[0]
+        clone = EcuDefinition(
+            name="clone", transceiver=ecu.transceiver, schedules=ecu.schedules
+        )
+        with pytest.raises(DatasetError):
+            VehicleConfig(
+                name="bad",
+                bitrate=250e3,
+                sample_rate=10e6,
+                resolution_bits=12,
+                ecus=(ecu, clone),
+                noise=veh_a.noise,
+            )
+
+    def test_ecu_named(self, veh_a):
+        assert veh_a.ecu_named("ECU2").name == "ECU2"
+        with pytest.raises(DatasetError):
+            veh_a.ecu_named("ECU9")
+
+    def test_sterling_two_ecus(self, sterling):
+        assert len(sterling.ecus) == 2
+
+
+class TestCaptureSession:
+    def test_traces_in_time_order(self, vehicle_a_session):
+        starts = [t.start_s for t in vehicle_a_session.traces]
+        assert starts == sorted(starts)
+
+    def test_all_ecus_present(self, vehicle_a_session, veh_a):
+        senders = set(vehicle_a_session.senders())
+        assert senders == set(veh_a.ecu_names)
+
+    def test_metadata_has_frames(self, vehicle_a_session):
+        trace = vehicle_a_session.traces[0]
+        assert trace.metadata["frame"].extended
+
+    def test_capture_parameters(self, vehicle_a_session, veh_a):
+        trace = vehicle_a_session.traces[0]
+        assert trace.sample_rate == veh_a.sample_rate
+        assert trace.resolution_bits == veh_a.resolution_bits
+
+    def test_split_partitions(self, vehicle_a_session):
+        train, test = vehicle_a_session.split(0.6, seed=1)
+        assert len(train) + len(test) == len(vehicle_a_session)
+        assert abs(len(train) - 0.6 * len(vehicle_a_session)) <= 1
+
+    def test_split_validates_fraction(self, vehicle_a_session):
+        with pytest.raises(DatasetError):
+            vehicle_a_session.split(1.5)
+
+    def test_invalid_duration(self, veh_a):
+        with pytest.raises(DatasetError):
+            capture_session(veh_a, 0.0)
+
+    def test_deterministic_given_seed(self, sterling):
+        a = capture_session(sterling, 0.3, seed=5)
+        b = capture_session(sterling, 0.3, seed=5)
+        assert len(a) == len(b)
+        assert np.array_equal(a.traces[0].counts, b.traces[0].counts)
+
+
+class TestCaptureBalanced:
+    def test_counts_per_schedule(self, sterling):
+        session = capture_balanced(sterling, 10, seed=3)
+        # 2 ECUs x 2 schedules x 10 messages.
+        assert len(session) == 40
+
+    def test_invalid_count(self, sterling):
+        with pytest.raises(DatasetError):
+            capture_balanced(sterling, 0)
