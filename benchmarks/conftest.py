@@ -13,6 +13,7 @@ harness runs in minutes.  Shapes, not absolute counts, are the target
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -30,6 +31,18 @@ def report(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def report_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable artefact next to the .txt report.
+
+    The JSON twin carries the same numbers the text artefact prints,
+    so CI / regression tooling can diff runs without parsing prose.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=float) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

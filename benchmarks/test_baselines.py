@@ -7,12 +7,11 @@ Viden/Scission/SIMPLE strong but heavier, vProfile accurate with a
 single lightweight feature — should reproduce.
 """
 
-import time
-
 import numpy as np
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, report_json
+from repro.obs import Stopwatch
 from repro.baselines import (
     MurvayGrozaIdentifier,
     ScissionIdentifier,
@@ -79,17 +78,27 @@ def test_baseline_comparison(benchmark, comparison_data, veh_a):
         f"{'method':>12} {'accuracy':>9} {'us/message':>11}",
     ]
     accuracy = {}
+    rows = {}
     for name, predict_one in identifiers.items():
-        start = time.perf_counter()
-        predictions = [predict_one(trace) for trace in test]
-        elapsed = time.perf_counter() - start
+        with Stopwatch() as sw:
+            predictions = [predict_one(trace) for trace in test]
         accuracy[name] = float(
             np.mean([p == t for p, t in zip(predictions, y_test)])
         )
+        us_per_message = sw.wall_s / len(test) * 1e6
+        rows[name] = {
+            "accuracy": accuracy[name],
+            "us_per_message": us_per_message,
+            "cpu_us_per_message": sw.cpu_s / len(test) * 1e6,
+        }
         lines.append(
-            f"{name:>12} {accuracy[name]:>9.4f} {elapsed / len(test) * 1e6:>11.1f}"
+            f"{name:>12} {accuracy[name]:>9.4f} {us_per_message:>11.1f}"
         )
     report("baseline_comparison", "\n".join(lines))
+    report_json(
+        "baseline_comparison",
+        {"vehicle": "VehicleA", "messages": len(test), "methods": rows},
+    )
 
     # Qualitative ordering from the paper's related-work discussion.
     assert accuracy["vprofile"] >= 0.99

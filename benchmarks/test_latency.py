@@ -11,7 +11,8 @@ and print a per-message latency budget against the bus message time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, report_json
+from repro import obs
 from repro.core.detection import Detector
 from repro.core.edge_extraction import ExtractionConfig, extract_edge_set, extract_many
 from repro.core.model import Metric
@@ -34,11 +35,30 @@ def test_edge_set_extraction_latency(benchmark, session_a):
     result = benchmark(extract_edge_set, trace, config)
     assert result.vector.size == config.edge_set_length
     mean_s = benchmark.stats.stats.mean
+
+    # Cross-check with the instrumented path: the same extraction under
+    # an enabled registry lands in the per-stage latency histogram.
+    with obs.enabled() as (registry, _):
+        for t in session_a.traces[:200]:
+            extract_edge_set(t, config)
+    histogram = registry.get(obs.STAGE_METRIC, stage="extract")
     report(
         "latency_extraction",
         "=== Edge-set extraction latency ===\n"
         f"mean {mean_s * 1e6:.1f} us per message "
         f"(bus frame time at 250 kb/s is ~500 us)",
+    )
+    report_json(
+        "latency_extraction",
+        {
+            "mean_us": mean_s * 1e6,
+            "span_histogram": {
+                "count": histogram.count,
+                "mean_us": (histogram.mean or 0.0) * 1e6,
+                "p50_us": (histogram.quantile(0.5) or 0.0) * 1e6,
+                "p99_us": (histogram.quantile(0.99) or 0.0) * 1e6,
+            },
+        },
     )
 
 
@@ -53,6 +73,7 @@ def test_single_message_detection_latency(benchmark, trained, inputs_a):
         "=== Single-message detection latency (Mahalanobis, 5 clusters) ===\n"
         f"mean {mean_s * 1e6:.1f} us per message",
     )
+    report_json("latency_detection", {"mean_us": mean_s * 1e6})
 
 
 def test_batch_detection_throughput(benchmark, trained, inputs_a):
@@ -66,6 +87,10 @@ def test_batch_detection_throughput(benchmark, trained, inputs_a):
         "latency_batch",
         "=== Batch detection throughput ===\n"
         f"{vectors.shape[0]} messages, {per_message_us:.2f} us/message amortised",
+    )
+    report_json(
+        "latency_batch",
+        {"messages": int(vectors.shape[0]), "us_per_message": per_message_us},
     )
 
 
@@ -84,6 +109,14 @@ def test_training_time(benchmark, inputs_a, veh_a):
         "=== Training time (Algorithm 2, Mahalanobis) ===\n"
         f"{len(inputs_a.train)} edge sets, {model.dim}-dim: "
         f"{benchmark.stats.stats.mean * 1e3:.1f} ms",
+    )
+    report_json(
+        "latency_training",
+        {
+            "edge_sets": len(inputs_a.train),
+            "dim": model.dim,
+            "mean_ms": benchmark.stats.stats.mean * 1e3,
+        },
     )
 
 

@@ -10,22 +10,33 @@ Python:
 * ``detect``      — replay an archive through a saved model, optionally
   injecting hijack attacks, and print the confusion matrix;
 * ``experiment``  — regenerate one of the paper's experiments
-  (``suite``, ``temperature``, ``voltage``, ``sweep``).
+  (``suite``, ``temperature``, ``voltage``, ``sweep``);
+* ``stats``       — summarize a metrics file emitted by a previous run.
+
+Observability: ``detect`` and ``experiment`` accept ``--metrics-out
+PATH`` (enable the metrics registry and write a Prometheus ``.prom`` /
+``.json`` snapshot on exit) and ``-v`` / ``-vv`` (stream structured
+JSON events to stderr at info / debug level).  Errors from bad inputs
+(missing model or archive paths, unknown vehicles) exit with status 2
+and a one-line message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.acquisition.archive import load_traces, save_traces
 from repro.attacks.hijack import LabelledEdgeSet, apply_hijack
-from repro.core.detection import Detector
+from repro.core.detection import AnomalyReason, Detector
 from repro.core.edge_extraction import ExtractionConfig, extract_many
 from repro.core.model import Metric, VProfileModel
 from repro.core.training import TrainingData, train_model
+from repro.errors import DatasetError, DetectionError, ReproError
 from repro.eval.confusion import ConfusionMatrix
 from repro.eval.environment import temperature_experiment, voltage_experiment
 from repro.eval.margin import tune_margin
@@ -48,7 +59,13 @@ VEHICLES = {
 
 
 def _vehicle(name: str) -> VehicleConfig:
-    return VEHICLES[name]()
+    try:
+        factory = VEHICLES[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown vehicle {name!r}; choose from {', '.join(sorted(VEHICLES))}"
+        ) from None
+    return factory()
 
 
 def _add_vehicle_arg(parser: argparse.ArgumentParser) -> None:
@@ -57,6 +74,21 @@ def _add_vehicle_arg(parser: argparse.ArgumentParser) -> None:
         choices=sorted(VEHICLES),
         default="a",
         help="built-in synthetic vehicle (default: a)",
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="collect metrics and write them on exit "
+             "(.json snapshot, anything else Prometheus text format)",
+    )
+    parser.add_argument(
+        "-v", "--verbose",
+        action="count",
+        default=0,
+        help="stream structured JSON events to stderr (-v info, -vv debug)",
     )
 
 
@@ -88,8 +120,11 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
 def _traces_for(args: argparse.Namespace):
     vehicle = _vehicle(args.vehicle)
-    if getattr(args, "input", None):
-        return vehicle, load_traces(args.input)
+    input_path = getattr(args, "input", None)
+    if input_path:
+        if not Path(input_path).exists():
+            raise DatasetError(f"trace archive not found: {input_path}")
+        return vehicle, load_traces(input_path)
     session = capture_session(vehicle, args.duration, seed=args.seed)
     return vehicle, session.traces
 
@@ -113,36 +148,75 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
+    if not Path(args.model).exists():
+        raise DetectionError(f"model file not found: {args.model}")
     vehicle, traces = _traces_for(args)
     model = VProfileModel.load(args.model)
     extraction = ExtractionConfig.for_trace(traces[0])
-    edge_sets = extract_many(traces, extraction)
+    with obs.span("cli.detect", vehicle=vehicle.name):
+        edge_sets = extract_many(traces, extraction)
 
-    rng = np.random.default_rng(args.seed)
-    if args.hijack > 0:
-        labelled = apply_hijack(
-            edge_sets, vehicle.sa_clusters, probability=args.hijack, rng=rng
-        )
-    else:
-        labelled = [
-            LabelledEdgeSet(e, is_attack=False, true_sender=e.metadata.get("sender", "?"))
-            for e in edge_sets
-        ]
-    vectors = np.stack([l.edge_set.vector for l in labelled])
-    sas = np.array([l.edge_set.source_address for l in labelled])
-    actual = np.array([l.is_attack for l in labelled])
-    batch = Detector(model).classify_batch(vectors, sas)
-    if args.margin is None:
-        objective = "f-score" if args.hijack > 0 else "accuracy"
-        margin = tune_margin(batch, actual, objective).margin
-        print(f"auto-tuned margin: {margin:.4g} (objective: {objective})")
-    else:
-        margin = args.margin
-    confusion = ConfusionMatrix.from_predictions(actual, batch.anomalies(margin))
+        rng = np.random.default_rng(args.seed)
+        if args.hijack > 0:
+            labelled = apply_hijack(
+                edge_sets, vehicle.sa_clusters, probability=args.hijack, rng=rng
+            )
+        else:
+            labelled = [
+                LabelledEdgeSet(e, is_attack=False, true_sender=e.metadata.get("sender", "?"))
+                for e in edge_sets
+            ]
+        vectors = np.stack([l.edge_set.vector for l in labelled])
+        sas = np.array([l.edge_set.source_address for l in labelled])
+        actual = np.array([l.is_attack for l in labelled])
+        batch = Detector(model).classify_batch(vectors, sas)
+        if args.margin is None:
+            objective = "f-score" if args.hijack > 0 else "accuracy"
+            margin = tune_margin(batch, actual, objective).margin
+            print(f"auto-tuned margin: {margin:.4g} (objective: {objective})")
+        else:
+            margin = args.margin
+        predicted = batch.anomalies(margin)
+        _count_batch_outcomes(batch, predicted, margin)
+        confusion = ConfusionMatrix.from_predictions(actual, predicted)
     print(confusion.as_table())
     print(f"accuracy={confusion.accuracy:.5f} precision={confusion.precision:.5f} "
           f"recall={confusion.recall:.5f} F={confusion.f_score:.5f}")
+    obs.get_event_log().info(
+        "cli.detect",
+        vehicle=vehicle.name,
+        messages=len(labelled),
+        anomalies=int(predicted.sum()),
+        margin=float(margin),
+        accuracy=confusion.accuracy,
+        f_score=confusion.f_score,
+    )
     return 0
+
+
+def _count_batch_outcomes(batch, predicted: np.ndarray, margin: float) -> None:
+    """Mirror the batch verdicts into the message/anomaly counters.
+
+    The batch path bypasses ``VProfilePipeline.process``, so the
+    per-reason breakdown is reconstructed from the batch arrays
+    (Algorithm 3's precedence: unknown SA, then cluster mismatch, then
+    distance).  A no-op on the null registry.
+    """
+    registry = obs.get_registry()
+    if not registry.enabled:
+        return
+    registry.counter("vprofile_messages_total").inc(int(predicted.shape[0]))
+    unknown = batch.expected_cluster < 0
+    mismatch = ~unknown & (batch.expected_cluster != batch.predicted_cluster)
+    exceeded = predicted & ~unknown & ~mismatch
+    for reason, flags in (
+        (AnomalyReason.UNKNOWN_SA, unknown),
+        (AnomalyReason.CLUSTER_MISMATCH, mismatch),
+        (AnomalyReason.DISTANCE_EXCEEDED, exceeded),
+    ):
+        count = int(flags.sum())
+        if count:
+            registry.counter("vprofile_anomalies_total", reason=reason.value).inc(count)
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -168,6 +242,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         divisors = (1, 2, 4) if vehicle.sample_rate <= 10e6 else (1, 2, 4, 8)
         cells = rate_resolution_sweep(session, rate_divisors=divisors, seed=args.seed)
         print(format_sweep(cells, f"{vehicle.name} rate sweep"))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    path = Path(args.path)
+    if not path.exists():
+        raise DatasetError(f"metrics file not found: {args.path}")
+    snapshot = obs.load_snapshot(path)
+    print(obs.summarize_snapshot(snapshot, source=str(path)))
     return 0
 
 
@@ -204,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = commands.add_parser("detect", help="replay traffic through a model")
     _add_vehicle_arg(detect)
+    _add_obs_args(detect)
     detect.add_argument("--model", required=True)
     detect.add_argument("--input", help="trace archive to replay")
     detect.add_argument("--duration", type=float, default=2.0)
@@ -218,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one of the paper's experiments"
     )
     _add_vehicle_arg(experiment)
+    _add_obs_args(experiment)
     experiment.add_argument(
         "name", choices=["suite", "temperature", "voltage", "sweep"]
     )
@@ -227,15 +312,68 @@ def build_parser() -> argparse.ArgumentParser:
                             default="mahalanobis")
     experiment.set_defaults(handler=cmd_experiment)
 
+    stats = commands.add_parser(
+        "stats", help="summarize a metrics file from --metrics-out"
+    )
+    stats.add_argument("path", help="metrics file (.json or Prometheus text)")
+    stats.set_defaults(handler=cmd_stats)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success, 2 usable-input error (missing files, unknown
+    vehicle, malformed metrics file, ...); argparse keeps its own
+    conventions for unknown commands/flags.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+
+    registry = None
+    previous_registry = previous_log = None
+    if getattr(args, "metrics_out", None):
+        # Fail fast: discovering an unwritable path after a long run
+        # would throw the metrics away.
+        parent = Path(args.metrics_out).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"error: metrics output directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
+        registry = obs.MetricsRegistry()
+        obs.preregister_pipeline_metrics(registry)
+        previous_registry = obs.set_registry(registry)
+    if getattr(args, "verbose", 0):
+        level = "debug" if args.verbose > 1 else "info"
+        previous_log = obs.set_event_log(obs.EventLog(level=level, sink=sys.stderr))
+
+    try:
+        return args.handler(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if registry is not None:
+            try:
+                obs.write_metrics(registry, args.metrics_out)
+                print(f"metrics -> {args.metrics_out}", file=sys.stderr)
+            except OSError as exc:
+                print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+            obs.set_registry(previous_registry)
+        if previous_log is not None:
+            obs.set_event_log(previous_log)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piping into `head` & co. closes stdout early; that's not an error.
+        sys.stderr.close()
+        sys.exit(0)

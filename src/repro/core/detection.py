@@ -25,6 +25,7 @@ from repro.core.distances import euclidean_distances, mahalanobis_distances
 from repro.core.edge_extraction import ExtractedEdgeSet
 from repro.core.model import Metric, VProfileModel
 from repro.errors import DetectionError
+from repro.obs.spans import stage_timer
 
 
 class Verdict(str, Enum):
@@ -110,7 +111,15 @@ class Detector:
 
         ``edge_set`` may be an extraction result (which carries its own
         SA) or a raw vector with ``sa`` supplied explicitly.
+
+        Observability: each call times into
+        ``vprofile_stage_seconds{stage="classify"}`` when a metrics
+        registry is enabled.
         """
+        with stage_timer("classify"):
+            return self._classify(edge_set, sa)
+
+    def _classify(self, edge_set: ExtractedEdgeSet | np.ndarray, sa: int | None = None) -> DetectionResult:
         if isinstance(edge_set, ExtractedEdgeSet):
             vector = edge_set.vector
             sa = edge_set.source_address if sa is None else sa
@@ -159,7 +168,15 @@ class Detector:
         Returns a :class:`BatchDetection` with per-message verdict
         ingredients, from which anomaly flags for *any* margin can be
         derived cheaply (the margin-tuning sweep relies on this).
+
+        Observability: the whole batch is one observation in
+        ``vprofile_stage_seconds{stage="classify"}`` (one span per
+        call, not per message).
         """
+        with stage_timer("classify"):
+            return self._classify_batch(vectors, sas)
+
+    def _classify_batch(self, vectors: np.ndarray, sas: np.ndarray) -> "BatchDetection":
         vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
         sas = np.asarray(sas, dtype=np.int64)
         if vectors.shape[0] != sas.shape[0]:

@@ -33,6 +33,7 @@ from enum import Enum
 from repro.acquisition.adc import AdcConfig
 from repro.acquisition.trace import VoltageTrace
 from repro.errors import ExtractionError
+from repro.obs.spans import stage_timer
 
 #: Logical bit positions in an extended frame (SOF = bit 0, stuff bits
 #: excluded): the J1939 SA occupies bits 24-31 and bit 33 is the first
@@ -204,12 +205,20 @@ def get_bit_value(sample: float, threshold: float) -> int:
 def extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> ExtractedEdgeSet:
     """Run Algorithm 1 on one trace.
 
+    Observability: times into ``vprofile_stage_seconds{stage="extract"}``
+    when a metrics registry is enabled (no-op otherwise).
+
     Raises
     ------
     ExtractionError
         If the trace is too short, no SOF is found, or a stuff violation
         is encountered.
     """
+    with stage_timer("extract"):
+        return _extract_edge_set(trace, config)
+
+
+def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> ExtractedEdgeSet:
     samples = np.asarray(trace.counts, dtype=float)
     threshold = config.threshold
     bit_width = config.bit_width

@@ -22,6 +22,7 @@ from repro.core.distances import mahalanobis_distance, _sherman_morrison_cov_upd
 from repro.core.edge_extraction import ExtractedEdgeSet
 from repro.core.model import Metric, VProfileModel
 from repro.errors import DetectionError, TrainingError
+from repro.obs.spans import stage_timer
 
 
 @dataclass
@@ -80,7 +81,15 @@ class OnlineUpdater:
         Edge sets are grouped by cluster through the model's SA LUT and
         applied one at a time (count, mean, inverse covariance, max
         distance), exactly following the pseudocode.
+
+        Observability: each call times into
+        ``vprofile_stage_seconds{stage="update"}`` when a metrics
+        registry is enabled.
         """
+        with stage_timer("update"):
+            return self._update(edge_sets)
+
+    def _update(self, edge_sets: Sequence[ExtractedEdgeSet]) -> UpdateReport:
         report = UpdateReport()
         for edge_set in edge_sets:
             cluster_index = self.model.cluster_of_sa(edge_set.source_address)

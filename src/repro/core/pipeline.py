@@ -8,10 +8,20 @@ want a ready-made IDS component:
 * **Detection** — classifying live traces, optionally feeding verified
   legitimate messages back into the model via the Algorithm 4 online
   updater.
+
+Observability: when a metrics registry is enabled (:mod:`repro.obs`),
+the pipeline exports message/anomaly/update counters and the per-stage
+latency histograms recorded inside ``extract_edge_set`` /
+``Detector.classify`` / ``OnlineUpdater.update``, and emits structured
+events for training runs and anomalies.  With observability disabled
+(the default) every handle is a stateless no-op singleton, so
+:meth:`VProfilePipeline.process` pays one global read and an identity
+check per message — nothing else.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -26,6 +36,10 @@ from repro.core.model import Metric, VProfileModel
 from repro.core.online_update import OnlineUpdater
 from repro.core.training import TrainingData, train_model
 from repro.errors import DetectionError
+from repro.obs import preregister_pipeline_metrics
+from repro.obs.events import get_event_log
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.spans import span
 
 
 @dataclass
@@ -59,12 +73,16 @@ class PipelineConfig:
 
 @dataclass
 class PipelineStats:
-    """Counters accumulated while the pipeline runs."""
+    """Counters accumulated while the pipeline runs.
+
+    ``reasons`` is a :class:`collections.Counter`, so missing reasons
+    read as 0 and it still quacks like the plain dict it used to be.
+    """
 
     processed: int = 0
     anomalies: int = 0
     updated: int = 0
-    reasons: dict[str, int] = field(default_factory=dict)
+    reasons: Counter = field(default_factory=Counter)
 
 
 class VProfilePipeline:
@@ -77,6 +95,29 @@ class VProfilePipeline:
         self._detector: Detector | None = None
         self._updater: OnlineUpdater | None = None
         self.stats = PipelineStats()
+        self._obs_registry: MetricsRegistry | None = None
+        self._m_processed = None
+        self._m_updated = None
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+    def _bind_obs(self, registry: MetricsRegistry) -> None:
+        """(Re)resolve metric handles against the active registry.
+
+        Called whenever the active registry changes identity; on the
+        null registry the handles are the shared no-op singletons, which
+        is what makes the disabled path free.
+        """
+        self._obs_registry = registry
+        preregister_pipeline_metrics(registry)
+        self._m_processed = registry.counter(
+            "vprofile_messages_total", help="Messages classified by the detector"
+        )
+        self._m_updated = registry.counter(
+            "vprofile_online_updates_total",
+            help="Edge sets folded into the model by Algorithm 4",
+        )
 
     # ------------------------------------------------------------------
     # Training
@@ -89,18 +130,32 @@ class VProfilePipeline:
         """Run preprocessing + Algorithm 2 over a training capture."""
         if not traces:
             raise DetectionError("cannot train on an empty capture")
-        self.extraction = extraction or ExtractionConfig.for_trace(traces[0])
-        edge_sets = extract_many(traces, self.extraction)
-        self.model = train_model(
-            TrainingData.from_edge_sets(edge_sets),
-            metric=self.config.metric,
-            sa_clusters=self.config.sa_clusters,
-            shrinkage=self.config.shrinkage,
+        with span("pipeline.train") as sp:
+            self.extraction = extraction or ExtractionConfig.for_trace(traces[0])
+            edge_sets = extract_many(traces, self.extraction)
+            self.model = train_model(
+                TrainingData.from_edge_sets(edge_sets),
+                metric=self.config.metric,
+                sa_clusters=self.config.sa_clusters,
+                shrinkage=self.config.shrinkage,
+            )
+            self._detector = Detector(self.model, margin=self.config.margin)
+            self._updater = None
+            if self.config.online_update:
+                self._updater = OnlineUpdater(self.model, self.config.retrain_bound)
+        registry = get_registry()
+        self._bind_obs(registry)
+        registry.gauge(
+            "vprofile_model_clusters", help="Clusters in the trained model"
+        ).set(self.model.n_clusters)
+        get_event_log().info(
+            "pipeline.trained",
+            traces=len(traces),
+            clusters=self.model.n_clusters,
+            metric=self.model.metric.value,
+            wall_s=sp.wall_s,
+            cpu_s=sp.cpu_s,
         )
-        self._detector = Detector(self.model, margin=self.config.margin)
-        self._updater = None
-        if self.config.online_update:
-            self._updater = OnlineUpdater(self.model, self.config.retrain_bound)
         return self.model
 
     def load_model(
@@ -115,6 +170,7 @@ class VProfilePipeline:
             if self.config.online_update
             else None
         )
+        self._bind_obs(get_registry())
 
     # ------------------------------------------------------------------
     # Detection
@@ -128,16 +184,32 @@ class VProfilePipeline:
         online updates are enabled)."""
         if self._detector is None or self.extraction is None:
             raise DetectionError("pipeline is not trained")
+        registry = get_registry()
+        if registry is not self._obs_registry:
+            self._bind_obs(registry)
         edge_set = extract_edge_set(trace, self.extraction)
         result = self._detector.classify(edge_set)
-        self.stats.processed += 1
+        stats = self.stats
+        stats.processed += 1
+        self._m_processed.inc()
         if result.is_anomaly:
-            self.stats.anomalies += 1
+            stats.anomalies += 1
             reason = result.reason.value if result.reason else "unknown"
-            self.stats.reasons[reason] = self.stats.reasons.get(reason, 0) + 1
+            stats.reasons[reason] += 1
+            registry.counter("vprofile_anomalies_total", reason=reason).inc()
+            get_event_log().warning(
+                "pipeline.anomaly",
+                reason=reason,
+                source_address=result.source_address,
+                min_distance=result.min_distance,
+                slack=result.slack,
+            )
         elif self._updater is not None:
             report = self._updater.update([edge_set])
-            self.stats.updated += sum(report.updated.values())
+            folded = sum(report.updated.values())
+            if folded:
+                stats.updated += folded
+                self._m_updated.inc(folded)
         return result
 
     def process_stream(

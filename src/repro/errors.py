@@ -64,3 +64,8 @@ class DetectionError(ReproError):
 
 class DatasetError(ReproError):
     """A vehicle dataset request is inconsistent."""
+
+
+class ObservabilityError(ReproError):
+    """A metrics/tracing/event-log request is malformed (bad metric type,
+    unparseable metrics file, invalid quantile, ...)."""

@@ -37,6 +37,9 @@ from repro.core.training import TrainingData, train_model
 from repro.errors import DatasetError
 from repro.eval.confusion import ConfusionMatrix
 from repro.eval.margin import margin_removing_false_positives, tune_margin
+from repro.obs.events import get_event_log
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
 from repro.vehicles.dataset import CaptureSession, capture_session
 from repro.vehicles.profiles import VehicleConfig
 
@@ -172,56 +175,87 @@ def run_detection_suite(
     seed: int = 0,
     shrinkage: float = 0.0,
 ) -> DetectionSuiteResult:
-    """Regenerate one confusion-matrix table (paper Tables 4.1-4.4)."""
+    """Regenerate one confusion-matrix table (paper Tables 4.1-4.4).
+
+    Observability: the whole suite runs under an ``eval.suite`` span,
+    each experiment under its own child span; per-experiment outcomes
+    are counted in ``vprofile_eval_experiments_total{experiment=...}``
+    and reported as ``eval.experiment`` events.
+    """
     metric = Metric(metric)
     vehicle = inputs.vehicle
     rng = np.random.default_rng(seed)
 
-    model = train_model(
-        TrainingData.from_edge_sets(inputs.train),
-        metric=metric,
-        sa_clusters=vehicle.sa_clusters,
-        shrinkage=shrinkage,
-    )
+    with span("eval.suite", vehicle=vehicle.name, metric=metric.value):
+        with span("eval.train"):
+            model = train_model(
+                TrainingData.from_edge_sets(inputs.train),
+                metric=metric,
+                sa_clusters=vehicle.sa_clusters,
+                shrinkage=shrinkage,
+            )
 
-    # False positive test: clean replay, everything legitimate.
-    clean = [
-        LabelledEdgeSet(e, is_attack=False, true_sender=e.metadata.get("sender", "?"))
-        for e in inputs.test
-    ]
-    fp_outcome = _evaluate(model, clean, objective="accuracy")
-    fp_outcome = TestOutcome(
-        name="false-positive",
-        confusion=fp_outcome.confusion,
-        margin=fp_outcome.margin,
-        zero_fp_score=fp_outcome.zero_fp_score,
-    )
+        # False positive test: clean replay, everything legitimate.
+        clean = [
+            LabelledEdgeSet(e, is_attack=False, true_sender=e.metadata.get("sender", "?"))
+            for e in inputs.test
+        ]
+        with span("eval.false_positive"):
+            fp_outcome = _evaluate(model, clean, objective="accuracy")
+        fp_outcome = TestOutcome(
+            name="false-positive",
+            confusion=fp_outcome.confusion,
+            margin=fp_outcome.margin,
+            zero_fp_score=fp_outcome.zero_fp_score,
+        )
+        _report_outcome(fp_outcome, vehicle.name)
 
-    # Hijack imitation test: SAs rewritten with 20 % probability.
-    hijacked = apply_hijack(
-        inputs.test, vehicle.sa_clusters, probability=hijack_probability, rng=rng
-    )
-    hijack_outcome = _evaluate(model, hijacked, objective="f-score")
-    hijack_outcome = TestOutcome(
-        name="hijack",
-        confusion=hijack_outcome.confusion,
-        margin=hijack_outcome.margin,
-        zero_fp_score=hijack_outcome.zero_fp_score,
-    )
+        # Hijack imitation test: SAs rewritten with 20 % probability.
+        hijacked = apply_hijack(
+            inputs.test, vehicle.sa_clusters, probability=hijack_probability, rng=rng
+        )
+        with span("eval.hijack"):
+            hijack_outcome = _evaluate(model, hijacked, objective="f-score")
+        hijack_outcome = TestOutcome(
+            name="hijack",
+            confusion=hijack_outcome.confusion,
+            margin=hijack_outcome.margin,
+            zero_fp_score=hijack_outcome.zero_fp_score,
+        )
+        _report_outcome(hijack_outcome, vehicle.name)
 
-    # Foreign device imitation test: most similar pair, imposter untrained.
-    scenario = most_similar_pair(model)
-    ranking = _similarity_ranking(model)
-    foreign_outcome = _run_foreign(inputs, metric, scenario, shrinkage)
+        # Foreign device imitation test: most similar pair, imposter untrained.
+        scenario = most_similar_pair(model)
+        ranking = _similarity_ranking(model)
+        with span("eval.foreign"):
+            foreign_outcome = _run_foreign(inputs, metric, scenario, shrinkage)
+        _report_outcome(foreign_outcome, vehicle.name)
 
-    return DetectionSuiteResult(
-        vehicle_name=vehicle.name,
-        metric=metric,
-        false_positive=fp_outcome,
-        hijack=hijack_outcome,
-        foreign=foreign_outcome,
-        foreign_scenario=scenario,
-        similarity_ranking=ranking,
+        return DetectionSuiteResult(
+            vehicle_name=vehicle.name,
+            metric=metric,
+            false_positive=fp_outcome,
+            hijack=hijack_outcome,
+            foreign=foreign_outcome,
+            foreign_scenario=scenario,
+            similarity_ranking=ranking,
+        )
+
+
+def _report_outcome(outcome: TestOutcome, vehicle_name: str) -> None:
+    """Count and log one experiment outcome."""
+    get_registry().counter(
+        "vprofile_eval_experiments_total",
+        help="Detection-suite experiments executed",
+        experiment=outcome.name,
+    ).inc()
+    get_event_log().info(
+        "eval.experiment",
+        experiment=outcome.name,
+        vehicle=vehicle_name,
+        accuracy=outcome.accuracy,
+        f_score=outcome.f_score,
+        margin=outcome.margin,
     )
 
 

@@ -4,6 +4,13 @@ Every detector in :mod:`repro.ids` reports :class:`Alert` objects into an
 :class:`AlertLog`, which keeps per-detector and per-identifier counters
 so an operator (or a test) can ask "who is alarming, about what, how
 often" without re-scanning the stream.
+
+Observability: the log is rebased onto :mod:`repro.obs` — each recorded
+alert increments ``vprofile_ids_alerts_total{detector=...,reason=...}``
+and emits a structured ``ids.alert`` event.  The aggregate queries
+(``by_detector`` & co.) are backed by incrementally-maintained
+:class:`collections.Counter` instances, so they are O(distinct keys)
+instead of a rescan of the whole alert list.
 """
 
 from __future__ import annotations
@@ -11,6 +18,12 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from repro.obs.events import get_event_log
+from repro.obs.registry import get_registry
+
+#: Counter fed by every recorded alert.
+IDS_ALERTS_METRIC = "vprofile_ids_alerts_total"
 
 
 @dataclass(frozen=True)
@@ -44,27 +57,56 @@ class AlertLog:
     """Accumulates alerts with cheap aggregate queries."""
 
     alerts: list[Alert] = field(default_factory=list)
+    _by_detector: Counter = field(default_factory=Counter, repr=False, compare=False)
+    _by_can_id: Counter = field(default_factory=Counter, repr=False, compare=False)
+    _by_reason: Counter = field(default_factory=Counter, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Rebuild aggregates when constructed from an existing list.
+        for alert in self.alerts:
+            self._count(alert)
 
     def record(self, alert: Alert) -> None:
         self.alerts.append(alert)
+        self._count(alert)
+        get_registry().counter(
+            IDS_ALERTS_METRIC,
+            help="Alerts raised by the IDS detectors",
+            detector=alert.detector,
+            reason=alert.reason,
+        ).inc()
+        get_event_log().warning(
+            "ids.alert",
+            detector=alert.detector,
+            can_id=alert.can_id,
+            reason=alert.reason,
+            detail=alert.detail,
+            timestamp_s=alert.timestamp_s,
+        )
 
     def extend(self, alerts: Iterable[Alert]) -> None:
-        self.alerts.extend(alerts)
+        for alert in alerts:
+            self.record(alert)
+
+    def _count(self, alert: Alert) -> None:
+        self._by_detector[alert.detector] += 1
+        self._by_can_id[alert.can_id] += 1
+        self._by_reason[alert.reason] += 1
 
     def __len__(self) -> int:
         return len(self.alerts)
 
     def by_detector(self) -> dict[str, int]:
         """Alert counts per detector."""
-        return dict(Counter(a.detector for a in self.alerts))
+        return dict(self._by_detector)
 
     def by_can_id(self) -> dict[int, int]:
         """Alert counts per offending identifier."""
-        return dict(Counter(a.can_id for a in self.alerts))
+        return dict(self._by_can_id)
 
     def by_reason(self) -> dict[str, int]:
         """Alert counts per cause."""
-        return dict(Counter(a.reason for a in self.alerts))
+        return dict(self._by_reason)
 
     def in_window(self, start_s: float, end_s: float) -> list[Alert]:
         """Alerts whose timestamp falls in ``[start_s, end_s)``."""

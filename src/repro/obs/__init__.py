@@ -1,0 +1,187 @@
+"""Observability for the vProfile pipeline: metrics, spans, event logs.
+
+Three cooperating pieces, all off by default and all sharing the same
+design rule — *a disabled handle is a stateless no-op singleton*, so the
+instrumented hot paths (``extract_edge_set``, ``Detector.classify``,
+``OnlineUpdater.update``, ``VProfilePipeline.process``) cost nothing
+when nobody is looking:
+
+* :mod:`repro.obs.registry` — process-local counters / gauges /
+  histograms (fixed buckets + P² streaming quantiles), addressed by
+  name + label set;
+* :mod:`repro.obs.spans` — nesting tracing spans recording wall/CPU
+  time into per-stage latency histograms;
+* :mod:`repro.obs.events` — a structured JSON-lines event log with a
+  stdlib-``logging`` bridge;
+* :mod:`repro.obs.export` — Prometheus text / JSON snapshot exporters
+  plus the ``stats`` summariser.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.enabled() as (registry, events):
+        pipeline.train(traces)
+        for trace in stream:
+            pipeline.process(trace)
+        print(obs.to_prometheus(registry))
+
+or process-wide (the CLI's ``--metrics-out`` path)::
+
+    registry = obs.enable_metrics()
+    obs.preregister_pipeline_metrics(registry)
+    ...
+    obs.write_metrics(registry, "metrics.prom")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import IO
+
+from repro.obs.events import (
+    LEVELS,
+    Event,
+    EventLog,
+    EventLogHandler,
+    NULL_EVENT_LOG,
+    NullEventLog,
+    bridge_stdlib,
+    disable_events,
+    enable_events,
+    get_event_log,
+    set_event_log,
+)
+from repro.obs.export import (
+    load_snapshot,
+    parse_prometheus,
+    summarize_snapshot,
+    to_json,
+    to_prometheus,
+    write_metrics,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    P2Quantile,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import (
+    NULL_TIMER,
+    SPAN_ERRORS_METRIC,
+    SPAN_METRIC,
+    STAGE_METRIC,
+    Span,
+    Stopwatch,
+    current_span,
+    span,
+    stage_timer,
+)
+
+#: The three per-message pipeline stages fed into ``vprofile_stage_seconds``.
+PIPELINE_STAGES = ("extract", "classify", "update")
+
+#: Anomaly reasons mirrored from :class:`repro.core.detection.AnomalyReason`
+#: (string-duplicated here so ``repro.obs`` stays import-cycle free).
+ANOMALY_REASONS = ("unknown-sa", "cluster-mismatch", "distance-exceeded")
+
+
+def preregister_pipeline_metrics(registry: MetricsRegistry) -> None:
+    """Create the pipeline's metric families with zero values.
+
+    Guarantees a stable export surface: every stage histogram and every
+    anomaly-reason counter appears in ``--metrics-out`` files even when
+    a run never exercised that stage / reason.  A no-op on the null
+    registry.
+    """
+    for stage in PIPELINE_STAGES:
+        registry.histogram(
+            STAGE_METRIC,
+            help="Per-stage pipeline latency in seconds",
+            stage=stage,
+        )
+    for reason in ANOMALY_REASONS:
+        registry.counter(
+            "vprofile_anomalies_total",
+            help="Messages flagged anomalous, by Algorithm 3 reason",
+            reason=reason,
+        )
+    registry.counter(
+        "vprofile_messages_total", help="Messages classified by the detector"
+    )
+
+
+def enable(
+    *,
+    level: str = "info",
+    sink: IO[str] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> tuple[MetricsRegistry, EventLog]:
+    """Turn on both metrics and events process-wide."""
+    active = enable_metrics(registry)
+    preregister_pipeline_metrics(active)
+    return active, enable_events(level=level, sink=sink)
+
+
+def disable() -> None:
+    """Turn off both metrics and events (restore the null singletons)."""
+    disable_metrics()
+    disable_events()
+
+
+@contextmanager
+def enabled(
+    *,
+    level: str = "debug",
+    sink: IO[str] | None = None,
+    registry: MetricsRegistry | None = None,
+):
+    """Scoped observability: enable on entry, restore previous on exit.
+
+    Yields ``(registry, event_log)``; the workhorse for tests and
+    notebook sessions.
+    """
+    active = registry or MetricsRegistry()
+    preregister_pipeline_metrics(active)
+    log = EventLog(level=level, sink=sink)
+    previous_registry = set_registry(active)
+    previous_log = set_event_log(log)
+    try:
+        yield active, log
+    finally:
+        set_registry(previous_registry)
+        set_event_log(previous_log)
+
+
+__all__ = [
+    # registry
+    "Counter", "Gauge", "Histogram", "P2Quantile", "MetricFamily",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS", "DEFAULT_QUANTILES",
+    "get_registry", "set_registry", "use_registry",
+    "enable_metrics", "disable_metrics",
+    # spans
+    "Span", "Stopwatch", "span", "stage_timer", "current_span",
+    "NULL_TIMER", "STAGE_METRIC", "SPAN_METRIC", "SPAN_ERRORS_METRIC",
+    # events
+    "Event", "EventLog", "EventLogHandler", "NullEventLog",
+    "NULL_EVENT_LOG", "LEVELS", "bridge_stdlib",
+    "get_event_log", "set_event_log", "enable_events", "disable_events",
+    # export
+    "to_prometheus", "to_json", "write_metrics",
+    "load_snapshot", "parse_prometheus", "summarize_snapshot",
+    # composite helpers
+    "PIPELINE_STAGES", "ANOMALY_REASONS", "preregister_pipeline_metrics",
+    "enable", "disable", "enabled",
+]

@@ -1,0 +1,248 @@
+"""Structured event logging (JSON-lines) with a stdlib-``logging`` bridge.
+
+Events are *facts with fields*, not formatted strings: an anomaly event
+carries the reason, SA and distance as typed fields so downstream
+tooling (the ``stats`` CLI, log shippers, tests) can filter without
+regexes.  Each event serialises to one JSON line::
+
+    {"ts": 1730000000.1, "level": "warning", "event": "pipeline.anomaly",
+     "trace_id": "9f2c...", "reason": "cluster-mismatch", "sa": 42}
+
+The active log defaults to :data:`NULL_EVENT_LOG` (drop everything,
+allocate nothing); enable with :func:`enable_events` or
+:func:`set_event_log`.  A real :class:`EventLog` keeps a bounded ring
+buffer for introspection and optionally streams lines to a sink
+(e.g. ``sys.stderr`` for the CLI's ``-v``).
+
+:func:`bridge_stdlib` attaches a ``logging.Handler`` so third-party code
+logging through the stdlib lands in the same structured stream.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import current_span
+
+#: Ordered severity levels, aligned with stdlib ``logging`` values.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _level_number(level: str) -> int:
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ObservabilityError(
+            f"unknown level {level!r}; expected one of {sorted(LEVELS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record."""
+
+    timestamp: float
+    level: str
+    name: str
+    fields: dict = field(default_factory=dict)
+    trace_id: str | None = None
+
+    def to_dict(self) -> dict:
+        record = {"ts": self.timestamp, "level": self.level, "event": self.name}
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        record.update(self.fields)
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+class EventLog:
+    """Level-filtered, ring-buffered structured log.
+
+    Parameters
+    ----------
+    level:
+        Minimum severity retained (``"debug"``/``"info"``/``"warning"``/
+        ``"error"``).
+    capacity:
+        Ring-buffer size; older events are evicted.
+    sink:
+        Optional text stream; every accepted event is written to it as
+        one JSON line (flushed, so ``tail -f`` works on a file sink).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        level: str = "info",
+        capacity: int = 4096,
+        sink: IO[str] | None = None,
+    ):
+        self._threshold = _level_number(level)
+        self._records: deque[Event] = deque(maxlen=capacity)
+        self._sink = sink
+
+    # -- emission -------------------------------------------------------
+    def emit(self, level: str, name: str, **fields) -> Event | None:
+        """Record one event; returns it, or ``None`` if filtered out."""
+        if _level_number(level) < self._threshold:
+            return None
+        span = current_span()
+        event = Event(
+            timestamp=time.time(),
+            level=level,
+            name=name,
+            fields=fields,
+            trace_id=span.trace_id if span is not None else None,
+        )
+        self._records.append(event)
+        if self._sink is not None:
+            self._sink.write(event.to_json() + "\n")
+            self._sink.flush()
+        return event
+
+    def debug(self, name: str, **fields) -> Event | None:
+        return self.emit("debug", name, **fields)
+
+    def info(self, name: str, **fields) -> Event | None:
+        return self.emit("info", name, **fields)
+
+    def warning(self, name: str, **fields) -> Event | None:
+        return self.emit("warning", name, **fields)
+
+    def error(self, name: str, **fields) -> Event | None:
+        return self.emit("error", name, **fields)
+
+    # -- introspection --------------------------------------------------
+    def set_level(self, level: str) -> None:
+        self._threshold = _level_number(level)
+
+    def records(self, level: str | None = None, name: str | None = None) -> list[Event]:
+        """Buffered events, optionally filtered by minimum level / name."""
+        events: Iterable[Event] = self._records
+        if level is not None:
+            floor = _level_number(level)
+            events = (e for e in events if _level_number(e.level) >= floor)
+        if name is not None:
+            events = (e for e in events if e.name == name)
+        return list(events)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class NullEventLog(EventLog):
+    """Event log stand-in when observability is off: drops everything."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        pass
+
+    def emit(self, level: str, name: str, **fields) -> None:
+        return None
+
+    def set_level(self, level: str) -> None:
+        pass
+
+    def records(self, level=None, name=None) -> list[Event]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_EVENT_LOG = NullEventLog()
+
+_active_log: EventLog = NULL_EVENT_LOG
+
+
+def get_event_log() -> EventLog:
+    """The process-wide active event log (null when disabled)."""
+    return _active_log
+
+
+def set_event_log(log: EventLog) -> EventLog:
+    """Install ``log`` as the active one; returns the previous."""
+    global _active_log
+    previous = _active_log
+    _active_log = log
+    return previous
+
+
+def enable_events(
+    level: str = "info", sink: IO[str] | None = None, capacity: int = 4096
+) -> EventLog:
+    """Turn structured event logging on; returns the now-active log."""
+    log = EventLog(level=level, capacity=capacity, sink=sink)
+    set_event_log(log)
+    return log
+
+
+def disable_events() -> None:
+    """Restore the no-op null event log."""
+    set_event_log(NULL_EVENT_LOG)
+
+
+# ----------------------------------------------------------------------
+# stdlib logging bridge
+# ----------------------------------------------------------------------
+
+class EventLogHandler(logging.Handler):
+    """Forwards stdlib log records into an :class:`EventLog`.
+
+    The record's logger name becomes the event name (prefixed ``log.``)
+    and the formatted message lands in a ``message`` field, so stdlib
+    users show up in the same JSON-lines stream as native events.
+    """
+
+    def __init__(self, event_log: EventLog | None = None, level: int = logging.DEBUG):
+        super().__init__(level=level)
+        self._event_log = event_log
+
+    def emit(self, record: logging.LogRecord) -> None:
+        # `is not None`, not truthiness: an empty EventLog has len() == 0.
+        log = self._event_log if self._event_log is not None else get_event_log()
+        if record.levelno >= logging.ERROR:
+            level = "error"
+        elif record.levelno >= logging.WARNING:
+            level = "warning"
+        elif record.levelno >= logging.INFO:
+            level = "info"
+        else:
+            level = "debug"
+        log.emit(level, f"log.{record.name}", message=record.getMessage())
+
+
+def bridge_stdlib(
+    logger_name: str = "repro",
+    event_log: EventLog | None = None,
+    level: int = logging.DEBUG,
+) -> EventLogHandler:
+    """Attach (and return) a bridge handler on ``logger_name``.
+
+    Passing ``event_log=None`` binds the bridge to whatever log is
+    active at emission time, so it survives :func:`set_event_log` swaps.
+    Detach with ``logging.getLogger(name).removeHandler(handler)``.
+    """
+    handler = EventLogHandler(event_log, level=level)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler

@@ -1,0 +1,212 @@
+"""Tracing spans and timing helpers.
+
+A :class:`Span` measures one unit of work — wall *and* CPU time — and on
+exit folds its duration into a latency histogram in the active metrics
+registry.  Spans nest: a contextvar stack links children to parents, so
+``detect.extract`` opened inside ``eval.suite`` reports the dotted path
+``eval.suite/detect.extract`` and inherits the parent's ``trace_id``.
+
+The per-message pipeline stages use :func:`stage_timer`, which feeds the
+shared ``vprofile_stage_seconds{stage=...}`` histogram and — critically —
+short-circuits to a stateless :data:`NULL_TIMER` when observability is
+disabled, so the hot path performs **no clock reads and no allocation**
+(the disabled-overhead regression test pins this down by making
+``perf_counter`` explode).
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextvars import ContextVar
+from time import perf_counter, process_time
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+#: Histogram fed by the per-message pipeline stages.
+STAGE_METRIC = "vprofile_stage_seconds"
+#: Histogram fed by generic (non-stage) spans.
+SPAN_METRIC = "vprofile_span_seconds"
+#: Counter of spans that exited with an exception.
+SPAN_ERRORS_METRIC = "vprofile_span_errors_total"
+
+_span_stack: ContextVar[tuple["Span", ...]] = ContextVar("obs_span_stack", default=())
+
+
+def current_span() -> "Span | None":
+    """Innermost open span in this context, if any."""
+    stack = _span_stack.get()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed unit of work; use as a context manager.
+
+    Attributes (valid after exit)
+    -----------------------------
+    wall_s / cpu_s:
+        Elapsed wall-clock and process-CPU time.
+    path:
+        ``parent.path + "/" + name`` when nested, else ``name``.
+    trace_id:
+        Inherited from the enclosing span, or freshly generated.
+    error:
+        The exception that escaped the body, or ``None``.
+    """
+
+    __slots__ = (
+        "name", "labels", "trace_id", "path", "parent",
+        "wall_s", "cpu_s", "error",
+        "_registry", "_metric", "_metric_labels", "_token", "_t0", "_c0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        registry: MetricsRegistry | None = None,
+        trace_id: str | None = None,
+        metric: str = SPAN_METRIC,
+        metric_labels: dict[str, str] | None = None,
+        labels: dict[str, str] | None = None,
+    ):
+        # `labels` is a plain dict, not **kwargs: user label names like
+        # "metric" or "registry" must not collide with our parameters.
+        self.name = name
+        self.labels = labels or {}
+        self.trace_id = trace_id
+        self.path = name
+        self.parent: Span | None = None
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.error: BaseException | None = None
+        self._registry = registry
+        self._metric = metric
+        self._metric_labels = metric_labels
+
+    def __enter__(self) -> "Span":
+        stack = _span_stack.get()
+        if stack:
+            self.parent = stack[-1]
+            self.path = f"{self.parent.path}/{self.name}"
+            if self.trace_id is None:
+                self.trace_id = self.parent.trace_id
+        if self.trace_id is None:
+            self.trace_id = uuid.uuid4().hex[:16]
+        self._token = _span_stack.set(stack + (self,))
+        self._c0 = process_time()
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = perf_counter() - self._t0
+        self.cpu_s = process_time() - self._c0
+        self.error = exc
+        _span_stack.reset(self._token)
+        registry = self._registry or get_registry()
+        if registry.enabled:
+            metric_labels = self._metric_labels
+            if metric_labels is None:
+                metric_labels = {"span": self.name, **self.labels}
+            registry.histogram(self._metric, **metric_labels).observe(self.wall_s)
+            if exc is not None:
+                registry.counter(SPAN_ERRORS_METRIC, span=self.name).inc()
+        return False  # never swallow the exception
+
+
+def span(
+    name: str,
+    *,
+    registry: MetricsRegistry | None = None,
+    trace_id: str | None = None,
+    **labels: str,
+) -> Span:
+    """Open a generic span feeding ``vprofile_span_seconds{span=name}``.
+
+    Always times (the span object is useful on its own); only the metric
+    emission is gated on the registry being enabled.
+    """
+    return Span(name, registry=registry, trace_id=trace_id, labels=labels)
+
+
+class _NullTimer:
+    """Do-nothing stand-in for a span when observability is off.
+
+    Stateless and reentrant; also quacks like a finished span so code
+    reading ``s.wall_s`` after the block keeps working.
+    """
+
+    __slots__ = ()
+
+    wall_s = 0.0
+    cpu_s = 0.0
+    error = None
+    trace_id = None
+    path = ""
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_TIMER = _NullTimer()
+
+
+def stage_timer(stage: str, registry: MetricsRegistry | None = None):
+    """Span over one pipeline stage (``extract`` / ``classify`` / ``update``).
+
+    Feeds ``vprofile_stage_seconds{stage=...}``.  Returns the shared
+    :data:`NULL_TIMER` when observability is disabled — the hot-path
+    fast exit.
+    """
+    registry = registry or get_registry()
+    if not registry.enabled:
+        return NULL_TIMER
+    return Span(
+        f"stage.{stage}",
+        registry=registry,
+        metric=STAGE_METRIC,
+        metric_labels={"stage": stage},
+    )
+
+
+class Stopwatch:
+    """Plain wall/CPU timer for benchmarks and scripts.
+
+    Either a context manager::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.wall_s)
+
+    or explicit ``start()`` / ``stop()`` for loop-carried accumulation.
+    """
+
+    __slots__ = ("wall_s", "cpu_s", "_t0", "_c0")
+
+    def __init__(self) -> None:
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self._t0: float | None = None
+        self._c0 = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._c0 = process_time()
+        self._t0 = perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("stopwatch was never started")
+        self.wall_s += perf_counter() - self._t0
+        self.cpu_s += process_time() - self._c0
+        self._t0 = None
+        return self.wall_s
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

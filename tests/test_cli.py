@@ -76,6 +76,69 @@ class TestCaptureTrainDetect:
         ]) == 0
         assert "2 clusters" in capsys.readouterr().out
 
+    def test_detect_metrics_out_prometheus(self, model_path, tmp_path, capsys):
+        metrics = tmp_path / "m.prom"
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "1", "--seed", "9", "--margin", "5.0",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        text = metrics.read_text()
+        assert "# TYPE vprofile_stage_seconds histogram" in text
+        for stage in ("extract", "classify", "update"):
+            assert f'vprofile_stage_seconds_count{{stage="{stage}"}}' in text
+        assert "vprofile_messages_total" in text
+        assert 'vprofile_anomalies_total{reason="cluster-mismatch"}' in text
+        assert f"metrics -> {metrics}" in capsys.readouterr().err
+
+    def test_detect_metrics_out_json_and_stats(self, model_path, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "1", "--seed", "9", "--margin", "5.0",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        import json
+
+        snapshot = json.loads(metrics.read_text())
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "vprofile_messages_total" in names
+        capsys.readouterr()
+
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "vprofile_stage_seconds" in out
+        assert "vprofile_messages_total" in out
+
+    def test_stats_roundtrip_prometheus(self, model_path, tmp_path, capsys):
+        metrics = tmp_path / "rt.prom"
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "1", "--seed", "9", "--margin", "5.0",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(metrics)]) == 0
+        assert "stage" in capsys.readouterr().out
+
+    def test_detect_verbose_streams_events(self, model_path, capsys):
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", str(model_path),
+            "--duration", "1", "--seed", "9", "--margin", "5.0", "-v",
+        ]) == 0
+        import json
+
+        err = capsys.readouterr().err
+        events = [json.loads(line) for line in err.splitlines() if line.startswith("{")]
+        assert any(e["event"] == "cli.detect" for e in events)
+
+    def test_detect_missing_model_exits_nonzero(self, capsys):
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", "no-such-model.npz",
+            "--duration", "1",
+        ]) == 2
+        assert "error: model file not found" in capsys.readouterr().err
+
 
 class TestExperiment:
     def test_suite(self, capsys):
@@ -90,3 +153,48 @@ class TestExperiment:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestErrorPaths:
+    def test_unknown_vehicle_exits_nonzero(self, capsys):
+        # argparse `choices` rejects it before cmd dispatch: exit 2.
+        with pytest.raises(SystemExit) as exc_info:
+            main(["info", "--vehicle", "delorean"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'delorean'" in err
+
+    def test_unknown_vehicle_backstop_message(self):
+        # The lookup itself still guards non-argparse callers.
+        from repro.cli import _vehicle
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError, match="unknown vehicle 'delorean'"):
+            _vehicle("delorean")
+
+    def test_train_missing_input_exits_nonzero(self, tmp_path, capsys):
+        assert main([
+            "train", "--vehicle", "sterling",
+            "--input", str(tmp_path / "nope.npz"),
+            "--output", str(tmp_path / "model.npz"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_out_missing_directory_fails_fast(self, tmp_path, capsys):
+        # Checked before any capture work, not discovered at exit time.
+        assert main([
+            "detect", "--vehicle", "sterling", "--model", "irrelevant.npz",
+            "--duration", "1",
+            "--metrics-out", str(tmp_path / "no" / "dir" / "m.prom"),
+        ]) == 2
+        assert "metrics output directory does not exist" in capsys.readouterr().err
+
+    def test_stats_missing_file_exits_nonzero(self, capsys):
+        assert main(["stats", "no-such-metrics.prom"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_garbage_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["stats", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,232 @@
+"""Observability wired through the real pipeline.
+
+Covers the acceptance criteria of the obs subsystem:
+
+* one ``capture -> train -> detect`` run emits the expected metric
+  names (stage histograms, message/anomaly counters, events);
+* with observability *disabled* the per-message path performs no clock
+  reads and no metric bookkeeping (the null-handle fast path).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import PipelineConfig, VProfilePipeline
+from repro.ids.alerts import Alert, AlertLog
+
+
+@pytest.fixture(scope="module")
+def split_session(vehicle_a_session):
+    return vehicle_a_session.split(0.5, seed=3)
+
+
+class TestPipelineMetrics:
+    def test_train_detect_emits_expected_metrics(self, split_session, veh_a):
+        train, test = split_session
+        with obs.enabled() as (registry, events):
+            pipeline = VProfilePipeline(
+                PipelineConfig(
+                    margin=5.0, sa_clusters=veh_a.sa_clusters, online_update=True
+                )
+            )
+            pipeline.train(train)
+            for trace in test[:50]:
+                pipeline.process(trace)
+
+        processed = registry.get("vprofile_messages_total")
+        assert processed is not None and processed.value == 50
+
+        # Every per-message stage ran and was timed.
+        extract = registry.get(obs.STAGE_METRIC, stage="extract")
+        classify = registry.get(obs.STAGE_METRIC, stage="classify")
+        update = registry.get(obs.STAGE_METRIC, stage="update")
+        # Training also extracts, so >= the 50 processed messages.
+        assert extract.count >= 50
+        assert classify.count == 50
+        assert update.count > 0
+        assert extract.sum > 0.0
+
+        # Model/update bookkeeping.
+        assert registry.get("vprofile_model_clusters").value == len(veh_a.ecus)
+        updates = registry.get("vprofile_online_updates_total")
+        assert updates.value == pipeline.stats.updated > 0
+
+        # Training emitted a structured event.
+        trained_events = events.records(name="pipeline.trained")
+        assert len(trained_events) == 1
+        assert trained_events[0].fields["clusters"] == len(veh_a.ecus)
+
+    def test_anomaly_counters_labelled_by_reason(self, split_session, veh_a):
+        # Hold one ECU out of training; its traffic is then a guaranteed
+        # unknown-SA anomaly on the real process() path.
+        train, test = split_session
+        held_out = veh_a.ecus[-1].name
+        lut = {sa: n for sa, n in veh_a.sa_clusters.items() if n != held_out}
+        known_train = [t for t in train if t.metadata["sender"] != held_out]
+        intruder = [t for t in test if t.metadata["sender"] == held_out][:5]
+        assert intruder, "capture fixture must include the held-out ECU"
+
+        with obs.enabled() as (registry, events):
+            pipeline = VProfilePipeline(
+                PipelineConfig(margin=5.0, sa_clusters=lut)
+            )
+            pipeline.train(known_train)
+            for trace in intruder:
+                result = pipeline.process(trace)
+                assert result.is_anomaly
+
+        assert pipeline.stats.reasons["unknown-sa"] == len(intruder)
+        counter = registry.get("vprofile_anomalies_total", reason="unknown-sa")
+        assert counter is not None and counter.value == len(intruder)
+        anomaly_events = events.records(name="pipeline.anomaly")
+        assert len(anomaly_events) == len(intruder)
+        assert anomaly_events[0].fields["reason"] == "unknown-sa"
+
+    def test_pipeline_stats_reasons_counter_semantics(self, split_session, veh_a):
+        train, _ = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(margin=5.0, sa_clusters=veh_a.sa_clusters)
+        )
+        pipeline.train(train)
+        # Counter semantics: missing keys read 0, no KeyError.
+        assert pipeline.stats.reasons["never-seen"] == 0
+        assert dict(pipeline.stats.reasons) == {}
+
+    def test_rebind_when_registry_swapped_mid_stream(self, split_session, veh_a):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(margin=5.0, sa_clusters=veh_a.sa_clusters)
+        )
+        pipeline.train(train)  # bound to the (disabled) null registry
+        pipeline.process(test[0])
+        with obs.enabled() as (registry, _):
+            pipeline.process(test[1])
+            pipeline.process(test[2])
+        assert registry.get("vprofile_messages_total").value == 2
+        # Back to disabled: no further recording.
+        pipeline.process(test[3])
+        assert registry.get("vprofile_messages_total").value == 2
+
+
+class TestDisabledOverhead:
+    """The acceptance criterion: disabled observability is a true no-op."""
+
+    def test_process_makes_no_clock_reads_when_disabled(
+        self, split_session, veh_a, monkeypatch
+    ):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(
+                margin=5.0, sa_clusters=veh_a.sa_clusters, online_update=True
+            )
+        )
+        pipeline.train(train)
+
+        def _explode(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("span clock read on the disabled path")
+
+        # Spans read these names from repro.obs.spans; with the null
+        # registry active, stage timers must never touch them.
+        import repro.obs.spans as spans_module
+
+        monkeypatch.setattr(spans_module, "perf_counter", _explode)
+        monkeypatch.setattr(spans_module, "process_time", _explode)
+
+        assert obs.get_registry().enabled is False
+        for trace in test[:20]:
+            pipeline.process(trace)  # would raise if any stage span timed
+
+        assert pipeline.stats.processed == 20
+
+    def test_disabled_handles_are_stateless_singletons(self, split_session, veh_a):
+        train, test = split_session
+        pipeline = VProfilePipeline(
+            PipelineConfig(margin=5.0, sa_clusters=veh_a.sa_clusters)
+        )
+        pipeline.train(train)
+        pipeline.process(test[0])
+        # The bound handles are the shared null singletons: no dicts grew.
+        from repro.obs.registry import NULL_COUNTER
+
+        assert pipeline._m_processed is NULL_COUNTER
+        assert pipeline._m_updated is NULL_COUNTER
+        assert obs.get_registry().snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+
+    def test_results_identical_enabled_vs_disabled(self, split_session, veh_a):
+        train, test = split_session
+
+        def run():
+            pipeline = VProfilePipeline(
+                PipelineConfig(margin=5.0, sa_clusters=veh_a.sa_clusters)
+            )
+            pipeline.train(train)
+            return [pipeline.process(t).verdict for t in test[:30]]
+
+        disabled = run()
+        with obs.enabled():
+            enabled = run()
+        assert disabled == enabled
+
+
+class TestAlertObservability:
+    def test_alerts_become_counters_and_events(self):
+        with obs.enabled() as (registry, events):
+            log = AlertLog()
+            log.record(Alert(0.1, "voltage", 0x99, "cluster-mismatch"))
+            log.record(Alert(0.2, "voltage", 0x99, "cluster-mismatch"))
+            log.record(Alert(0.3, "period", 0x42, "early-message"))
+
+        counter = registry.get(
+            "vprofile_ids_alerts_total", detector="voltage", reason="cluster-mismatch"
+        )
+        assert counter.value == 2
+        assert registry.get(
+            "vprofile_ids_alerts_total", detector="period", reason="early-message"
+        ).value == 1
+        alert_events = events.records(name="ids.alert")
+        assert len(alert_events) == 3
+        assert alert_events[0].fields["can_id"] == 0x99
+
+    def test_alert_log_aggregates_unchanged_api(self):
+        log = AlertLog()
+        log.extend([
+            Alert(0.1, "voltage", 0x99, "cluster-mismatch"),
+            Alert(0.2, "period", 0x42, "early-message"),
+            Alert(0.3, "voltage", 0x17, "distance-exceeded"),
+        ])
+        assert log.by_detector() == {"voltage": 2, "period": 1}
+        assert log.by_can_id() == {0x99: 1, 0x42: 1, 0x17: 1}
+        assert log.by_reason() == {
+            "cluster-mismatch": 1, "early-message": 1, "distance-exceeded": 1
+        }
+        assert len(log.in_window(0.0, 0.25)) == 2
+        assert "3 alerts" in log.summary()
+
+    def test_alert_log_rebuilds_aggregates_from_list(self):
+        alerts = [Alert(0.1, "voltage", 0x99, "cluster-mismatch")]
+        log = AlertLog(alerts=alerts)
+        assert log.by_detector() == {"voltage": 1}
+
+
+class TestEvalSuiteObservability:
+    def test_suite_emits_experiment_metrics(self, vehicle_a_session):
+        from repro.core.model import Metric
+        from repro.eval.suite import SuiteInputs, run_detection_suite
+
+        inputs = SuiteInputs.from_session(vehicle_a_session, train_fraction=0.5, seed=7)
+        with obs.enabled() as (registry, events):
+            run_detection_suite(inputs, Metric.MAHALANOBIS, seed=0)
+
+        for experiment in ("false-positive", "hijack", "foreign"):
+            counter = registry.get(
+                "vprofile_eval_experiments_total", experiment=experiment
+            )
+            assert counter is not None and counter.value == 1
+        suite_span = registry.get(
+            obs.SPAN_METRIC, span="eval.suite",
+            vehicle=inputs.vehicle.name, metric="mahalanobis",
+        )
+        assert suite_span is not None and suite_span.count == 1
+        assert len(events.records(name="eval.experiment")) == 3
