@@ -14,7 +14,9 @@ count (which they do when produced by one capture chain with a fixed
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
+from typing import BinaryIO, Union
 
 import numpy as np
 
@@ -25,10 +27,21 @@ from repro.errors import AcquisitionError
 #: Archive format version, stored for forward compatibility.
 ARCHIVE_VERSION = 1
 
+#: Archives read and write either a filesystem path or an open binary
+#: file object (the CLI's ``-`` stdin/stdout plumbing relies on this).
+PathOrFile = Union[str, Path, BinaryIO]
 
-def save_traces(path: str | Path, traces: list[VoltageTrace]) -> None:
+
+def _as_target(path: PathOrFile) -> Union[Path, BinaryIO]:
+    if hasattr(path, "write") or hasattr(path, "read"):
+        return path  # file-like: numpy handles it natively
+    return Path(path)
+
+
+def save_traces(path: PathOrFile, traces: list[VoltageTrace]) -> None:
     """Save a homogeneous list of traces to a compressed ``.npz``.
 
+    ``path`` may be a filesystem path or a writable binary file object.
     Ground-truth metadata (``sender`` and the frame's id/payload) is
     preserved so that replayed experiments can still be scored.
     """
@@ -59,7 +72,7 @@ def save_traces(path: str | Path, traces: list[VoltageTrace]) -> None:
         [f.data.hex() if isinstance(f, CanFrame) else "" for f in frames]
     )
     np.savez_compressed(
-        Path(path),
+        _as_target(path),
         version=np.array(ARCHIVE_VERSION),
         counts=np.stack([t.counts for t in traces]),
         start_s=np.array([t.start_s for t in traces]),
@@ -73,23 +86,38 @@ def save_traces(path: str | Path, traces: list[VoltageTrace]) -> None:
     )
 
 
-def load_traces(path: str | Path) -> list[VoltageTrace]:
-    """Load a capture previously written by :func:`save_traces`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        version = int(archive["version"])
-        if version != ARCHIVE_VERSION:
+def load_traces(path: PathOrFile) -> list[VoltageTrace]:
+    """Load a capture previously written by :func:`save_traces`.
+
+    ``path`` may be a filesystem path or a *seekable* binary file
+    object (``np.load`` needs random access, so pipes must be buffered
+    into e.g. :class:`io.BytesIO` first).
+    """
+    try:
+        context = np.load(_as_target(path), allow_pickle=False)
+    except (EOFError, OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise AcquisitionError(f"not a trace archive: {exc}") from exc
+    with context as archive:
+        try:
+            version = int(archive["version"])
+            if version != ARCHIVE_VERSION:
+                raise AcquisitionError(
+                    f"archive version {version} unsupported "
+                    f"(expected {ARCHIVE_VERSION})"
+                )
+            counts = archive["counts"]
+            start_s = archive["start_s"]
+            sample_rate = float(archive["sample_rate"])
+            resolution_bits = int(archive["resolution_bits"])
+            bitrate = float(archive["bitrate"])
+            senders = [str(s) for s in archive["senders"]]
+            can_ids = archive["can_ids"]
+            extended = archive["extended"]
+            payloads = [str(p) for p in archive["payloads"]]
+        except KeyError as exc:
             raise AcquisitionError(
-                f"archive version {version} unsupported (expected {ARCHIVE_VERSION})"
-            )
-        counts = archive["counts"]
-        start_s = archive["start_s"]
-        sample_rate = float(archive["sample_rate"])
-        resolution_bits = int(archive["resolution_bits"])
-        bitrate = float(archive["bitrate"])
-        senders = [str(s) for s in archive["senders"]]
-        can_ids = archive["can_ids"]
-        extended = archive["extended"]
-        payloads = [str(p) for p in archive["payloads"]]
+                f"trace archive is missing field {exc}"
+            ) from exc
 
     traces = []
     for row in range(counts.shape[0]):

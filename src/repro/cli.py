@@ -9,9 +9,15 @@ Python:
   capture) and save it;
 * ``detect``      — replay an archive through a saved model, optionally
   injecting hijack attacks, and print the confusion matrix;
+* ``stream``      — run the online streaming runtime (chunked ingestion,
+  sharded workers, backpressure, checkpoint/resume) and print alerts;
 * ``experiment``  — regenerate one of the paper's experiments
   (``suite``, ``temperature``, ``voltage``, ``sweep``);
 * ``stats``       — summarize a metrics file emitted by a previous run.
+
+``capture --output -`` writes the archive to stdout, and ``train`` /
+``detect`` / ``stream`` accept ``--input -`` to read one from stdin, so
+stages compose over pipes.
 
 Observability: ``detect`` and ``experiment`` accept ``--metrics-out
 PATH`` (enable the metrics registry and write a Prometheus ``.prom`` /
@@ -24,6 +30,7 @@ and a one-line message instead of a traceback.
 from __future__ import annotations
 
 import argparse
+import io
 import sys
 from pathlib import Path
 
@@ -31,10 +38,12 @@ import numpy as np
 
 from repro import obs
 from repro.acquisition.archive import load_traces, save_traces
+from repro.acquisition.trace import VoltageTrace
 from repro.attacks.hijack import LabelledEdgeSet, apply_hijack
 from repro.core.detection import AnomalyReason, Detector
 from repro.core.edge_extraction import ExtractionConfig, extract_many
 from repro.core.model import Metric, VProfileModel
+from repro.core.pipeline import PipelineConfig, VProfilePipeline
 from repro.core.training import TrainingData, train_model
 from repro.errors import DatasetError, DetectionError, ReproError
 from repro.eval.confusion import ConfusionMatrix
@@ -48,6 +57,14 @@ from repro.eval.reporting import (
 )
 from repro.eval.suite import SuiteInputs, run_detection_suite
 from repro.eval.sweeps import rate_resolution_sweep
+from repro.stream import (
+    DEFAULT_CHUNK_SAMPLES,
+    LiveSource,
+    OverflowPolicy,
+    ReplaySource,
+    StreamConfig,
+    load_checkpoint,
+)
 from repro.vehicles.dataset import capture_session
 from repro.vehicles.profiles import VehicleConfig, sterling_acterra, vehicle_a, vehicle_b
 
@@ -112,19 +129,35 @@ def cmd_capture(args: argparse.Namespace) -> int:
     session = capture_session(
         vehicle, args.duration, seed=args.seed
     )
-    save_traces(args.output, session.traces)
+    if args.output == "-":
+        # np.savez needs a seekable sink; stdout pipes are not.
+        buffer = io.BytesIO()
+        save_traces(buffer, session.traces)
+        sys.stdout.buffer.write(buffer.getvalue())
+        sys.stdout.buffer.flush()
+        destination, sink = "<stdout>", sys.stderr
+    else:
+        save_traces(args.output, session.traces)
+        destination, sink = args.output, sys.stdout
     print(f"captured {len(session)} messages from {vehicle.name} "
-          f"-> {args.output}")
+          f"-> {destination}", file=sink)
     return 0
+
+
+def _archive_input(path: str):
+    """Resolve an ``--input`` value: ``-`` slurps stdin into a buffer."""
+    if path == "-":
+        return io.BytesIO(sys.stdin.buffer.read())
+    if not Path(path).exists():
+        raise DatasetError(f"trace archive not found: {path}")
+    return path
 
 
 def _traces_for(args: argparse.Namespace):
     vehicle = _vehicle(args.vehicle)
     input_path = getattr(args, "input", None)
     if input_path:
-        if not Path(input_path).exists():
-            raise DatasetError(f"trace archive not found: {input_path}")
-        return vehicle, load_traces(input_path)
+        return vehicle, load_traces(_archive_input(input_path))
     session = capture_session(vehicle, args.duration, seed=args.seed)
     return vehicle, session.traces
 
@@ -219,6 +252,93 @@ def _count_batch_outcomes(batch, predicted: np.ndarray, margin: float) -> None:
             registry.counter("vprofile_anomalies_total", reason=reason.value).inc(count)
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    vehicle = _vehicle(args.vehicle)
+
+    resume = None
+    margin = args.margin
+    if args.resume:
+        resume = load_checkpoint(args.resume)
+        if margin is None:
+            margin = resume.margin
+    if margin is None:
+        margin = 5.0  # comfortable slack against synthetic noise
+
+    pipeline = VProfilePipeline(PipelineConfig(
+        margin=margin,
+        sa_clusters=vehicle.sa_clusters,
+        online_update=args.online_update,
+    ))
+
+    if args.input:
+        source = ReplaySource.from_archive(
+            _archive_input(args.input), args.chunk_samples
+        )
+    else:
+        # Live simulation; seed offset keeps the streamed traffic
+        # distinct from the training capture below.
+        source = LiveSource(
+            vehicle, args.duration, args.chunk_samples, seed=args.seed + 1
+        )
+
+    if resume is None:
+        if args.model:
+            if not Path(args.model).exists():
+                raise DetectionError(f"model file not found: {args.model}")
+            probe = VoltageTrace(
+                counts=np.zeros(2, dtype=np.int32),
+                sample_rate=source.sample_rate,
+                resolution_bits=source.resolution_bits,
+                bitrate=source.bitrate,
+            )
+            pipeline.load_model(
+                VProfileModel.load(args.model), ExtractionConfig.for_trace(probe)
+            )
+        else:
+            training = capture_session(
+                vehicle, args.train_duration, seed=args.seed
+            )
+            pipeline.train(training.traces)
+            print(f"trained on a fresh {args.train_duration:g}s capture "
+                  f"({len(training)} messages, "
+                  f"{pipeline.model.n_clusters} clusters)")
+
+    config = StreamConfig(
+        n_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        policy=OverflowPolicy(args.policy),
+        batch_size=args.batch_size,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every_chunks=args.checkpoint_every,
+        hijack_probability=args.hijack,
+        hijack_seed=args.hijack_seed,
+    )
+    with obs.span("cli.stream", vehicle=vehicle.name, workers=config.n_workers):
+        report = pipeline.stream(source, config, resume=resume)
+
+    shown = report.alerts.alerts[: args.max_alerts]
+    for alert in shown:
+        print(f"ALERT t={alert.timestamp_s:.6f}s SA 0x{alert.can_id:02X} "
+              f"{alert.reason}: {alert.detail}")
+    if len(report.alerts) > len(shown):
+        print(f"... {len(report.alerts) - len(shown)} more alerts suppressed "
+              f"(--max-alerts {args.max_alerts})")
+
+    print(f"streamed {report.chunks} chunks / {report.samples} samples "
+          f"({config.n_workers} worker{'s' if config.n_workers != 1 else ''}, "
+          f"policy {OverflowPolicy(config.policy).value})")
+    reasons = ", ".join(f"{k}={v}" for k, v in sorted(report.reasons.items()))
+    print(f"  messages={report.messages} anomalies={report.anomalies}"
+          + (f" [{reasons}]" if reasons else ""))
+    print(f"  dropped={report.dropped} online-updates={report.updated} "
+          f"extraction-failures={report.extraction_failures} "
+          f"checkpoints={report.checkpoints}")
+    print(f"  {report.frames_per_s:.0f} frames/s over {report.wall_s:.2f}s")
+    if args.checkpoint:
+        print(f"checkpoint -> {args.checkpoint}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     vehicle = _vehicle(args.vehicle)
     if args.name == "suite":
@@ -269,12 +389,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_vehicle_arg(capture)
     capture.add_argument("--duration", type=float, default=5.0, help="seconds of traffic")
     capture.add_argument("--seed", type=int, default=0)
-    capture.add_argument("--output", required=True, help="archive path (.npz)")
+    capture.add_argument("--output", required=True,
+                         help="archive path (.npz), or '-' for stdout")
     capture.set_defaults(handler=cmd_capture)
 
     train = commands.add_parser("train", help="train and save a model")
     _add_vehicle_arg(train)
-    train.add_argument("--input", help="trace archive to train on")
+    train.add_argument("--input",
+                       help="trace archive to train on ('-' for stdin)")
     train.add_argument("--duration", type=float, default=5.0,
                        help="capture length when no --input is given")
     train.add_argument("--seed", type=int, default=0)
@@ -289,7 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_vehicle_arg(detect)
     _add_obs_args(detect)
     detect.add_argument("--model", required=True)
-    detect.add_argument("--input", help="trace archive to replay")
+    detect.add_argument("--input",
+                        help="trace archive to replay ('-' for stdin)")
     detect.add_argument("--duration", type=float, default=2.0)
     detect.add_argument("--seed", type=int, default=1)
     detect.add_argument("--hijack", type=float, default=0.0,
@@ -297,6 +420,52 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--margin", type=float, default=None,
                         help="detection margin (default: auto-tuned)")
     detect.set_defaults(handler=cmd_detect)
+
+    stream = commands.add_parser(
+        "stream", help="online streaming detection over chunked samples"
+    )
+    _add_vehicle_arg(stream)
+    _add_obs_args(stream)
+    stream.add_argument("--model",
+                        help="saved model (.npz); default: train on a fresh capture")
+    stream.add_argument("--input",
+                        help="trace archive to replay ('-' for stdin); "
+                             "default: live bus simulation")
+    stream.add_argument("--duration", type=float, default=2.0,
+                        help="live-simulation length in seconds")
+    stream.add_argument("--train-duration", type=float, default=5.0,
+                        help="training-capture length when no model is given")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--chunk-samples", type=int,
+                        default=DEFAULT_CHUNK_SAMPLES, metavar="N",
+                        help="digitizer chunk size in samples")
+    stream.add_argument("--workers", type=int, default=2,
+                        help="classification workers (= SA shards)")
+    stream.add_argument("--queue-capacity", type=int, default=256,
+                        help="per-shard queue bound")
+    stream.add_argument("--policy",
+                        choices=[p.value for p in OverflowPolicy],
+                        default=OverflowPolicy.BLOCK.value,
+                        help="queue overflow policy (backpressure vs loss)")
+    stream.add_argument("--batch-size", type=int, default=8,
+                        help="feature vectors per vectorised detector call")
+    stream.add_argument("--margin", type=float, default=None,
+                        help="detection margin (default: checkpoint's, else 5)")
+    stream.add_argument("--online-update", action="store_true",
+                        help="fold OK verdicts back into the model (Algorithm 4)")
+    stream.add_argument("--hijack", type=float, default=0.0,
+                        help="in-flight SA-rewrite probability (0 disables)")
+    stream.add_argument("--hijack-seed", type=int, default=0)
+    stream.add_argument("--checkpoint", metavar="DIR",
+                        help="write checkpoints to this directory")
+    stream.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="CHUNKS",
+                        help="checkpoint cadence (0: final checkpoint only)")
+    stream.add_argument("--resume", metavar="DIR",
+                        help="resume from a checkpoint directory")
+    stream.add_argument("--max-alerts", type=int, default=10,
+                        help="alert lines to print before summarising")
+    stream.set_defaults(handler=cmd_stream)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one of the paper's experiments"

@@ -179,6 +179,18 @@ class VProfilePipeline:
     def is_trained(self) -> bool:
         return self._detector is not None
 
+    @property
+    def detector(self) -> Detector:
+        """The trained detector (shared with the streaming runtime)."""
+        if self._detector is None:
+            raise DetectionError("pipeline is not trained")
+        return self._detector
+
+    @property
+    def updater(self) -> OnlineUpdater | None:
+        """The Algorithm 4 updater, when online updates are enabled."""
+        return self._updater
+
     def process(self, trace: VoltageTrace) -> DetectionResult:
         """Classify one trace, updating counters (and the model if
         online updates are enabled)."""
@@ -218,6 +230,22 @@ class VProfilePipeline:
         """Lazily classify a stream of traces."""
         for trace in traces:
             yield self.process(trace)
+
+    def stream(self, source, config=None, *, resume=None):
+        """Run the online streaming runtime against this pipeline.
+
+        ``source`` is a :class:`repro.stream.ChunkSource`; ``config`` a
+        :class:`repro.stream.StreamConfig`; ``resume`` an optional
+        checkpoint (object or directory).  Classification happens on the
+        runtime's sharded workers, but the profile store, the Algorithm 4
+        updater and the pipeline counters are shared: online updates
+        learned on the stream are immediately visible to
+        :meth:`process` and vice versa.  Returns the run's
+        :class:`repro.stream.StreamReport`.
+        """
+        from repro.stream.runtime import StreamRuntime
+
+        return StreamRuntime(self, config).run(source, resume=resume)
 
     def anomaly_rate(self) -> float:
         """Fraction of processed messages flagged anomalous."""

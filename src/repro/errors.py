@@ -69,3 +69,8 @@ class DatasetError(ReproError):
 class ObservabilityError(ReproError):
     """A metrics/tracing/event-log request is malformed (bad metric type,
     unparseable metrics file, invalid quantile, ...)."""
+
+
+class StreamError(ReproError):
+    """The streaming runtime was misused (inconsistent chunk parameters,
+    out-of-order chunks, resume from a corrupt checkpoint, ...)."""

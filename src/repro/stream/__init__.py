@@ -1,0 +1,90 @@
+"""Online streaming detection runtime.
+
+The batch pipeline answers "what happened in this capture?"; this
+subsystem answers the question the paper actually poses — "is the frame
+that just ended legitimate?" — against a continuous digitizer stream:
+
+* :mod:`repro.stream.chunks` — chunked ingestion (:class:`SampleChunk`,
+  the :class:`ChunkSource` protocol, live-simulation and archive-replay
+  adapters);
+* :mod:`repro.stream.segmenter` / :mod:`repro.stream.extractor` —
+  incremental message segmentation and Algorithm 1 extraction with
+  state carried across chunk boundaries, provably equivalent to the
+  batch path on the concatenated stream;
+* :mod:`repro.stream.queues` / :mod:`repro.stream.workers` — bounded
+  per-shard queues with explicit backpressure policies feeding
+  SA-sharded classification workers that batch the vectorised detector;
+* :mod:`repro.stream.runtime` — the supervisor: ordering, hijack
+  injection, checkpoint/resume, graceful shutdown, obs metrics;
+* :mod:`repro.stream.checkpoint` — the on-disk checkpoint format.
+
+Typical use::
+
+    pipeline = VProfilePipeline()
+    pipeline.train(training_traces)
+    source = ReplaySource.from_archive("capture.npz")
+    report = pipeline.stream(source, StreamConfig(n_workers=2))
+    print(report.frames_per_s, report.anomalies)
+"""
+
+from repro.stream.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.stream.chunks import (
+    DEFAULT_CHUNK_SAMPLES,
+    ChunkSource,
+    LiveSource,
+    ReplaySource,
+    SampleChunk,
+)
+from repro.stream.extractor import ExtractorStats, StreamingExtractor, StreamMessage
+from repro.stream.queues import BoundedQueue, OverflowPolicy, QueueClosed
+from repro.stream.runtime import (
+    CHUNKS_METRIC,
+    EXTRACTION_FAILURES_METRIC,
+    SAMPLES_METRIC,
+    StreamConfig,
+    StreamReport,
+    StreamRuntime,
+)
+from repro.stream.segmenter import StreamingSegmenter
+from repro.stream.workers import (
+    DROPPED_METRIC,
+    LATENCY_METRIC,
+    QUEUE_DEPTH_METRIC,
+    ShardedWorkerPool,
+    StreamVerdict,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "DEFAULT_CHUNK_SAMPLES",
+    "ChunkSource",
+    "LiveSource",
+    "ReplaySource",
+    "SampleChunk",
+    "ExtractorStats",
+    "StreamingExtractor",
+    "StreamMessage",
+    "BoundedQueue",
+    "OverflowPolicy",
+    "QueueClosed",
+    "CHUNKS_METRIC",
+    "EXTRACTION_FAILURES_METRIC",
+    "SAMPLES_METRIC",
+    "StreamConfig",
+    "StreamReport",
+    "StreamRuntime",
+    "StreamingSegmenter",
+    "DROPPED_METRIC",
+    "LATENCY_METRIC",
+    "QUEUE_DEPTH_METRIC",
+    "ShardedWorkerPool",
+    "StreamVerdict",
+]

@@ -7,10 +7,14 @@ cluster's covariance full rank.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.core.edge_extraction import ExtractionConfig, extract_many
+from repro.core.model import VProfileModel
+from repro.core.pipeline import PipelineConfig, VProfilePipeline
 from repro.vehicles.dataset import capture_session
 from repro.vehicles.profiles import sterling_acterra, vehicle_a, vehicle_b
 
@@ -63,3 +67,52 @@ def vehicle_b_edge_sets(vehicle_b_session):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# Streaming-runtime substrate: a reduced-rate two-ECU vehicle keeps the
+# sample streams small (8 samples/bit) while exercising every stage.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def stream_vehicle(sterling):
+    return replace(sterling, sample_rate=2_000_000.0)
+
+
+@pytest.fixture(scope="session")
+def stream_train_session(stream_vehicle):
+    return capture_session(stream_vehicle, 4.0, seed=300)
+
+
+@pytest.fixture(scope="session")
+def stream_test_session(stream_vehicle):
+    return capture_session(stream_vehicle, 2.0, seed=301)
+
+
+@pytest.fixture(scope="session")
+def stream_model_file(stream_vehicle, stream_train_session, tmp_path_factory):
+    """Train once per session; tests load fresh copies from disk."""
+    pipeline = VProfilePipeline(
+        PipelineConfig(margin=5.0, sa_clusters=stream_vehicle.sa_clusters)
+    )
+    pipeline.train(stream_train_session.traces)
+    path = tmp_path_factory.mktemp("stream") / "model.npz"
+    pipeline.model.save(path)
+    return path, pipeline.extraction
+
+
+@pytest.fixture()
+def stream_pipeline(stream_vehicle, stream_model_file):
+    """Factory for independently-mutable trained pipelines."""
+    path, extraction = stream_model_file
+
+    def make(**overrides):
+        config = PipelineConfig(
+            margin=overrides.pop("margin", 5.0),
+            sa_clusters=stream_vehicle.sa_clusters,
+            **overrides,
+        )
+        pipeline = VProfilePipeline(config)
+        pipeline.load_model(VProfileModel.load(path), extraction)
+        return pipeline
+
+    return make

@@ -73,3 +73,17 @@ class TestValidation:
         ]
         with pytest.raises(AcquisitionError):
             save_traces(tmp_path / "x.npz", traces)
+
+
+class TestFileLikeTargets:
+    def test_bytesio_round_trip(self, sterling_session):
+        import io
+
+        buffer = io.BytesIO()
+        save_traces(buffer, sterling_session.traces[:4])
+        buffer.seek(0)
+        loaded = load_traces(buffer)
+        assert len(loaded) == 4
+        for original, restored in zip(sterling_session.traces[:4], loaded):
+            np.testing.assert_array_equal(original.counts, restored.counts)
+            assert restored.metadata.get("sender") == original.metadata.get("sender")

@@ -22,6 +22,7 @@ EXAMPLE_NAMES = [
     "combined_ids",
     "vehicle_twin",
     "bus_off_dos",
+    "streaming_detection",
 ]
 
 
@@ -47,3 +48,9 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "BUS-OFF after 32 frames" in out
         assert "ALERT" in out
+
+    def test_streaming_example_runs(self, capsys):
+        load_example("streaming_detection").main()
+        out = capsys.readouterr().out
+        assert "ALERT" in out
+        assert "interrupted+resumed == uninterrupted: True" in out

@@ -1,0 +1,144 @@
+"""Chunk-boundary equivalence: streaming extraction == batch extraction.
+
+The incremental segmenter/extractor must produce *byte-identical* edge
+sets to ``segment_capture`` + ``extract_many`` on the concatenated
+stream, no matter where the chunk boundaries fall — sub-bit chunks,
+chunks that split a frame, chunks spanning many frames, and irregular
+random chunkings all land on the same cut points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.acquisition.segmentation import assemble_stream, segment_capture
+from repro.acquisition.trace import VoltageTrace
+from repro.core.edge_extraction import extract_many
+from repro.stream import ReplaySource, SampleChunk, StreamingExtractor
+
+
+@pytest.fixture(scope="module")
+def full_stream(stream_test_session):
+    return assemble_stream(stream_test_session.traces)
+
+
+@pytest.fixture(scope="module")
+def short_stream(full_stream):
+    """~10 frames' worth of samples, cheap enough for 1-sample chunks."""
+    counts = full_stream.counts[:60_000]
+    return VoltageTrace(
+        counts=counts,
+        sample_rate=full_stream.sample_rate,
+        resolution_bits=full_stream.resolution_bits,
+        bitrate=full_stream.bitrate,
+        start_s=full_stream.start_s,
+        metadata=dict(full_stream.metadata),
+    )
+
+
+def _batch_reference(stream):
+    traces = segment_capture(stream)
+    return extract_many(traces, None, skip_failures=True), traces
+
+
+def _stream_messages(stream, chunk_sizes):
+    """Push ``stream`` through a fresh extractor with the given cuts."""
+    extractor = StreamingExtractor(metadata=dict(stream.metadata))
+    messages = []
+    position = 0
+    for seq, size in enumerate(chunk_sizes):
+        counts = stream.counts[position : position + size]
+        messages.extend(
+            extractor.push(
+                SampleChunk(
+                    counts=counts,
+                    seq=seq,
+                    start_s=stream.start_s + position / stream.sample_rate,
+                    sample_rate=stream.sample_rate,
+                    resolution_bits=stream.resolution_bits,
+                    bitrate=stream.bitrate,
+                )
+            )
+        )
+        position += len(counts)
+        if position >= len(stream):
+            break
+    messages.extend(extractor.finish())
+    return messages
+
+
+def _assert_equivalent(messages, reference):
+    edge_sets, traces = reference
+    assert len(messages) == len(edge_sets)
+    for message, expected, trace in zip(messages, edge_sets, traces):
+        assert message.edge_set.source_address == expected.source_address
+        np.testing.assert_array_equal(message.edge_set.vector, expected.vector)
+        assert message.start_s == pytest.approx(trace.start_s, abs=0.0)
+
+
+@pytest.mark.parametrize("chunk_samples", [7, 40, 333, 4096, 100_000])
+def test_fixed_chunk_sizes_match_batch(full_stream, chunk_samples):
+    reference = _batch_reference(full_stream)
+    n_chunks = -(-len(full_stream) // chunk_samples)
+    messages = _stream_messages(full_stream, [chunk_samples] * n_chunks)
+    _assert_equivalent(messages, reference)
+
+
+def test_whole_stream_in_one_chunk(full_stream):
+    reference = _batch_reference(full_stream)
+    messages = _stream_messages(full_stream, [len(full_stream)])
+    _assert_equivalent(messages, reference)
+
+
+@pytest.mark.parametrize("chunk_samples", [1, 3])
+def test_sub_sample_chunks_match_batch(short_stream, chunk_samples):
+    """Even one-sample chunks reproduce the batch cut points."""
+    reference = _batch_reference(short_stream)
+    assert reference[0], "short stream must contain extractable frames"
+    n_chunks = -(-len(short_stream) // chunk_samples)
+    messages = _stream_messages(short_stream, [chunk_samples] * n_chunks)
+    _assert_equivalent(messages, reference)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    cuts=st.lists(
+        st.integers(min_value=1, max_value=59_999), max_size=12, unique=True
+    )
+)
+def test_random_irregular_chunking_matches_batch(short_stream, cuts):
+    """Property: any partition of the stream yields identical edge sets."""
+    total = len(short_stream)
+    bounds = [0, *sorted(cuts), total]
+    sizes = [hi - lo for lo, hi in zip(bounds, bounds[1:]) if hi > lo]
+    reference = _batch_reference(short_stream)
+    messages = _stream_messages(short_stream, sizes)
+    _assert_equivalent(messages, reference)
+
+
+def test_state_roundtrip_at_every_boundary(short_stream):
+    """Serialising and restoring the extractor between every chunk is
+    invisible in the output — the checkpoint/resume guarantee."""
+    reference = _batch_reference(short_stream)
+    chunk = 4096
+    source = ReplaySource(short_stream, chunk)
+    extractor = StreamingExtractor(metadata=dict(short_stream.metadata))
+    messages = []
+    for sample_chunk in source.chunks():
+        if sample_chunk.seq > 0:  # checkpoints only exist after ingest begins
+            state = extractor.state_dict()
+            restored = StreamingExtractor(
+                extractor.extraction, metadata=dict(short_stream.metadata)
+            )
+            restored.load_state(state)
+            extractor = restored
+        messages.extend(extractor.push(sample_chunk))
+    messages.extend(extractor.finish())
+    _assert_equivalent(messages, reference)

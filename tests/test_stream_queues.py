@@ -1,0 +1,121 @@
+"""Bounded queues: overflow policies, close semantics, batched gets."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import BoundedQueue, OverflowPolicy, QueueClosed
+
+
+class TestPolicies:
+    def test_drop_newest_rejects_incoming(self):
+        queue = BoundedQueue(2, OverflowPolicy.DROP_NEWEST)
+        assert queue.put("a") and queue.put("b")
+        assert not queue.put("c")
+        assert queue.dropped == 1
+        assert queue.get_batch(10) == ["a", "b"]
+
+    def test_drop_oldest_evicts_head(self):
+        queue = BoundedQueue(2, OverflowPolicy.DROP_OLDEST)
+        queue.put("a"), queue.put("b")
+        assert queue.put("c")  # accepted, "a" evicted
+        assert queue.dropped == 1
+        assert queue.get_batch(10) == ["b", "c"]
+
+    def test_block_waits_for_consumer(self):
+        queue = BoundedQueue(1, OverflowPolicy.BLOCK)
+        queue.put("a")
+        unblocked = threading.Event()
+
+        def producer():
+            queue.put("b")  # must wait until "a" is consumed
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not unblocked.is_set()
+        assert queue.get_batch(1) == ["a"]
+        thread.join(timeout=2.0)
+        assert unblocked.is_set()
+        assert queue.get_batch(1) == ["b"]
+
+    def test_policy_from_string(self):
+        assert BoundedQueue(1, "drop-oldest").policy is OverflowPolicy.DROP_OLDEST
+        with pytest.raises(ValueError):
+            BoundedQueue(1, "nonsense")
+
+
+class TestGetBatch:
+    def test_respects_max_items(self):
+        queue = BoundedQueue(8)
+        for item in range(5):
+            queue.put(item)
+        assert queue.get_batch(3) == [0, 1, 2]
+        assert queue.get_batch(3) == [3, 4]
+
+    def test_timeout_returns_empty(self):
+        queue = BoundedQueue(4)
+        assert queue.get_batch(1, timeout=0.01) == []
+
+    def test_on_batch_runs_with_dequeue(self):
+        queue = BoundedQueue(4)
+        queue.put("x"), queue.put("y")
+        seen = []
+        queue.get_batch(2, on_batch=seen.append)
+        assert seen == [2]
+
+    def test_rejects_bad_max_items(self):
+        with pytest.raises(StreamError):
+            BoundedQueue(4).get_batch(0)
+
+
+class TestLifecycle:
+    def test_close_drains_then_raises(self):
+        queue = BoundedQueue(4)
+        queue.put("leftover")
+        queue.close()
+        assert queue.get_batch(4) == ["leftover"]
+        with pytest.raises(QueueClosed):
+            queue.get_batch(1)
+
+    def test_put_after_close_raises(self):
+        queue = BoundedQueue(4)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("late")
+
+    def test_close_unblocks_waiting_producer(self):
+        queue = BoundedQueue(1, OverflowPolicy.BLOCK)
+        queue.put("a")
+        outcome = []
+
+        def producer():
+            try:
+                queue.put("b")
+            except QueueClosed:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=2.0)
+        assert outcome == ["closed"]
+
+    def test_counters_and_watermark(self):
+        queue = BoundedQueue(3, name="shard0")
+        for item in range(3):
+            queue.put(item)
+        assert queue.high_watermark == 3
+        assert queue.depth == 3
+        queue.get_batch(2)
+        assert queue.puts == 3 and queue.gets == 2 and queue.depth == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(StreamError):
+            BoundedQueue(0)
