@@ -81,6 +81,147 @@ class ChannelNoise:
             noise += ar
         return noise
 
+    def sample_message_batch(
+        self,
+        lengths: "list[int]",
+        rngs: "list[np.random.Generator]",
+    ) -> "tuple[np.ndarray, np.ndarray, list[np.ndarray]]":
+        """Offsets and noise vectors for a batch, one generator each.
+
+        Returns ``(baselines, gains, noise_rows)``, byte-identical to
+        calling :meth:`sample_message_offsets` then :meth:`sample_noise`
+        per message, but cheap: ``normal(0, s, k)`` consumes a generator
+        exactly like ``s * standard_normal(k)``, so each message's draws
+        collapse into a single ``standard_normal`` block that is scaled
+        matrix-wide, and the AR(1) recursion runs as one row-wise
+        ``lfilter`` over a zero-padded matrix (the filter is causal, so
+        padding beyond a row's length never leaks into its first
+        ``lengths[i]`` samples).
+        """
+        if len(lengths) != len(rngs):
+            raise WaveformError(
+                f"got {len(lengths)} lengths for {len(rngs)} generators"
+            )
+        n_rows = len(lengths)
+        s_max = max(lengths, default=0)
+        has_baseline = bool(self.baseline_sigma_v)
+        has_gain = bool(self.amplitude_jitter)
+        has_white = bool(self.white_sigma_v)
+        has_ar = bool(self.ar_sigma_v)
+
+        if n_rows and s_max and min(lengths) == s_max:
+            return self._sample_equal_length_batch(s_max, rngs)
+
+        baselines = np.zeros(n_rows)
+        gains = np.zeros(n_rows)
+        white = np.zeros((n_rows, s_max)) if has_white else None
+        innovations = np.zeros((n_rows, s_max)) if has_ar else None
+        ar_seeds = np.zeros(n_rows) if has_ar else None
+        for i, (n, rng) in enumerate(zip(lengths, rngs)):
+            # One block per message, in the serial path's draw order:
+            # baseline, gain, white x n, innovations x n, AR seed.
+            draws = (
+                int(has_baseline)
+                + int(has_gain)
+                + (n if has_white else 0)
+                + (n + 1 if has_ar and n else 0)
+            )
+            z = rng.standard_normal(draws)
+            pos = 0
+            if has_baseline:
+                baselines[i] = z[0]
+                pos = 1
+            if has_gain:
+                gains[i] = z[pos]
+                pos += 1
+            if has_white:
+                white[i, :n] = z[pos : pos + n]
+                pos += n
+            if has_ar and n:
+                innovations[i, :n] = z[pos : pos + n]
+                ar_seeds[i] = z[pos + n]
+        baselines *= self.baseline_sigma_v
+        gains = 1.0 + self.amplitude_jitter * gains
+        if white is not None:
+            white *= self.white_sigma_v
+        ar = None
+        if innovations is not None:
+            from scipy.signal import lfilter
+
+            innovations *= self.ar_sigma_v * np.sqrt(1.0 - self.ar_coeff**2)
+            # Seed the recursion at the stationary distribution, exactly
+            # as sample_noise does for each message.
+            innovations[:, 0] = self.ar_sigma_v * ar_seeds
+            ar = lfilter([1.0], [1.0, -self.ar_coeff], innovations, axis=1)
+        rows: list[np.ndarray] = []
+        for i, n in enumerate(lengths):
+            if white is not None and ar is not None:
+                rows.append(white[i, :n] + ar[i, :n])
+            elif white is not None:
+                rows.append(white[i, :n].copy())
+            elif ar is not None:
+                rows.append(ar[i, :n].copy() if n else np.zeros(0))
+            else:
+                rows.append(np.zeros(n))
+        return baselines, gains, rows
+
+    def _sample_equal_length_batch(
+        self,
+        n: int,
+        rngs: "list[np.random.Generator]",
+    ) -> "tuple[np.ndarray, np.ndarray, list[np.ndarray]]":
+        """Equal-length fast path for :meth:`sample_message_batch`.
+
+        The engine groups captures by wire length, so every row draws
+        the same number of variates: each generator fills one contiguous
+        row of a ``(G, draws)`` matrix in place (``standard_normal`` with
+        ``out=`` consumes the stream identically to an allocating call)
+        and the components come out as column slices — no per-message
+        allocation or scatter.
+        """
+        has_baseline = bool(self.baseline_sigma_v)
+        has_gain = bool(self.amplitude_jitter)
+        has_white = bool(self.white_sigma_v)
+        has_ar = bool(self.ar_sigma_v)
+        n_rows = len(rngs)
+        draws = (
+            int(has_baseline)
+            + int(has_gain)
+            + (n if has_white else 0)
+            + (n + 1 if has_ar else 0)
+        )
+        z = np.empty((n_rows, draws))
+        for i, rng in enumerate(rngs):
+            rng.standard_normal(out=z[i])
+
+        pos = 0
+        baselines = np.zeros(n_rows)
+        gains = np.ones(n_rows)
+        if has_baseline:
+            baselines = self.baseline_sigma_v * z[:, 0]
+            pos = 1
+        if has_gain:
+            gains = 1.0 + self.amplitude_jitter * z[:, pos]
+            pos += 1
+        noise = None
+        if has_white:
+            white = z[:, pos : pos + n]
+            white *= self.white_sigma_v
+            noise = white
+            pos += n
+        if has_ar:
+            from scipy.signal import lfilter
+
+            innovations = z[:, pos : pos + n]
+            ar_seeds = z[:, pos + n]
+            innovations *= self.ar_sigma_v * np.sqrt(1.0 - self.ar_coeff**2)
+            innovations[:, 0] = self.ar_sigma_v * ar_seeds
+            ar = lfilter([1.0], [1.0, -self.ar_coeff], innovations, axis=1)
+            noise = ar if noise is None else noise + ar
+        if noise is None:
+            noise = np.zeros((n_rows, n))
+        return baselines, gains, list(noise)
+
 
 #: Noise of a bench-grade digitizer chain on a quiet bus.
 QUIET_CHANNEL = ChannelNoise(

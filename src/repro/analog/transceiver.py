@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.analog.environment import (
     NOMINAL_BATTERY_V,
@@ -57,10 +58,63 @@ class EdgeDynamics:
         """Angular natural frequency in rad/s."""
         return 2.0 * math.pi * self.natural_freq_hz
 
+    def step_constants(self) -> "StepConstants":
+        """The ζ/ωn-derived constants of the step response, cached.
+
+        Waveform synthesis evaluates the step response once per edge per
+        message; hoisting the scalar derivations (damped frequency,
+        envelope ratio, over-damped poles) out of the per-call path costs
+        one dict lookup instead of several ``sqrt``/multiplies.  The
+        values are computed with exactly the expressions the response
+        formula used inline, so results stay bit-identical.
+        """
+        return _step_constants(self.omega_n, self.damping)
+
     def settle_time_s(self, tolerance: float = 0.01) -> float:
         """Approximate time to settle within ``tolerance`` of the target."""
         zeta = min(self.damping, 0.999) if self.damping < 1.0 else self.damping
         return -math.log(tolerance) / (zeta * self.omega_n)
+
+
+@dataclass(frozen=True)
+class StepConstants:
+    """Pre-derived second-order step-response constants.
+
+    ``kind`` selects the damping regime; unused fields are 0.  For the
+    under-damped case ``wd`` is the damped angular frequency and
+    ``envelope_ratio`` is ``zeta / sqrt(1 - zeta**2)``; for the
+    over-damped case ``s1``/``s2`` are the real poles.
+    """
+
+    kind: str  # "under" | "critical" | "over"
+    wn: float
+    zeta: float
+    wd: float = 0.0
+    envelope_ratio: float = 0.0
+    s1: float = 0.0
+    s2: float = 0.0
+
+
+@lru_cache(maxsize=512)
+def _step_constants(wn: float, zeta: float) -> StepConstants:
+    if zeta < 1.0:
+        return StepConstants(
+            kind="under",
+            wn=wn,
+            zeta=zeta,
+            wd=wn * math.sqrt(1.0 - zeta**2),
+            envelope_ratio=zeta / math.sqrt(1.0 - zeta**2),
+        )
+    if zeta == 1.0:
+        return StepConstants(kind="critical", wn=wn, zeta=zeta)
+    root = math.sqrt(zeta**2 - 1.0)
+    return StepConstants(
+        kind="over",
+        wn=wn,
+        zeta=zeta,
+        s1=wn * (-zeta + root),
+        s2=wn * (-zeta - root),
+    )
 
 
 @dataclass(frozen=True)

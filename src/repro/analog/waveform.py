@@ -44,23 +44,20 @@ def step_response(
     Handles under-, critically- and over-damped cases.  ``dt_s`` must be
     non-negative; ``v_start``/``v_target`` broadcast against it.
     """
-    wn = dynamics.omega_n
-    zeta = dynamics.damping
+    constants = dynamics.step_constants()
     dt = np.asarray(dt_s, dtype=float)
     if np.any(dt < 0):
         raise WaveformError("step_response requires non-negative times")
-    if zeta < 1.0:
-        wd = wn * np.sqrt(1.0 - zeta**2)
-        envelope = np.exp(-zeta * wn * dt)
+    if constants.kind == "under":
+        envelope = np.exp(-constants.zeta * constants.wn * dt)
         transient = envelope * (
-            np.cos(wd * dt) + (zeta / np.sqrt(1.0 - zeta**2)) * np.sin(wd * dt)
+            np.cos(constants.wd * dt)
+            + constants.envelope_ratio * np.sin(constants.wd * dt)
         )
-    elif zeta == 1.0:
-        transient = np.exp(-wn * dt) * (1.0 + wn * dt)
+    elif constants.kind == "critical":
+        transient = np.exp(-constants.wn * dt) * (1.0 + constants.wn * dt)
     else:
-        root = np.sqrt(zeta**2 - 1.0)
-        s1 = wn * (-zeta + root)
-        s2 = wn * (-zeta - root)
+        s1, s2 = constants.s1, constants.s2
         transient = (s1 * np.exp(s2 * dt) - s2 * np.exp(s1 * dt)) / (s1 - s2)
     return v_target + (v_start - v_target) * transient
 
@@ -154,7 +151,10 @@ def synthesize_waveform(
     numpy.ndarray
         Differential voltage in volts, one entry per digitizer sample.
     """
-    wire = np.asarray(list(wire_bits), dtype=np.int8)
+    if isinstance(wire_bits, np.ndarray):
+        wire = wire_bits.astype(np.int8, copy=False)
+    else:
+        wire = np.asarray(list(wire_bits), dtype=np.int8)
     if wire.size == 0:
         raise WaveformError("cannot synthesise an empty bit sequence")
     if config.max_frame_bits is not None:

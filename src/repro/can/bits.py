@@ -26,7 +26,11 @@ def int_to_bits(value: int, width: int) -> list[int]:
         raise CanEncodingError(f"bit width must be non-negative, got {width}")
     if value < 0 or value >= (1 << width):
         raise CanEncodingError(f"value {value} does not fit in {width} bits")
-    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+    if not width:
+        return []
+    # format() renders the binary expansion at C speed; iterating the
+    # ASCII encoding yields integer code points ('0' == 48).
+    return [c - 48 for c in format(value, "b").zfill(width).encode()]
 
 
 def bits_to_int(bits: Iterable[int]) -> int:
@@ -50,20 +54,23 @@ def stuff_bits(bits: Sequence[int]) -> list[int]:
         The stuffed bitstream.
     """
     stuffed: list[int] = []
+    append = stuffed.append
     run_value = -1
     run_length = 0
     for bit in bits:
-        bit = bit & 1
-        stuffed.append(bit)
+        bit &= 1
+        append(bit)
         if bit == run_value:
             run_length += 1
+            # A run can only reach five through this increment; the
+            # reset branch below always leaves it at one.
+            if run_length == 5:
+                stuff_bit = bit ^ 1
+                append(stuff_bit)
+                run_value = stuff_bit
+                run_length = 1
         else:
             run_value = bit
-            run_length = 1
-        if run_length == 5:
-            stuff_bit = bit ^ 1
-            stuffed.append(stuff_bit)
-            run_value = stuff_bit
             run_length = 1
     return stuffed
 

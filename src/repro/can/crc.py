@@ -20,8 +20,29 @@ CAN_CRC15_POLY = 0x4599
 _CRC15_MASK = 0x7FFF
 
 
+def _build_crc15_table() -> list[int]:
+    """Precompute the register update for each possible 8-bit block."""
+    table = []
+    for byte in range(256):
+        crc = (byte << 7) & _CRC15_MASK
+        for _ in range(8):
+            if crc & 0x4000:
+                crc = ((crc << 1) & _CRC15_MASK) ^ CAN_CRC15_POLY
+            else:
+                crc = (crc << 1) & _CRC15_MASK
+        table.append(crc)
+    return table
+
+
+_CRC15_TABLE = _build_crc15_table()
+
+
 def crc15(bits: Iterable[int]) -> int:
     """Compute the CAN CRC-15 over a sequence of 0/1 bits.
+
+    Table-driven: eight message bits advance the register per lookup,
+    which matters because the frame encoder runs this over every frame
+    the simulator schedules.
 
     Parameters
     ----------
@@ -34,12 +55,22 @@ def crc15(bits: Iterable[int]) -> int:
     int
         The 15-bit CRC value.
     """
+    bit_list = [bit & 1 for bit in bits]
+    n = len(bit_list)
     crc = 0
-    for bit in bits:
-        crc_next = (bit & 1) ^ ((crc >> 14) & 1)
+    head = n & 7
+    for bit in bit_list[:head]:
+        crc_next = bit ^ ((crc >> 14) & 1)
         crc = (crc << 1) & _CRC15_MASK
         if crc_next:
             crc ^= CAN_CRC15_POLY
+    table = _CRC15_TABLE
+    for i in range(head, n, 8):
+        b0, b1, b2, b3, b4, b5, b6, b7 = bit_list[i : i + 8]
+        byte = (
+            b0 << 7 | b1 << 6 | b2 << 5 | b3 << 4 | b4 << 3 | b5 << 2 | b6 << 1 | b7
+        )
+        crc = table[(crc >> 7) ^ byte] ^ ((crc << 8) & _CRC15_MASK)
     return crc
 
 

@@ -123,15 +123,24 @@ class CanFrame:
         return bits
 
     def stuffed_bits(self) -> list[int]:
-        """The wire bit sequence: stuffing applies from SOF through CRC."""
-        header = self.header_bits()
-        crc_covered = header + crc15_bits(header)
-        bits = stuff_bits(crc_covered)
-        bits.append(1)  # CRC delimiter
-        bits.append(0)  # ACK slot
-        bits.append(1)  # ACK delimiter
-        bits += [1] * EOF_BITS
-        return bits
+        """The wire bit sequence: stuffing applies from SOF through CRC.
+
+        Memoised per instance: the frame is frozen, and the scheduler
+        (bus timing) and the analog renderer both need the same wire
+        bits.  A fresh list is returned on every call so callers remain
+        free to mutate it.
+        """
+        cached = self.__dict__.get("_stuffed_bits_memo")
+        if cached is None:
+            header = self.header_bits()
+            crc_covered = header + crc15_bits(header)
+            cached = stuff_bits(crc_covered)
+            cached.append(1)  # CRC delimiter
+            cached.append(0)  # ACK slot
+            cached.append(1)  # ACK delimiter
+            cached += [1] * EOF_BITS
+            object.__setattr__(self, "_stuffed_bits_memo", cached)
+        return cached.copy()
 
     def arbitration_bits(self) -> list[int]:
         """The stuff-free arbitration field bits including SOF.

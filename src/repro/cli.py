@@ -57,6 +57,8 @@ from repro.eval.reporting import (
 )
 from repro.eval.suite import SuiteInputs, run_detection_suite
 from repro.eval.sweeps import rate_resolution_sweep
+from repro.perf.cache import CaptureCache
+from repro.perf.parallel import default_jobs
 from repro.stream import (
     DEFAULT_CHUNK_SAMPLES,
     LiveSource,
@@ -94,6 +96,23 @@ def _add_vehicle_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for capture/extraction (default: $REPRO_JOBS; "
+             "leave both unset for the legacy serial path)",
+    )
+
+
+def _effective_jobs(args: argparse.Namespace) -> int | None:
+    """``--jobs`` when given, else the ``REPRO_JOBS`` env default."""
+    jobs = getattr(args, "jobs", None)
+    return jobs if jobs is not None else default_jobs()
+
+
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-out",
@@ -126,8 +145,12 @@ def cmd_info(args: argparse.Namespace) -> int:
 
 def cmd_capture(args: argparse.Namespace) -> int:
     vehicle = _vehicle(args.vehicle)
+    cache = None
+    if args.cache:
+        cache = CaptureCache(args.cache_dir)
     session = capture_session(
-        vehicle, args.duration, seed=args.seed
+        vehicle, args.duration, seed=args.seed,
+        jobs=_effective_jobs(args), cache=cache,
     )
     if args.output == "-":
         # np.savez needs a seekable sink; stdout pipes are not.
@@ -158,14 +181,26 @@ def _traces_for(args: argparse.Namespace):
     input_path = getattr(args, "input", None)
     if input_path:
         return vehicle, load_traces(_archive_input(input_path))
-    session = capture_session(vehicle, args.duration, seed=args.seed)
+    session = capture_session(
+        vehicle, args.duration, seed=args.seed, jobs=_effective_jobs(args)
+    )
     return vehicle, session.traces
+
+
+def _extract_for(args: argparse.Namespace, traces, extraction):
+    """Edge-set extraction honouring the effective ``--jobs`` value."""
+    jobs = _effective_jobs(args)
+    if jobs is not None:
+        from repro.perf.engine import extract_many_parallel
+
+        return extract_many_parallel(traces, extraction, jobs=jobs)
+    return extract_many(traces, extraction)
 
 
 def cmd_train(args: argparse.Namespace) -> int:
     vehicle, traces = _traces_for(args)
     extraction = ExtractionConfig.for_trace(traces[0])
-    edge_sets = extract_many(traces, extraction)
+    edge_sets = _extract_for(args, traces, extraction)
     model = train_model(
         TrainingData.from_edge_sets(edge_sets),
         metric=Metric(args.metric),
@@ -187,7 +222,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     model = VProfileModel.load(args.model)
     extraction = ExtractionConfig.for_trace(traces[0])
     with obs.span("cli.detect", vehicle=vehicle.name):
-        edge_sets = extract_many(traces, extraction)
+        edge_sets = _extract_for(args, traces, extraction)
 
         rng = np.random.default_rng(args.seed)
         if args.hijack > 0:
@@ -278,7 +313,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
         # Live simulation; seed offset keeps the streamed traffic
         # distinct from the training capture below.
         source = LiveSource(
-            vehicle, args.duration, args.chunk_samples, seed=args.seed + 1
+            vehicle, args.duration, args.chunk_samples, seed=args.seed + 1,
+            jobs=_effective_jobs(args),
         )
 
     if resume is None:
@@ -296,7 +332,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             )
         else:
             training = capture_session(
-                vehicle, args.train_duration, seed=args.seed
+                vehicle, args.train_duration, seed=args.seed,
+                jobs=_effective_jobs(args),
             )
             pipeline.train(training.traces)
             print(f"trained on a fresh {args.train_duration:g}s capture "
@@ -341,27 +378,48 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     vehicle = _vehicle(args.vehicle)
+    jobs = _effective_jobs(args)
+    cache = CaptureCache(args.cache_dir) if args.cache else None
     if args.name == "suite":
         inputs = SuiteInputs.capture(
-            vehicle, duration_s=args.duration, seed=args.seed
+            vehicle, duration_s=args.duration, seed=args.seed,
+            jobs=jobs, cache=cache,
         )
         result = run_detection_suite(inputs, Metric(args.metric), seed=args.seed)
         print(format_suite(result))
     elif args.name == "temperature":
         result = temperature_experiment(
-            vehicle, trials=2, duration_per_capture_s=args.duration / 6, seed=args.seed
+            vehicle, trials=2, duration_per_capture_s=args.duration / 6,
+            seed=args.seed, jobs=jobs, cache=cache,
         )
         print(format_temperature(result))
     elif args.name == "voltage":
         result = voltage_experiment(
-            vehicle, trials=3, duration_per_capture_s=args.duration / 10, seed=args.seed
+            vehicle, trials=3, duration_per_capture_s=args.duration / 10,
+            seed=args.seed, jobs=jobs, cache=cache,
         )
         print(format_voltage(result))
     elif args.name == "sweep":
-        session = capture_session(vehicle, args.duration, seed=args.seed)
+        session = capture_session(
+            vehicle, args.duration, seed=args.seed, jobs=jobs, cache=cache
+        )
         divisors = (1, 2, 4) if vehicle.sample_rate <= 10e6 else (1, 2, 4, 8)
         cells = rate_resolution_sweep(session, rate_divisors=divisors, seed=args.seed)
         print(format_sweep(cells, f"{vehicle.name} rate sweep"))
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = CaptureCache(args.dir)
+    if args.action == "info":
+        info = cache.info()
+        print(f"cache root: {info['root']}")
+        print(f"entries: {info['entries']} "
+              f"({info['total_bytes'] / 1e6:.2f} MB, max {info['max_entries']})")
+        print(f"schema version: {info['schema_version']}")
+    else:  # clear
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
     return 0
 
 
@@ -391,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
     capture.add_argument("--seed", type=int, default=0)
     capture.add_argument("--output", required=True,
                          help="archive path (.npz), or '-' for stdout")
+    _add_jobs_arg(capture)
+    capture.add_argument("--cache", action="store_true",
+                         help="reuse/store this capture in the content-addressed cache")
+    capture.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache root (default: $REPRO_CACHE_DIR or "
+                              "~/.cache/repro/captures)")
     capture.set_defaults(handler=cmd_capture)
 
     train = commands.add_parser("train", help="train and save a model")
@@ -405,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cluster-by-distance", action="store_true",
                        help="discover clusters instead of using the SA LUT")
     train.add_argument("--output", required=True, help="model path (.npz)")
+    _add_jobs_arg(train)
     train.set_defaults(handler=cmd_train)
 
     detect = commands.add_parser("detect", help="replay traffic through a model")
@@ -419,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SA-rewrite probability (0 disables attacks)")
     detect.add_argument("--margin", type=float, default=None,
                         help="detection margin (default: auto-tuned)")
+    _add_jobs_arg(detect)
     detect.set_defaults(handler=cmd_detect)
 
     stream = commands.add_parser(
@@ -465,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume from a checkpoint directory")
     stream.add_argument("--max-alerts", type=int, default=10,
                         help="alert lines to print before summarising")
+    _add_jobs_arg(stream)
     stream.set_defaults(handler=cmd_stream)
 
     experiment = commands.add_parser(
@@ -479,7 +546,22 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--metric", choices=["euclidean", "mahalanobis"],
                             default="mahalanobis")
+    _add_jobs_arg(experiment)
+    experiment.add_argument("--cache", action="store_true",
+                            help="reuse/store captures in the content-addressed cache")
+    experiment.add_argument("--cache-dir", metavar="DIR", default=None,
+                            help="cache root (default: $REPRO_CACHE_DIR or "
+                                 "~/.cache/repro/captures)")
     experiment.set_defaults(handler=cmd_experiment)
+
+    cache = commands.add_parser(
+        "cache", help="inspect or clear the content-addressed capture cache"
+    )
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--dir", metavar="DIR", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro/captures)")
+    cache.set_defaults(handler=cmd_cache)
 
     stats = commands.add_parser(
         "stats", help="summarize a metrics file from --metrics-out"

@@ -220,13 +220,20 @@ def extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> Extracted
 
 def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> ExtractedEdgeSet:
     samples = np.asarray(trace.counts, dtype=float)
+    # The bit walker touches samples one at a time; plain-float list
+    # indexing is several times cheaper than NumPy scalar indexing, and
+    # tolist() yields the exact same float64 values.
+    values = samples.tolist()
+    n_values = len(values)
     threshold = config.threshold
     bit_width = config.bit_width
     half_bit = bit_width / 2.0
+    id_last_bit = config.frame_format.id_last_bit
+    first_stable_bit = config.frame_format.first_stable_bit
 
     sof = _find_sof(samples, threshold)
     pos = sof + half_bit
-    bit_values: list[int] = [_value_at(samples, pos, threshold)]
+    bit_values: list[int] = [_value_at(values, pos, threshold)]
     if bit_values[0] != 0:
         raise ExtractionError("sample at SOF centre is not dominant")
 
@@ -236,13 +243,18 @@ def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> Extracte
     source_address: int | None = None
     extraction_start: float | None = None
 
-    while pos + bit_width < samples.size:
+    while pos + bit_width < n_values:
         pos += bit_width
-        bit = _value_at(samples, pos, threshold)
+        # Inline _value_at: this loop runs once per wire bit and
+        # dominates extraction time.
+        index = int(round(pos))
+        if index >= n_values:
+            raise ExtractionError(f"bit walk ran off the trace at sample {index}")
+        bit = 0 if values[index] >= threshold else 1
         is_stuff = False
         if bit != prev_bit:
             # Re-centre on the observed edge to hold synchronisation.
-            crossing = _align_to_edge_center(samples, pos, threshold, bit_width)
+            crossing = _align_to_edge_center(values, pos, threshold, bit_width)
             pos = crossing + half_bit
             if run_length == 5:
                 # After five identical bits the opposite-polarity bit is
@@ -261,9 +273,9 @@ def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> Extracte
             continue
         bit_values.append(bit)
         bit_count += 1
-        if bit_count == config.frame_format.id_last_bit:
+        if bit_count == id_last_bit:
             source_address = _decode_identity(bit_values, config.frame_format)
-        elif bit_count == config.frame_format.first_stable_bit:
+        elif bit_count == first_stable_bit:
             extraction_start = pos
             break
 
@@ -276,7 +288,7 @@ def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> Extracte
     windows = []
     start = extraction_start
     for k in range(config.n_edge_sets):
-        windows.append(_extract_window_pair(samples, start, config))
+        windows.append(_extract_window_pair(samples, values, start, config))
         start = extraction_start + (k + 1) * config.edge_set_spacing
     vector = np.mean(windows, axis=0) if len(windows) > 1 else windows[0]
 
@@ -305,12 +317,21 @@ def extract_many(
     if config is None:
         config = ExtractionConfig.for_trace(traces[0])
     results: list[ExtractedEdgeSet] = []
+    skipped = 0
     for trace in traces:
         try:
             results.append(extract_edge_set(trace, config))
         except ExtractionError:
             if not skip_failures:
                 raise
+            skipped += 1
+    if skipped:
+        from repro.obs import get_registry
+
+        get_registry().counter(
+            "vprofile_extraction_skipped_total",
+            help="Traces dropped by extract_many(skip_failures=True)",
+        ).inc(skipped)
     return results
 
 
@@ -330,11 +351,11 @@ def cluster_threshold(trace: VoltageTrace) -> float:
 # Internals
 # ----------------------------------------------------------------------
 
-def _value_at(samples: np.ndarray, pos: float, threshold: float) -> int:
+def _value_at(values: list[float], pos: float, threshold: float) -> int:
     index = int(round(pos))
-    if index < 0 or index >= samples.size:
+    if index < 0 or index >= len(values):
         raise ExtractionError(f"bit walk ran off the trace at sample {index}")
-    return get_bit_value(samples[index], threshold)
+    return 0 if values[index] >= threshold else 1
 
 
 def _find_sof(samples: np.ndarray, threshold: float) -> int:
@@ -346,7 +367,7 @@ def _find_sof(samples: np.ndarray, threshold: float) -> int:
 
 
 def _align_to_edge_center(
-    samples: np.ndarray, pos: float, threshold: float, bit_width: float
+    values: list[float], pos: float, threshold: float, bit_width: float
 ) -> float:
     """Locate the threshold crossing behind ``pos`` (AlignToEdgeCenter).
 
@@ -356,11 +377,14 @@ def _align_to_edge_center(
     bit.
     """
     index = int(round(pos))
-    new_value = get_bit_value(samples[index], threshold)
     floor = max(0, int(round(pos - bit_width)))
     j = index
-    while j > floor and get_bit_value(samples[j - 1], threshold) == new_value:
-        j -= 1
+    if values[index] >= threshold:  # new bit is dominant (decodes as 0)
+        while j > floor and values[j - 1] >= threshold:
+            j -= 1
+    else:
+        while j > floor and values[j - 1] < threshold:
+            j -= 1
     return float(j)
 
 
@@ -381,32 +405,36 @@ def _decode_identity(bit_values: list[int], frame_format: FrameFormat) -> int:
 
 
 def _extract_window_pair(
-    samples: np.ndarray, start: float, config: ExtractionConfig
+    samples: np.ndarray, values: list[float], start: float, config: ExtractionConfig
 ) -> np.ndarray:
     """ExtractEdgeSet from Algorithm 1: windows at the next two crossings.
 
     From ``start`` (inside or before a dominant region): skip any
     recessive run, skip the dominant run to its falling crossing, window
     it; advance half a bit, find the next rising crossing, window it.
+    The sample-by-sample scans run over the plain-float ``values`` list
+    (cheap scalar indexing); the windows slice the NumPy ``samples``.
     """
     threshold = config.threshold
+    n = len(values)
     pos = int(round(start))
 
-    pos = _advance_while(samples, pos, lambda v: v < threshold)   # reach dominant
-    pos = _advance_while(samples, pos, lambda v: v >= threshold)  # falling crossing
+    while pos < n and values[pos] < threshold:   # reach dominant
+        pos += 1
+    if pos >= n:
+        raise ExtractionError("edge search ran off the end of the trace")
+    while pos < n and values[pos] >= threshold:  # falling crossing
+        pos += 1
+    if pos >= n:
+        raise ExtractionError("edge search ran off the end of the trace")
     falling = _window(samples, pos, config)
     pos = int(round(pos + config.bit_width / 2.0))
-    pos = _advance_while(samples, pos, lambda v: v < threshold)   # rising crossing
+    while pos < n and values[pos] < threshold:   # rising crossing
+        pos += 1
+    if pos >= n:
+        raise ExtractionError("edge search ran off the end of the trace")
     rising = _window(samples, pos, config)
     return np.concatenate([falling, rising])
-
-
-def _advance_while(samples: np.ndarray, pos: int, predicate) -> int:
-    while pos < samples.size and predicate(samples[pos]):
-        pos += 1
-    if pos >= samples.size:
-        raise ExtractionError("edge search ran off the end of the trace")
-    return pos
 
 
 def _window(samples: np.ndarray, pos: int, config: ExtractionConfig) -> np.ndarray:

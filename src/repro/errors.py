@@ -74,3 +74,12 @@ class ObservabilityError(ReproError):
 class StreamError(ReproError):
     """The streaming runtime was misused (inconsistent chunk parameters,
     out-of-order chunks, resume from a corrupt checkpoint, ...)."""
+
+
+class PerfError(ReproError):
+    """The parallel capture/extraction engine was misconfigured (bad job
+    count, unparseable ``REPRO_JOBS``, unbatchable synthesis request)."""
+
+
+class CacheError(PerfError):
+    """The capture cache is unusable (unwritable root, corrupt entry)."""

@@ -80,10 +80,18 @@ def _extract_at(
     duration_s: float,
     seed: int,
     extraction: ExtractionConfig | None,
+    jobs: int | None = None,
+    cache=None,
 ) -> tuple[list[ExtractedEdgeSet], ExtractionConfig]:
-    session = capture_session(vehicle, duration_s, env=env, seed=seed)
+    session = capture_session(
+        vehicle, duration_s, env=env, seed=seed, jobs=jobs, cache=cache
+    )
     if extraction is None:
         extraction = ExtractionConfig.for_trace(session.traces[0])
+    if jobs is not None:
+        from repro.perf.engine import extract_many_parallel
+
+        return extract_many_parallel(session.traces, extraction, jobs=jobs), extraction
     return extract_many(session.traces, extraction), extraction
 
 
@@ -193,6 +201,8 @@ def temperature_experiment(
     trials: int = 3,
     duration_per_capture_s: float = 3.0,
     seed: int = 0,
+    jobs: int | None = None,
+    cache=None,
 ) -> TemperatureResult:
     """Reproduce the temperature experiment (Table 4.8, Figure 4.6).
 
@@ -220,6 +230,8 @@ def temperature_experiment(
                 duration_per_capture_s,
                 seed=seed + 101 * bin_index + trial,
                 extraction=extraction,
+                jobs=jobs,
+                cache=cache,
             )
             collected.extend(edge_sets)
         per_bin.append(collected)
@@ -245,6 +257,8 @@ def temperature_experiment(
         duration_per_capture_s,
         seed=seed + 7919,
         extraction=extraction,
+        jobs=jobs,
+        cache=cache,
     )
     model_warm, margin_warm, _ = _fit_and_calibrate(
         vehicle, train_sets + warm_extra, seed
@@ -284,6 +298,8 @@ def voltage_experiment(
     base_temperature_c: float = 28.4,
     hidden_temp_drift_per_trial_c: float = 2.0,
     seed: int = 0,
+    jobs: int | None = None,
+    cache=None,
 ) -> VoltageResult:
     """Reproduce the high-power-loads experiment (Table 4.9, Fig 4.7/4.8).
 
@@ -313,6 +329,8 @@ def voltage_experiment(
                 duration,
                 seed=seed + 977 * trial + event_index,
                 extraction=extraction,
+                jobs=jobs,
+                cache=cache,
             )
             by_event[name].extend(edge_sets)
             if name == "accessory":

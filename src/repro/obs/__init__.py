@@ -120,6 +120,15 @@ def preregister_pipeline_metrics(registry: MetricsRegistry) -> None:
     registry.counter(
         "vprofile_messages_total", help="Messages classified by the detector"
     )
+    registry.counter(
+        "vprofile_extraction_skipped_total",
+        help="Traces dropped by extract_many(skip_failures=True)",
+    )
+    for outcome in ("hits", "misses", "evictions"):
+        registry.counter(
+            f"vprofile_cache_{outcome}_total",
+            help=f"Capture-cache {outcome}",
+        )
 
 
 def enable(

@@ -1,0 +1,159 @@
+"""Batched waveform synthesis: N messages in one vectorized pass.
+
+:func:`repro.analog.waveform.synthesize_waveform` renders one message at
+a time.  Its arithmetic, however, is entirely elementwise (``where`` /
+``take`` / ``exp`` / ``cos`` / ``sin`` and friends), so a group of
+messages sharing one transceiver and one wire-bit length can be rendered
+as a ``(G, S)`` matrix and sliced back into rows — every element goes
+through exactly the same scalar operations in the same order, which
+keeps the output *byte-identical* to the serial path.
+
+The only per-message work left is the RNG draws: each message owns an
+independent generator, and the draw order of the serial path (sampling
+phase → message offsets → sample noise) is replayed per generator in a
+cheap Python loop around the vectorized render.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.analog.channel import ChannelNoise
+from repro.analog.environment import NOMINAL_ENVIRONMENT, Environment
+from repro.analog.transceiver import TransceiverParams
+from repro.analog.waveform import SynthesisConfig, step_response
+from repro.errors import PerfError
+
+
+def synthesize_waveform_batch(
+    wire_matrix: np.ndarray,
+    transceiver: TransceiverParams,
+    config: SynthesisConfig,
+    *,
+    env: Environment = NOMINAL_ENVIRONMENT,
+    noise: ChannelNoise | None = None,
+    rngs: Sequence[np.random.Generator],
+) -> list[np.ndarray]:
+    """Render ``G`` messages of identical length in one vectorized pass.
+
+    Parameters
+    ----------
+    wire_matrix:
+        ``(G, n_wire)`` stuffed wire bits, one message per row (0 =
+        dominant, 1 = recessive, starting at SOF).  All rows must share
+        one length; group heterogeneous captures by length first.
+    transceiver:
+        Fingerprint of the transmitting ECU (shared by the whole group).
+    config / env / noise:
+        As for :func:`~repro.analog.waveform.synthesize_waveform`.
+    rngs:
+        One independent generator per message.  Each generator sees
+        exactly the draws the serial path would make: the sampling
+        phase, then the per-message offsets, then the sample noise.
+
+    Returns
+    -------
+    list of ``G`` float vectors, byte-identical to calling
+    ``synthesize_waveform(row, ...)`` with the matching generator.
+    """
+    wire = np.asarray(wire_matrix, dtype=np.int8)
+    if wire.ndim != 2:
+        raise PerfError(f"wire_matrix must be 2-D, got shape {wire.shape}")
+    n_messages = wire.shape[0]
+    if wire.shape[1] == 0:
+        raise PerfError("cannot synthesise an empty bit sequence")
+    if len(rngs) != n_messages:
+        raise PerfError(
+            f"need one rng per message: {n_messages} messages, {len(rngs)} rngs"
+        )
+    if config.max_frame_bits is not None:
+        wire = wire[:, : config.max_frame_bits]
+
+    # Per-message draws, replaying the serial path's order per generator:
+    # the phase, then (when noise is modelled) the fused offsets + noise
+    # block.  Each message owns its generator, so drawing its noise here
+    # — before the render instead of after, as the serial path does —
+    # consumes exactly the same stream.
+    phases = np.empty(n_messages)
+    for i, rng in enumerate(rngs):
+        # random() consumes and returns the exact double uniform(0, 1)
+        # would, without the range-scaling call overhead.
+        phases[i] = rng.random()
+    spb = config.samples_per_bit
+    n_bits = config.idle_prefix_bits + wire.shape[1] + config.idle_suffix_bits
+    n_samples = np.floor(n_bits * spb - phases).astype(np.int64)
+    baselines = np.zeros(n_messages)
+    gains = np.ones(n_messages)
+    noise_rows: list[np.ndarray] | None = None
+    if noise is not None:
+        baselines, gains, noise_rows = noise.sample_message_batch(
+            n_samples.tolist(), list(rngs)
+        )
+
+    bits = np.concatenate(
+        [
+            np.ones((n_messages, config.idle_prefix_bits), dtype=np.int8),
+            wire,
+            np.ones((n_messages, config.idle_suffix_bits), dtype=np.int8),
+        ],
+        axis=1,
+    )
+    v_dom, v_rec = transceiver.effective_levels(env)
+    rise_dyn, fall_dyn = transceiver.effective_dynamics(env)
+
+    levels = np.where(bits == 0, v_dom * gains[:, None], v_rec)
+    prev_bits = np.concatenate(
+        [np.ones((n_messages, 1), dtype=np.int8), bits[:, :-1]], axis=1
+    )
+    prev_levels = np.concatenate(
+        [np.full((n_messages, 1), v_rec, dtype=float), levels[:, :-1]], axis=1
+    )
+    is_transition = bits != prev_bits
+
+    s_max = int(n_samples.max())
+    # Rows with fewer samples carry trailing scratch columns; every op is
+    # elementwise, so the first n_samples[i] entries of row i match the
+    # serial render exactly and the tail is sliced off at the end.
+    positions = np.arange(s_max)[None, :] + phases[:, None]
+    bit_index = np.floor(positions / spb).astype(np.int64)
+    bit_index = np.clip(bit_index, 0, n_bits - 1)
+    # Reuse `positions` as the dt buffer — same arithmetic, fewer (G, S)
+    # temporaries.
+    positions -= bit_index * spb
+    positions /= config.sample_rate
+    dt = positions
+
+    # One gather serves as both the sampled level and the volts output
+    # (astype copies, so mutating volts leaves sampled_levels intact);
+    # the rising/falling tests run on the small (G, n_bits) matrices
+    # before gathering instead of on the (G, S) sample grid after.
+    sampled_levels = np.take_along_axis(levels, bit_index, axis=1)
+    volts = sampled_levels.astype(float)
+    # One int8 gather encodes both edge kinds: 1 = rising, 2 = falling.
+    edge_kind = np.where(is_transition, np.where(bits == 0, np.int8(1), np.int8(2)), np.int8(0))
+    sampled_kind = np.take_along_axis(edge_kind, bit_index, axis=1)
+    rising = sampled_kind == 1
+    falling = sampled_kind == 2
+    if np.any(rising) or np.any(falling):
+        sampled_prev = np.take_along_axis(prev_levels, bit_index, axis=1)
+        for mask, dyn in ((rising, rise_dyn), (falling, fall_dyn)):
+            if np.any(mask):
+                volts[mask] = step_response(
+                    dt[mask],
+                    sampled_prev[mask],
+                    sampled_levels[mask],
+                    dyn,
+                )
+
+    volts += baselines[:, None]
+
+    out: list[np.ndarray] = []
+    if noise_rows is not None:
+        for i in range(n_messages):
+            out.append(volts[i, : int(n_samples[i])] + noise_rows[i])
+    else:
+        for i in range(n_messages):
+            out.append(volts[i, : int(n_samples[i])].copy())
+    return out

@@ -1,0 +1,212 @@
+"""Content-addressed on-disk cache for simulated capture archives.
+
+Regenerating a capture is pure computation over a small, fully explicit
+input: the vehicle profile (transceivers, schedules, capture hardware),
+the environment, the duration, the seed, and the renderer's schema
+version.  Hashing a canonical encoding of those inputs therefore
+*content-addresses* the output — two runs with equal keys are guaranteed
+byte-identical, so the second can load the first's archive instead of
+re-simulating.
+
+Entries are ordinary trace archives (``.npz``, see
+:mod:`repro.acquisition.archive`) named by their key digest under a
+cache root (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/captures``).
+Invalidation is automatic: any change to the vehicle, config, seed or
+:data:`CACHE_SCHEMA_VERSION` changes the key.  Hits, misses and LRU
+evictions are counted in :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.acquisition.archive import load_traces, save_traces
+from repro.acquisition.trace import VoltageTrace
+from repro.analog.environment import Environment
+from repro.errors import AcquisitionError, CacheError
+from repro.obs import get_registry
+from repro.vehicles.profiles import VehicleConfig
+
+#: Bump whenever renderer or archive output changes for equal inputs
+#: (new noise terms, framing changes, ...) — stale entries then miss.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def _jsonable(obj: Any) -> Any:
+    """Canonical JSON-compatible form of a key component.
+
+    Dataclasses are tagged with their type name so that two configs with
+    coincidentally equal fields but different semantics hash apart;
+    floats rely on ``repr`` round-tripping (shortest exact form), which
+    is what :func:`json.dumps` emits.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded = {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if not f.name.startswith("_")
+        }
+        encoded["__type__"] = type(obj).__qualname__
+        return encoded
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, bytes):
+        return obj.hex()
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    raise CacheError(f"cannot build a stable cache key from {type(obj).__name__}")
+
+
+def stable_digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    canonical = json.dumps(
+        _jsonable(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def capture_cache_key(
+    vehicle: VehicleConfig,
+    *,
+    duration_s: float,
+    env: Environment,
+    seed: int,
+    truncate_bits: int | None,
+) -> str:
+    """The content address of one simulated capture session."""
+    return stable_digest(
+        {
+            "kind": "capture_session",
+            "schema": CACHE_SCHEMA_VERSION,
+            "vehicle": vehicle,
+            "duration_s": duration_s,
+            "env": env,
+            "seed": seed,
+            "truncate_bits": truncate_bits,
+        }
+    )
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro/captures``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "captures"
+
+
+class CaptureCache:
+    """A directory of capture archives addressed by content digest.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first use.  Defaults to
+        :func:`default_cache_root`.
+    max_entries:
+        Soft bound on stored archives; the least recently *used* entries
+        beyond it are evicted on :meth:`put` (access bumps mtime).
+    """
+
+    def __init__(self, root: str | Path | None = None, max_entries: int = 64):
+        if max_entries < 1:
+            raise CacheError(f"max_entries must be >= 1, got {max_entries}")
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.max_entries = max_entries
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise CacheError(f"cannot create cache root {self.root}: {exc}") from exc
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _count(self, outcome: str, n: int = 1) -> None:
+        get_registry().counter(
+            f"vprofile_cache_{outcome}_total", help=f"Capture-cache {outcome}"
+        ).inc(n)
+
+    def get(self, key: str) -> list[VoltageTrace] | None:
+        """Load the traces stored under ``key``; ``None`` on a miss.
+
+        A corrupt entry is treated as a miss and removed (counted as an
+        eviction) so that one bad write cannot wedge a key forever.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self._count("misses")
+            return None
+        try:
+            traces = load_traces(path)
+        except AcquisitionError:
+            path.unlink(missing_ok=True)
+            self._count("evictions")
+            self._count("misses")
+            return None
+        os.utime(path)  # bump LRU recency
+        self._count("hits")
+        return traces
+
+    def put(self, key: str, traces: list[VoltageTrace]) -> Path:
+        """Store ``traces`` under ``key`` and enforce ``max_entries``."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp.npz")
+        try:
+            save_traces(tmp, traces)
+            tmp.replace(path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise CacheError(f"cannot write cache entry {path}: {exc}") from exc
+        self._evict()
+        return path
+
+    def _evict(self) -> None:
+        entries = sorted(
+            self.root.glob("*.npz"), key=lambda p: p.stat().st_mtime, reverse=True
+        )
+        stale = entries[self.max_entries :]
+        for path in stale:
+            path.unlink(missing_ok=True)
+        if stale:
+            self._count("evictions", len(stale))
+
+    def info(self) -> dict[str, Any]:
+        """Cache root, entry count and total size for ``cli cache info``."""
+        entries = list(self.root.glob("*.npz"))
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(p.stat().st_size for p in entries),
+            "max_entries": self.max_entries,
+            "schema_version": CACHE_SCHEMA_VERSION,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.npz"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CACHE_ENV_VAR",
+    "CaptureCache",
+    "capture_cache_key",
+    "default_cache_root",
+    "stable_digest",
+]

@@ -1,0 +1,377 @@
+"""Capture→extraction engine entry points.
+
+Ties the batched renderer (:mod:`repro.perf.batch`), the deterministic
+fan-out (:mod:`repro.perf.parallel`) and the capture cache
+(:mod:`repro.perf.cache`) into the library's dataset workflow:
+
+* :func:`render_transmissions` — turn a scheduled transmission list
+  into voltage traces, batched per sender and fanned out over workers;
+* :func:`capture_session_engine` — the engine-backed equivalent of
+  :func:`repro.vehicles.dataset.capture_session`, with optional
+  content-addressed caching;
+* :func:`extract_many_parallel` — order-preserving parallel
+  :func:`~repro.core.edge_extraction.extract_many`;
+* :func:`capture_and_extract` — fused capture + extraction in a single
+  worker pass (one IPC round per chunk instead of two).
+
+Every message draws from its own ``SeedSequence`` child (see
+:mod:`repro.perf.parallel`), so traces are byte-identical across
+``jobs`` values, batched vs unbatched rendering, and cache hit vs miss.
+Note this per-message seeding scheme is deliberately *different* from
+the legacy ``capture_session`` path, which threads one sequential
+generator through all messages and stays the default for existing
+seed-pinned results; pass ``jobs=`` to opt into the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.acquisition.trace import VoltageTrace
+from repro.analog.environment import NOMINAL_ENVIRONMENT, Environment
+from repro.can.bus import CanBus
+from repro.can.frame import CanFrame
+from repro.can.traffic import TrafficGenerator
+from repro.core.edge_extraction import (
+    ExtractedEdgeSet,
+    ExtractionConfig,
+    extract_many,
+)
+from repro.errors import DatasetError
+from repro.obs import get_registry
+from repro.perf.batch import synthesize_waveform_batch
+from repro.perf.cache import CaptureCache, capture_cache_key
+from repro.perf.parallel import (
+    chunk_slices,
+    parallel_map,
+    resolve_jobs,
+    rngs_for_slice,
+)
+from repro.vehicles.dataset import CaptureSession
+from repro.vehicles.profiles import DEFAULT_TRUNCATE_BITS, VehicleConfig
+
+
+@dataclass(frozen=True)
+class _RenderChunk:
+    """Picklable unit of work: render messages ``lo .. lo+len(messages)``."""
+
+    vehicle: VehicleConfig
+    env: Environment
+    truncate_bits: int | None
+    seed: int
+    lo: int
+    messages: tuple[tuple[str, CanFrame, float], ...]  # (sender, frame, start_s)
+    batch: bool
+    extract: bool
+    extraction: ExtractionConfig | None
+    skip_failures: bool
+
+
+def _render_chunk(
+    task: _RenderChunk,
+) -> tuple[list[VoltageTrace], list[ExtractedEdgeSet] | None]:
+    chain = task.vehicle.capture_chain(task.truncate_bits)
+    transceivers = {ecu.name: ecu.transceiver for ecu in task.vehicle.ecus}
+    n = len(task.messages)
+    rngs = rngs_for_slice(task.seed, task.lo, task.lo + n)
+    traces: list[VoltageTrace] = [None] * n  # type: ignore[list-item]
+    if task.batch:
+        wires = [
+            np.asarray(frame.stuffed_bits(), dtype=np.int8)
+            for _, frame, _ in task.messages
+        ]
+        groups: dict[tuple[str, int], list[int]] = {}
+        for j, (sender, _, _) in enumerate(task.messages):
+            groups.setdefault((sender, wires[j].size), []).append(j)
+        for (sender, _), indices in groups.items():
+            transceiver = transceivers[sender]
+            rows = synthesize_waveform_batch(
+                np.stack([wires[j] for j in indices]),
+                transceiver,
+                chain.synthesis,
+                env=task.env,
+                noise=chain.noise,
+                rngs=[rngs[j] for j in indices],
+            )
+            if len({row.size for row in rows}) == 1:
+                # One elementwise quantize over the whole group is
+                # byte-identical to quantizing row by row.
+                counts_rows = list(chain.adc.quantize(np.stack(rows)))
+            else:
+                counts_rows = [chain.adc.quantize(volts) for volts in rows]
+            for j, counts in zip(indices, counts_rows):
+                _, frame, start_s = task.messages[j]
+                traces[j] = VoltageTrace(
+                    counts=counts,
+                    sample_rate=chain.synthesis.sample_rate,
+                    resolution_bits=chain.adc.resolution_bits,
+                    bitrate=chain.synthesis.bitrate,
+                    start_s=start_s,
+                    metadata={"sender": transceiver.name, "frame": frame},
+                )
+    else:
+        for j, (sender, frame, start_s) in enumerate(task.messages):
+            traces[j] = chain.capture_frame(
+                frame,
+                transceivers[sender],
+                env=task.env,
+                rng=rngs[j],
+                start_s=start_s,
+            )
+    edges: list[ExtractedEdgeSet] | None = None
+    if task.extract:
+        edges = extract_many(
+            traces, task.extraction, skip_failures=task.skip_failures
+        )
+    return traces, edges
+
+
+def _run_engine(
+    vehicle: VehicleConfig,
+    messages: Sequence[tuple[str, CanFrame, float]],
+    *,
+    env: Environment,
+    seed: int,
+    truncate_bits: int | None,
+    jobs: int | None,
+    batch: bool,
+    extract: bool,
+    extraction: ExtractionConfig | None,
+    skip_failures: bool,
+) -> tuple[list[VoltageTrace], list[ExtractedEdgeSet] | None]:
+    messages = tuple(messages)
+    if not messages:
+        return [], [] if extract else None
+    n_jobs = resolve_jobs(jobs)
+    tasks = [
+        _RenderChunk(
+            vehicle=vehicle,
+            env=env,
+            truncate_bits=truncate_bits,
+            seed=seed,
+            lo=lo,
+            messages=messages[lo:hi],
+            batch=batch,
+            extract=extract,
+            extraction=extraction,
+            skip_failures=skip_failures,
+        )
+        for lo, hi in chunk_slices(len(messages), n_jobs)
+    ]
+    chunked = parallel_map(_render_chunk, tasks, jobs=n_jobs, chunk_size=1)
+    traces = [trace for chunk_traces, _ in chunked for trace in chunk_traces]
+    edges: list[ExtractedEdgeSet] | None = None
+    if extract:
+        edges = [edge for _, chunk_edges in chunked for edge in chunk_edges or []]
+        if skip_failures and n_jobs > 1 and len(edges) < len(traces):
+            # In-worker counters die with the worker; recover the drop
+            # count from the length difference.  (With jobs=1 the chunks
+            # run inline and extract_many already counted.)
+            get_registry().counter(
+                "vprofile_extraction_skipped_total",
+                help="Traces dropped by extract_many(skip_failures=True)",
+            ).inc(len(traces) - len(edges))
+    return traces, edges
+
+
+def plan_transmissions(
+    vehicle: VehicleConfig, duration_s: float, *, seed: int = 0
+):
+    """The bus-arbitrated transmission schedule of a capture run.
+
+    Identical to the planning half of
+    :func:`repro.vehicles.dataset.capture_session`: traffic generation
+    and arbitration are cheap and deterministic, so they stay serial.
+    """
+    if duration_s <= 0:
+        raise DatasetError(f"duration must be positive, got {duration_s}")
+    generator = TrafficGenerator(
+        schedules=[
+            (ecu.name, schedule)
+            for ecu in vehicle.ecus
+            for schedule in ecu.schedules
+        ],
+        seed=seed,
+    )
+    bus = CanBus(bitrate=vehicle.bitrate)
+    return bus.schedule(generator.frames_until(duration_s))
+
+
+def render_transmissions(
+    vehicle: VehicleConfig,
+    transmissions,
+    *,
+    env: Environment = NOMINAL_ENVIRONMENT,
+    seed: int = 0,
+    truncate_bits: int | None = DEFAULT_TRUNCATE_BITS,
+    jobs: int | None = None,
+    batch: bool = True,
+) -> list[VoltageTrace]:
+    """Render scheduled transmissions to voltage traces, in bus order."""
+    traces, _ = _run_engine(
+        vehicle,
+        [(tx.sender, tx.frame, tx.start_s) for tx in transmissions],
+        env=env,
+        seed=seed,
+        truncate_bits=truncate_bits,
+        jobs=jobs,
+        batch=batch,
+        extract=False,
+        extraction=None,
+        skip_failures=False,
+    )
+    return traces
+
+
+def capture_session_engine(
+    vehicle: VehicleConfig,
+    duration_s: float,
+    *,
+    env: Environment = NOMINAL_ENVIRONMENT,
+    seed: int = 0,
+    truncate_bits: int | None = DEFAULT_TRUNCATE_BITS,
+    jobs: int | None = None,
+    batch: bool = True,
+    cache: CaptureCache | None = None,
+) -> CaptureSession:
+    """Engine-backed capture: batched, parallel, optionally cached.
+
+    The cache key covers everything the output depends on (vehicle
+    profile, environment, duration, seed, truncation, schema version)
+    and deliberately *excludes* ``jobs``/``batch`` — those change only
+    how the work is scheduled, never the bytes produced.
+    """
+    key = None
+    if cache is not None:
+        key = capture_cache_key(
+            vehicle,
+            duration_s=duration_s,
+            env=env,
+            seed=seed,
+            truncate_bits=truncate_bits,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return CaptureSession(vehicle=vehicle, traces=cached, environment=env)
+    transmissions = plan_transmissions(vehicle, duration_s, seed=seed)
+    traces = render_transmissions(
+        vehicle,
+        transmissions,
+        env=env,
+        seed=seed,
+        truncate_bits=truncate_bits,
+        jobs=jobs,
+        batch=batch,
+    )
+    if cache is not None and key is not None:
+        cache.put(key, traces)
+    return CaptureSession(vehicle=vehicle, traces=traces, environment=env)
+
+
+def _extract_chunk(
+    payload: tuple[tuple[VoltageTrace, ...], ExtractionConfig | None, bool],
+) -> list[ExtractedEdgeSet]:
+    traces, config, skip_failures = payload
+    return extract_many(list(traces), config, skip_failures=skip_failures)
+
+
+def extract_many_parallel(
+    traces: Sequence[VoltageTrace],
+    config: ExtractionConfig | None = None,
+    *,
+    jobs: int | None = None,
+    skip_failures: bool = False,
+) -> list[ExtractedEdgeSet]:
+    """Order-preserving parallel edge-set extraction.
+
+    Extraction is deterministic, so chunked fan-out plus in-order
+    reassembly returns exactly what serial
+    :func:`~repro.core.edge_extraction.extract_many` would.
+    """
+    traces = list(traces)
+    if not traces:
+        return []
+    if config is None:
+        config = ExtractionConfig.for_trace(traces[0])
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs == 1:
+        return extract_many(traces, config, skip_failures=skip_failures)
+    payloads = [
+        (tuple(traces[lo:hi]), config, skip_failures)
+        for lo, hi in chunk_slices(len(traces), n_jobs)
+    ]
+    chunked = parallel_map(_extract_chunk, payloads, jobs=n_jobs, chunk_size=1)
+    results = [edge for chunk in chunked for edge in chunk]
+    if skip_failures and len(results) < len(traces):
+        get_registry().counter(
+            "vprofile_extraction_skipped_total",
+            help="Traces dropped by extract_many(skip_failures=True)",
+        ).inc(len(traces) - len(results))
+    return results
+
+
+def capture_and_extract(
+    vehicle: VehicleConfig,
+    duration_s: float,
+    *,
+    env: Environment = NOMINAL_ENVIRONMENT,
+    seed: int = 0,
+    truncate_bits: int | None = DEFAULT_TRUNCATE_BITS,
+    extraction: ExtractionConfig | None = None,
+    jobs: int | None = None,
+    batch: bool = True,
+    cache: CaptureCache | None = None,
+    skip_failures: bool = False,
+) -> tuple[CaptureSession, list[ExtractedEdgeSet]]:
+    """Capture a session and extract its edge sets in one fused pass.
+
+    Each worker chunk renders *and* extracts before returning, halving
+    the IPC rounds of capture-then-extract.  On a cache hit the stored
+    traces are extracted (extraction is cheap relative to synthesis).
+    """
+    if cache is not None:
+        key = capture_cache_key(
+            vehicle,
+            duration_s=duration_s,
+            env=env,
+            seed=seed,
+            truncate_bits=truncate_bits,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            session = CaptureSession(
+                vehicle=vehicle, traces=cached, environment=env
+            )
+            edges = extract_many_parallel(
+                cached, extraction, jobs=jobs, skip_failures=skip_failures
+            )
+            return session, edges
+    transmissions = plan_transmissions(vehicle, duration_s, seed=seed)
+    traces, edges = _run_engine(
+        vehicle,
+        [(tx.sender, tx.frame, tx.start_s) for tx in transmissions],
+        env=env,
+        seed=seed,
+        truncate_bits=truncate_bits,
+        jobs=jobs,
+        batch=batch,
+        extract=True,
+        extraction=extraction,
+        skip_failures=skip_failures,
+    )
+    if cache is not None:
+        cache.put(key, traces)
+    session = CaptureSession(vehicle=vehicle, traces=traces, environment=env)
+    return session, edges or []
+
+
+__all__ = [
+    "plan_transmissions",
+    "render_transmissions",
+    "capture_session_engine",
+    "extract_many_parallel",
+    "capture_and_extract",
+]

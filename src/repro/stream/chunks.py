@@ -161,6 +161,14 @@ class LiveSource:
     capture chain *on demand*, and the inter-frame gaps are filled with
     the recessive idle level — the source never materialises more than
     one pending frame plus one chunk of samples.
+
+    ``jobs`` switches frame rendering to the :mod:`repro.perf` engine:
+    all traces are pre-rendered (batched per sender, fanned out over
+    workers with per-message seeding) before chunk assembly starts.
+    That trades the lazy path's bounded memory for throughput, and —
+    like the engine everywhere else — draws per-message seeds, so the
+    sample stream differs from the lazy path's shared-generator stream
+    but is itself reproducible for any job count.
     """
 
     vehicle: VehicleConfig
@@ -170,6 +178,7 @@ class LiveSource:
     env: Environment = NOMINAL_ENVIRONMENT
     truncate_bits: int | None = DEFAULT_TRUNCATE_BITS
     metadata: dict[str, Any] = field(default_factory=dict)
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -215,6 +224,19 @@ class LiveSource:
         chain = vehicle.capture_chain(self.truncate_bits)
         transceivers = {ecu.name: ecu.transceiver for ecu in vehicle.ecus}
 
+        prerendered: list[VoltageTrace] | None = None
+        if self.jobs is not None:
+            from repro.perf.engine import render_transmissions
+
+            prerendered = render_transmissions(
+                vehicle,
+                transmissions,
+                env=self.env,
+                seed=self.seed,
+                truncate_bits=self.truncate_bits,
+                jobs=self.jobs,
+            )
+
         idle_code = int(round(AdcConfig(
             resolution_bits=vehicle.resolution_bits
         ).volts_to_counts(0.0)))
@@ -246,14 +268,17 @@ class LiveSource:
                         bitrate=vehicle.bitrate,
                     )
 
-        for tx in transmissions:
-            trace = chain.capture_frame(
-                tx.frame,
-                transceivers[tx.sender],
-                env=self.env,
-                rng=rng,
-                start_s=tx.start_s,
-            )
+        for tx_index, tx in enumerate(transmissions):
+            if prerendered is not None:
+                trace = prerendered[tx_index]
+            else:
+                trace = chain.capture_frame(
+                    tx.frame,
+                    transceivers[tx.sender],
+                    env=self.env,
+                    rng=rng,
+                    start_s=tx.start_s,
+                )
             index = max(int(round(tx.start_s * fs)), cursor)
             if index >= total_samples:
                 break

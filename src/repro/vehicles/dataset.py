@@ -77,15 +77,36 @@ def capture_session(
     env: Environment = NOMINAL_ENVIRONMENT,
     seed: int = 0,
     truncate_bits: int | None = DEFAULT_TRUNCATE_BITS,
+    jobs: int | None = None,
+    cache=None,
 ) -> CaptureSession:
     """Record ``duration_s`` of bus traffic under ``env``.
 
     Messages are released by each ECU's periodic schedule, serialised
     through bitwise arbitration, rendered through the sending ECU's
     transceiver and digitized by the vehicle's capture chain.
+
+    ``jobs``/``cache`` opt into the :mod:`repro.perf` engine (batched
+    rendering, worker fan-out, content-addressed caching).  The engine
+    seeds each message from its own ``SeedSequence`` child, so its
+    traces are reproducible across job counts and cache state but
+    differ from this function's default sequential-RNG stream; leave
+    both unset to keep legacy seed-pinned captures byte-stable.
     """
     if duration_s <= 0:
         raise DatasetError(f"duration must be positive, got {duration_s}")
+    if jobs is not None or cache is not None:
+        from repro.perf.engine import capture_session_engine
+
+        return capture_session_engine(
+            vehicle,
+            duration_s,
+            env=env,
+            seed=seed,
+            truncate_bits=truncate_bits,
+            jobs=jobs,
+            cache=cache,
+        )
     rng = np.random.default_rng(seed)
     generator = TrafficGenerator(
         schedules=[

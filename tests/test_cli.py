@@ -155,6 +155,70 @@ class TestExperiment:
             main(["frobnicate"])
 
 
+class TestJobsAndCache:
+    def test_jobs_flag_capture_matches_serial(self, tmp_path, capsys):
+        from repro.acquisition.archive import load_traces
+
+        serial = tmp_path / "serial.npz"
+        fanned = tmp_path / "fanned.npz"
+        for path, jobs in ((serial, "1"), (fanned, "2")):
+            assert main([
+                "capture", "--vehicle", "sterling", "--duration", "1",
+                "--seed", "5", "--jobs", jobs, "--output", str(path),
+            ]) == 0
+        capsys.readouterr()
+        import numpy as np
+
+        for a, b in zip(load_traces(serial), load_traces(fanned)):
+            assert np.array_equal(a.counts, b.counts)
+            assert a.start_s == b.start_s
+
+    def test_repro_jobs_env_is_default(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert main([
+            "capture", "--vehicle", "sterling", "--duration", "1",
+            "--seed", "5", "--output", str(tmp_path / "env.npz"),
+        ]) == 0
+        capsys.readouterr()
+
+    def test_bad_repro_jobs_env_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main([
+            "capture", "--vehicle", "sterling", "--duration", "1",
+            "--output", str(tmp_path / "bad.npz"),
+        ]) == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_explicit_jobs_wins_over_bad_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main([
+            "capture", "--vehicle", "sterling", "--duration", "1",
+            "--jobs", "1", "--output", str(tmp_path / "flag.npz"),
+        ]) == 0
+        capsys.readouterr()
+
+    def test_cache_flow_and_subcommand(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        for attempt in ("miss", "hit"):
+            assert main([
+                "capture", "--vehicle", "sterling", "--duration", "1",
+                "--seed", "5", "--jobs", "1",
+                "--cache", "--cache-dir", str(cache_dir),
+                "--output", str(tmp_path / f"{attempt}.npz"),
+            ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert str(cache_dir) in out
+        assert "entries: 1" in out
+
+        assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert main(["cache", "info", "--dir", str(cache_dir)]) == 0
+        assert "entries: 0" in capsys.readouterr().out
+
+
 class TestErrorPaths:
     def test_unknown_vehicle_exits_nonzero(self, capsys):
         # argparse `choices` rejects it before cmd dispatch: exit 2.

@@ -1,0 +1,145 @@
+"""Content-addressed capture cache: keys, round trips, LRU, counters."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.analog.environment import NOMINAL_ENVIRONMENT
+from repro.errors import CacheError
+from repro.perf.cache import (
+    CACHE_ENV_VAR,
+    CaptureCache,
+    capture_cache_key,
+    default_cache_root,
+    stable_digest,
+)
+from repro.perf.engine import capture_session_engine
+
+
+def _key(vehicle, **overrides):
+    params = dict(
+        duration_s=1.0,
+        env=NOMINAL_ENVIRONMENT,
+        seed=7,
+        truncate_bits=60,
+    )
+    params.update(overrides)
+    return capture_cache_key(vehicle, **params)
+
+
+class TestCacheKey:
+    def test_key_is_hex_digest(self, stream_vehicle):
+        key = _key(stream_vehicle)
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_key_is_stable(self, stream_vehicle):
+        assert _key(stream_vehicle) == _key(stream_vehicle)
+
+    def test_key_discriminates_inputs(self, stream_vehicle, sterling):
+        base = _key(stream_vehicle)
+        assert _key(stream_vehicle, seed=8) != base
+        assert _key(stream_vehicle, duration_s=2.0) != base
+        assert _key(stream_vehicle, truncate_bits=None) != base
+        assert _key(sterling) != base
+        warm = dataclasses.replace(NOMINAL_ENVIRONMENT, temperature_c=55.0)
+        assert _key(stream_vehicle, env=warm) != base
+
+    def test_stable_digest_rejects_unhashable(self):
+        with pytest.raises(CacheError):
+            stable_digest(object())
+
+    def test_digest_tags_dataclass_types(self):
+        @dataclasses.dataclass(frozen=True)
+        class A:
+            x: int = 1
+
+        @dataclasses.dataclass(frozen=True)
+        class B:
+            x: int = 1
+
+        assert stable_digest(A()) != stable_digest(B())
+
+
+class TestDefaultRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "override"))
+        assert default_cache_root() == tmp_path / "override"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        root = default_cache_root()
+        assert root.parts[-3:] == (".cache", "repro", "captures")
+
+
+class TestCaptureCache:
+    def test_round_trip_is_byte_identical(self, stream_vehicle, tmp_path):
+        cache = CaptureCache(tmp_path)
+        fresh = capture_session_engine(
+            stream_vehicle, 1.0, seed=7, jobs=1, cache=cache
+        )
+        assert cache.info()["entries"] == 1
+        hit = capture_session_engine(
+            stream_vehicle, 1.0, seed=7, jobs=1, cache=cache
+        )
+        assert len(hit.traces) == len(fresh.traces)
+        for a, b in zip(fresh.traces, hit.traces):
+            assert np.array_equal(a.counts, b.counts)
+            assert a.start_s == b.start_s
+            assert a.metadata["sender"] == b.metadata["sender"]
+            assert a.metadata["frame"] == b.metadata["frame"]
+
+    def test_hit_miss_counters(self, stream_vehicle, tmp_path):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            cache = CaptureCache(tmp_path)
+            capture_session_engine(stream_vehicle, 1.0, seed=7, cache=cache)
+            capture_session_engine(stream_vehicle, 1.0, seed=7, cache=cache)
+        assert registry.get("vprofile_cache_misses_total").value == 1
+        assert registry.get("vprofile_cache_hits_total").value == 1
+
+    def test_corrupt_entry_is_evicted_and_missed(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            cache = CaptureCache(tmp_path)
+            key = "ab" * 32
+            cache.path_for(key).write_bytes(b"not an archive")
+            assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+        assert registry.get("vprofile_cache_evictions_total").value == 1
+        assert registry.get("vprofile_cache_misses_total").value == 1
+
+    def test_lru_eviction(self, stream_train_session, tmp_path):
+        traces = stream_train_session.traces[:2]
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            cache = CaptureCache(tmp_path, max_entries=2)
+            cache.put("aa" * 32, traces)
+            cache.put("bb" * 32, traces)
+            # Make "aa" the most recently used, then overflow.
+            old = cache.path_for("aa" * 32).stat().st_mtime
+            os.utime(cache.path_for("aa" * 32), (old + 10, old + 10))
+            os.utime(cache.path_for("bb" * 32), (old - 10, old - 10))
+            cache.put("cc" * 32, traces)
+        assert cache.path_for("aa" * 32).exists()
+        assert not cache.path_for("bb" * 32).exists()
+        assert registry.get("vprofile_cache_evictions_total").value == 1
+
+    def test_info_and_clear(self, stream_train_session, tmp_path):
+        cache = CaptureCache(tmp_path)
+        cache.put("aa" * 32, stream_train_session.traces[:2])
+        info = cache.info()
+        assert info["root"] == str(tmp_path)
+        assert info["entries"] == 1
+        assert info["total_bytes"] > 0
+        assert cache.clear() == 1
+        assert cache.info()["entries"] == 0
+
+    def test_rejects_bad_max_entries(self, tmp_path):
+        with pytest.raises(CacheError):
+            CaptureCache(tmp_path, max_entries=0)

@@ -1,0 +1,112 @@
+"""Property tests: engine variants are interchangeable, byte for byte.
+
+The contract under test is the one :mod:`repro.perf` promises — the
+job count and the capture cache change scheduling and storage, never
+the traces, the edge-set vectors, or the detector's verdict sequence.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import Detector
+from repro.core.model import VProfileModel
+from repro.core.pipeline import PipelineConfig, VProfilePipeline
+from repro.perf.cache import CaptureCache
+from repro.perf.engine import capture_and_extract
+
+DURATION_S = 0.6
+
+SETTINGS = settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="session")
+def trained_detector(stream_vehicle, stream_train_session):
+    pipeline = VProfilePipeline(
+        PipelineConfig(margin=5.0, sa_clusters=stream_vehicle.sa_clusters)
+    )
+    pipeline.train(stream_train_session.traces)
+    return pipeline.detector
+
+
+def _verdicts(detector: Detector, edges) -> list[tuple[bool, str | None]]:
+    results = [detector.classify(edge_set) for edge_set in edges]
+    return [
+        (r.is_anomaly, r.reason.value if r.reason else None) for r in results
+    ]
+
+
+def _assert_equivalent(detector, reference, candidate):
+    ref_session, ref_edges = reference
+    cand_session, cand_edges = candidate
+    assert len(cand_session.traces) == len(ref_session.traces)
+    for a, b in zip(ref_session.traces, cand_session.traces):
+        assert np.array_equal(a.counts, b.counts)
+    assert len(cand_edges) == len(ref_edges)
+    for a, b in zip(ref_edges, cand_edges):
+        assert a.source_address == b.source_address
+        assert np.array_equal(a.vector, b.vector)
+    assert _verdicts(detector, cand_edges) == _verdicts(detector, ref_edges)
+
+
+class TestEngineProperties:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_jobs_one_and_four_are_identical(
+        self, stream_vehicle, trained_detector, seed
+    ):
+        serial = capture_and_extract(
+            stream_vehicle, DURATION_S, seed=seed, jobs=1
+        )
+        fanned = capture_and_extract(
+            stream_vehicle, DURATION_S, seed=seed, jobs=4
+        )
+        _assert_equivalent(trained_detector, serial, fanned)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_cache_hit_is_identical_to_fresh(
+        self, stream_vehicle, trained_detector, seed
+    ):
+        fresh = capture_and_extract(
+            stream_vehicle, DURATION_S, seed=seed, jobs=1
+        )
+        with tempfile.TemporaryDirectory() as root:
+            cache = CaptureCache(root)
+            miss = capture_and_extract(
+                stream_vehicle, DURATION_S, seed=seed, jobs=1, cache=cache
+            )
+            hit = capture_and_extract(
+                stream_vehicle, DURATION_S, seed=seed, jobs=1, cache=cache
+            )
+        _assert_equivalent(trained_detector, fresh, miss)
+        _assert_equivalent(trained_detector, fresh, hit)
+
+
+def test_model_trained_on_engine_capture_is_job_invariant(stream_vehicle):
+    """The whole training path is job-invariant, not just extraction."""
+    models: list[VProfileModel] = []
+    for jobs in (1, 3):
+        session, _ = capture_and_extract(
+            stream_vehicle, 1.5, seed=42, jobs=jobs
+        )
+        pipeline = VProfilePipeline(
+            PipelineConfig(margin=5.0, sa_clusters=stream_vehicle.sa_clusters)
+        )
+        pipeline.train(session.traces)
+        models.append(pipeline.model)
+    a, b = models
+    assert a.n_clusters == b.n_clusters
+    for name in sorted(c.name for c in a.clusters):
+        ca = next(c for c in a.clusters if c.name == name)
+        cb = next(c for c in b.clusters if c.name == name)
+        assert np.array_equal(ca.mean, cb.mean)
