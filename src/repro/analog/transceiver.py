@@ -105,7 +105,10 @@ def _step_constants(wn: float, zeta: float) -> StepConstants:
             wd=wn * math.sqrt(1.0 - zeta**2),
             envelope_ratio=zeta / math.sqrt(1.0 - zeta**2),
         )
-    if zeta == 1.0:
+    # Exactly-critical damping is a deliberate branch for the zeta=1.0
+    # configs the vehicle profiles pin; near-critical values follow the
+    # over/under-damped formulas, which converge to the same response.
+    if zeta == 1.0:  # vpl: ignore[VPL104]
         return StepConstants(kind="critical", wn=wn, zeta=zeta)
     root = math.sqrt(zeta**2 - 1.0)
     return StepConstants(

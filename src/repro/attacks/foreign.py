@@ -133,7 +133,9 @@ class ForeignDongle:
         if count < 1:
             raise DatasetError("count must be positive")
         if rng is None:
-            rng = np.random.default_rng()
+            # Deterministic fallback: repeated injections must craft the
+            # same payloads and analog jitter (VPL102).
+            rng = np.random.default_rng(0)
         traces = []
         for index in range(count):
             payload = bytes(

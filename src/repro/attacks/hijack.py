@@ -61,12 +61,14 @@ def apply_hijack(
     probability:
         Chance that any given message is attacked (paper: 20 %).
     rng:
-        Random source; a fresh default generator when omitted.
+        Random source; a deterministic seed-0 generator when omitted, so
+        repeated runs attack the same messages (VPL102 forbids the old
+        OS-entropy fallback).
     """
     if not 0.0 <= probability <= 1.0:
         raise DatasetError(f"probability must be in [0, 1], got {probability}")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = np.random.default_rng(0)
 
     sas_by_cluster: dict[str, list[int]] = {}
     for sa, name in sa_clusters.items():

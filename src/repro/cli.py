@@ -13,7 +13,9 @@ Python:
   sharded workers, backpressure, checkpoint/resume) and print alerts;
 * ``experiment``  — regenerate one of the paper's experiments
   (``suite``, ``temperature``, ``voltage``, ``sweep``);
-* ``stats``       — summarize a metrics file emitted by a previous run.
+* ``stats``       — summarize a metrics file emitted by a previous run;
+* ``lint``        — run the AST invariant checker (``VPLxxx`` rules)
+  over the repo's own source.
 
 ``capture --output -`` writes the archive to stdout, and ``train`` /
 ``detect`` / ``stream`` accept ``--input -`` to read one from stdin, so
@@ -423,6 +425,24 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--root", args.root]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.lint_ignore:
+        argv += ["--ignore", args.lint_ignore]
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.update_schema_lock:
+        argv.append("--update-schema-lock")
+    if args.quiet:
+        argv.append("--quiet")
+    return lint_main(argv)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     path = Path(args.path)
     if not path.exists():
@@ -568,6 +588,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("path", help="metrics file (.json or Prometheus text)")
     stats.set_defaults(handler=cmd_stats)
+
+    lint = commands.add_parser(
+        "lint",
+        help="check determinism / seed / concurrency / observability "
+             "invariants (VPLxxx rules)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                      help="files or directories (default: src tests)")
+    lint.add_argument("--root", default=".",
+                      help="repo root for config lookup (default: cwd)")
+    lint.add_argument("--select", metavar="CODES",
+                      help="comma-separated codes/prefixes to run")
+    lint.add_argument("--ignore", dest="lint_ignore", metavar="CODES",
+                      help="comma-separated codes/prefixes to skip")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule and exit")
+    lint.add_argument("--update-schema-lock", action="store_true",
+                      help="re-record the capture-cache schema fingerprint")
+    lint.add_argument("-q", "--quiet", action="store_true",
+                      help="no summary line on a clean run")
+    lint.set_defaults(handler=cmd_lint)
 
     return parser
 

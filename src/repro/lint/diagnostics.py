@@ -1,0 +1,48 @@
+"""Diagnostic records emitted by the invariant checker.
+
+A :class:`Diagnostic` is one rule violation pinned to a file and line.
+The formatting contract is the classic compiler shape —
+``path:line:col: CODE message`` — so editors, CI annotations and humans
+can all parse the output the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule violation at a source location.
+
+    Attributes
+    ----------
+    path:
+        Repo-relative POSIX path of the offending file.
+    line / col:
+        1-based line and 0-based column (``ast`` conventions).
+    code:
+        The ``VPLxxx`` rule code.
+    message:
+        Human-readable explanation including the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str = field(compare=False)
+    message: str = field(compare=False)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def format_report(diagnostics: list[Diagnostic]) -> str:
+    """Sorted, newline-joined report plus a one-line tally."""
+    lines = [d.format() for d in sorted(diagnostics)]
+    noun = "violation" if len(diagnostics) == 1 else "violations"
+    lines.append(f"found {len(diagnostics)} {noun}")
+    return "\n".join(lines)
+
+
+__all__ = ["Diagnostic", "format_report"]

@@ -1,0 +1,136 @@
+"""Capture-cache schema fingerprinting (backs rule VPL402).
+
+The :class:`~repro.perf.cache.CaptureCache` content-addresses archives
+by hashing dataclass-shaped key inputs (vehicle profile, environment,
+transceiver params) together with ``CACHE_SCHEMA_VERSION``.  If a field
+is added to one of those dataclasses without bumping the version, stale
+entries keyed under the old layout can be served for new inputs.
+
+The fingerprint is a SHA-256 over a canonical JSON encoding of every
+``@dataclass`` field layout (name, annotation, default) in the watched
+files, plus the key-construction functions in the cache module itself.
+``capture_schema.json`` records the blessed (fingerprint, version) pair;
+VPL402 recomputes and compares on every lint run, and
+``python -m repro.lint --update-schema-lock`` refreshes the record after
+a deliberate, version-bumped change.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.lint.config import LintConfig
+
+#: Key-construction functions fingerprinted alongside the dataclasses.
+KEY_FUNCTIONS = ("capture_cache_key", "_jsonable", "stable_digest")
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return isinstance(target, ast.Name) and target.id == "dataclass"
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[dict[str, Any]]:
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.append(
+                {
+                    "name": stmt.target.id,
+                    "annotation": ast.unparse(stmt.annotation),
+                    "default": ast.unparse(stmt.value) if stmt.value else None,
+                }
+            )
+    return fields
+
+
+def _file_schema(path: Path, want_functions: bool) -> dict[str, Any]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    schema: dict[str, Any] = {"dataclasses": {}, "functions": {}}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and any(
+            _is_dataclass_decorator(d) for d in node.decorator_list
+        ):
+            schema["dataclasses"][node.name] = _dataclass_fields(node)
+    if want_functions:
+        for node in tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name in KEY_FUNCTIONS
+            ):
+                schema["functions"][node.name] = ast.unparse(node)
+    return schema
+
+
+def schema_fingerprint(root: Path, config: LintConfig) -> str:
+    """SHA-256 hex digest of the watched cache-key surface."""
+    payload: dict[str, Any] = {}
+    for rel in sorted(config.schema_watch):
+        path = Path(root) / rel
+        if not path.exists():
+            payload[rel] = None
+            continue
+        payload[rel] = _file_schema(
+            path, want_functions=(rel == config.schema_version_file)
+        )
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def current_schema_version(root: Path, config: LintConfig) -> Optional[int]:
+    """The integer bound to the version constant, if parseable."""
+    path = Path(root) / config.schema_version_file
+    if not path.exists():
+        return None
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == config.schema_version_constant
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    return node.value.value
+    return None
+
+
+def read_lock(root: Path, config: LintConfig) -> Optional[dict[str, Any]]:
+    path = Path(root) / config.schema_lock
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return data
+
+
+def update_lock(root: Path, config: LintConfig) -> Path:
+    """Record the current (version, fingerprint) pair; returns the path."""
+    path = Path(root) / config.schema_lock
+    payload = {
+        "schema_version": current_schema_version(root, config),
+        "fingerprint": schema_fingerprint(root, config),
+        "watched": sorted(config.schema_watch),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+__all__ = [
+    "KEY_FUNCTIONS",
+    "current_schema_version",
+    "read_lock",
+    "schema_fingerprint",
+    "update_lock",
+]

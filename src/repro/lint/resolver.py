@@ -1,0 +1,60 @@
+"""Best-effort static name resolution for call sites.
+
+The rules care about *what* a call reaches — ``numpy.random.default_rng``
+no matter whether the file spelled it ``np.random.default_rng()``,
+``numpy.random.default_rng()`` or ``from numpy.random import
+default_rng; default_rng()``.  :class:`ImportResolver` builds the alias
+table from a module's import statements and canonicalises attribute
+chains against it.  Names bound by assignment (``rng = ...``) resolve to
+``None`` — the checker never guesses about local dataflow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+class ImportResolver:
+    """Alias table for one module, built from its import statements."""
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    # `import a.b.c` binds `a`; `import a.b as ab` binds the path.
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay repo-internal
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, if imported.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` under
+        ``import numpy as np``; a chain rooted in a local variable (or
+        ``self``) returns ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        return self.resolve(call.func)
+
+
+__all__ = ["ImportResolver"]

@@ -1,0 +1,107 @@
+"""Rule registry for the invariant checker.
+
+Each rule is a small class with a ``VPLxxx`` code, a one-line summary,
+and a ``check`` method yielding :class:`~repro.lint.diagnostics.Diagnostic`
+records for one parsed module.  Families group by hundreds digit:
+
+* **VPL1xx** — determinism (global RNG state, wall clocks, float ``==``);
+* **VPL2xx** — seed discipline (injected generators, ``SeedSequence``);
+* **VPL3xx** — concurrency (lock-guarded mutation, mutable defaults);
+* **VPL4xx** — observability & cache hygiene (metric names, schema lock).
+
+Importing this package registers every built-in rule; tests register
+throwaway rules through :func:`register` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Type
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.resolver import ImportResolver
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file.
+
+    ``path`` is repo-relative POSIX (the unit config scopes match
+    against); ``root`` is the absolute repo root for rules that need
+    sibling files (the schema-lock check).
+    """
+
+    path: str
+    tree: ast.Module
+    source: str
+    config: LintConfig
+    root: str = "."
+    _resolver: ImportResolver | None = field(default=None, repr=False)
+
+    @property
+    def resolver(self) -> ImportResolver:
+        if self._resolver is None:
+            self._resolver = ImportResolver(self.tree)
+        return self._resolver
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``summary``."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: ModuleContext, node: ast.AST, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> Mapping[str, Rule]:
+    return dict(_REGISTRY)
+
+
+def iter_rules() -> Iterable[Rule]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+# Importing the families populates the registry as a side effect.
+from repro.lint.rules import concurrency, determinism, hygiene, seeds  # noqa: E402
+
+__all__ = [
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "concurrency",
+    "determinism",
+    "hygiene",
+    "iter_rules",
+    "register",
+    "seeds",
+]

@@ -1,0 +1,176 @@
+"""VPL3xx — concurrency rules.
+
+Algorithm-4 online updates mutate the shared profile store from worker
+threads; a single unguarded read-modify-write corrupts the voltage
+profile every later verdict trusts.  The contract enforced here:
+
+* VPL301 — inside the configured concurrency paths, a class that *owns
+  a lock* (any ``self`` attribute assigned a ``threading.Lock`` /
+  ``RLock`` / ``Condition`` / ``Semaphore`` constructor) must perform
+  every augmented assignment to ``self`` state under a
+  ``with self.<lock>:`` block.  Plain single-store assignments are
+  exempt: the rule targets the read-modify-write shape that loses
+  updates.  The ``lock-attribute-hints`` config additionally recognises
+  externally injected locks by attribute name when matching the
+  ``with`` context.
+* VPL302 — no mutable default arguments anywhere: a shared list/dict/
+  set default is cross-call (and cross-thread) shared state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import matches_any
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ModuleContext, Rule, register
+
+#: Methods allowed to touch self state before the object is shared.
+SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Constructors whose result makes a ``self`` attribute a lock.
+LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Semaphore", "threading.BoundedSemaphore",
+        "multiprocessing.Lock", "multiprocessing.RLock",
+        "multiprocessing.Condition", "multiprocessing.Semaphore",
+    }
+)
+
+
+def _attr_root(node: ast.AST) -> ast.AST:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _is_self_attribute(node: ast.AST) -> bool:
+    root = _attr_root(node)
+    return isinstance(root, ast.Name) and root.id == "self"
+
+
+class _LockAwareVisitor:
+    """Walk one method body tracking whether a self-lock is held."""
+
+    def __init__(self, rule: "UnlockedSharedMutation", module: ModuleContext,
+                 lock_attrs: set[str], hints: tuple[str, ...]):
+        self.rule = rule
+        self.module = module
+        self.lock_attrs = lock_attrs
+        self.hints = hints
+        self.findings: list[Diagnostic] = []
+
+    def _holds_lock(self, stmt: ast.With) -> bool:
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):  # e.g. `with self._lock:` vs acquire()
+                expr = expr.func
+            if isinstance(expr, ast.Attribute) and _is_self_attribute(expr):
+                if expr.attr in self.lock_attrs:
+                    return True
+                # Externally injected lock recognised by naming convention.
+                if any(hint in expr.attr.lower() for hint in self.hints):
+                    return True
+        return False
+
+    def visit(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With):
+            locked = locked or self._holds_lock(node)
+        elif isinstance(node, ast.AugAssign) and _is_self_attribute(node.target):
+            if not locked:
+                self.findings.append(
+                    self.rule.diagnostic(
+                        self.module,
+                        node,
+                        f"read-modify-write of {ast.unparse(node.target)} "
+                        "outside a `with self.<lock>:` block in a lock-owning "
+                        "class; concurrent workers can lose updates",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self.visit(child, locked)
+
+
+def _lock_attributes(cls: ast.ClassDef, module: ModuleContext) -> set[str]:
+    """``self`` attributes assigned a threading-lock constructor."""
+    owned: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        if module.resolver.resolve_call(value) not in LOCK_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute) and _is_self_attribute(target):
+                owned.add(target.attr)
+    return owned
+
+
+@register
+class UnlockedSharedMutation(Rule):
+    code = "VPL301"
+    name = "unlocked-shared-mutation"
+    summary = "augmented self-assignment outside the class's lock"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not matches_any(module.path, module.config.concurrency_paths):
+            return
+        hints = module.config.lock_attribute_hints
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            lock_attrs = _lock_attributes(cls, module)
+            if not lock_attrs:
+                continue  # no lock, no locking contract to enforce
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in SETUP_METHODS:
+                    continue
+                visitor = _LockAwareVisitor(self, module, lock_attrs, hints)
+                for stmt in method.body:
+                    visitor.visit(stmt, locked=False)
+                yield from visitor.findings
+
+
+@register
+class MutableDefaultArgument(Rule):
+    code = "VPL302"
+    name = "mutable-default-argument"
+    summary = "mutable default argument is shared across calls and threads"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*func.args.defaults, *func.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set", "bytearray")
+                ):
+                    mutable = True
+                if mutable:
+                    yield self.diagnostic(
+                        module,
+                        default,
+                        f"mutable default in {func.name}() is evaluated once "
+                        "and shared by every call; default to None and build "
+                        "inside the body",
+                    )
+
+
+__all__ = [
+    "LOCK_CONSTRUCTORS",
+    "MutableDefaultArgument",
+    "SETUP_METHODS",
+    "UnlockedSharedMutation",
+]

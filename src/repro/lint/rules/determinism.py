@@ -1,0 +1,170 @@
+"""VPL1xx — determinism rules.
+
+The reproduction's byte-identical-traces guarantee dies the moment a
+code path consults global RNG state or a process clock.  These rules pin
+the conventions down:
+
+* VPL101 — no legacy ``numpy.random`` module-level calls (they mutate
+  the hidden global ``RandomState``);
+* VPL102 — no argless ``default_rng()`` / ``seed()`` (OS entropy);
+* VPL103 — no wall/monotonic clock reads outside ``repro.obs`` and the
+  benchmark/test trees (scoped by ``clock-exempt``);
+* VPL104 — no ``==`` / ``!=`` against float literals inside
+  ``src/repro`` (scoped by ``float-compare-paths``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import matches_any
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ModuleContext, Rule, register
+
+#: Legacy numpy.random module functions backed by the global RandomState.
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "uniform", "normal", "standard_normal", "choice",
+        "shuffle", "permutation", "beta", "binomial", "bytes", "exponential",
+        "gamma", "geometric", "gumbel", "laplace", "logistic", "lognormal",
+        "multinomial", "multivariate_normal", "poisson", "rayleigh",
+        "triangular", "vonmises", "wald", "weibull", "zipf",
+        "get_state", "set_state", "RandomState",
+    }
+)
+
+#: Entropy-free spellings that are always allowed.
+SEEDABLE_NP_RANDOM = frozenset({"default_rng", "Generator", "SeedSequence",
+                                "PCG64", "Philox", "SFC64", "MT19937",
+                                "BitGenerator"})
+
+#: Canonical dotted names of process clock reads.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.clock_gettime", "time.clock_gettime_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+
+def _np_random_member(dotted: str) -> str | None:
+    """The member name when ``dotted`` is ``numpy.random.<member>``."""
+    if dotted.startswith("numpy.random."):
+        member = dotted[len("numpy.random."):]
+        if "." not in member:
+            return member
+    return None
+
+
+@register
+class NumpyGlobalRandom(Rule):
+    code = "VPL101"
+    name = "numpy-global-random"
+    summary = "legacy numpy.random call mutates hidden global RNG state"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolver.resolve_call(node)
+            if dotted is None:
+                continue
+            member = _np_random_member(dotted)
+            if member in LEGACY_NP_RANDOM:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"numpy.random.{member} uses the hidden global RandomState; "
+                    "draw from an injected numpy.random.Generator instead",
+                )
+
+
+@register
+class ArglessGenerator(Rule):
+    code = "VPL102"
+    name = "argless-default-rng"
+    summary = "argless default_rng()/seed() pulls OS entropy"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            dotted = module.resolver.resolve_call(node)
+            if dotted in ("numpy.random.default_rng", "numpy.random.seed",
+                          "numpy.random.RandomState", "random.seed"):
+                short = dotted.rsplit(".", 1)[1]
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"argless {short}() seeds from OS entropy, which is "
+                    "nondeterministic; pass an explicit seed or SeedSequence",
+                )
+
+
+@register
+class WallClockRead(Rule):
+    code = "VPL103"
+    name = "stray-clock-read"
+    summary = "clock read outside repro.obs"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if matches_any(module.path, module.config.clock_exempt):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.resolver.resolve_call(node)
+            if dotted in CLOCK_CALLS:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"{dotted}() leaks wall-clock state into a deterministic "
+                    "path; route timing through repro.obs (obs.clock / spans)",
+                )
+
+
+@register
+class FloatLiteralEquality(Rule):
+    code = "VPL104"
+    name = "float-literal-equality"
+    summary = "exact == / != against a float literal"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not matches_any(module.path, module.config.float_compare_paths):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "exact equality against a float literal is representation-"
+                    "dependent; use math.isclose/np.isclose, or suppress with "
+                    "a justifying comment when exactness is the point",
+                )
+
+
+__all__ = [
+    "ArglessGenerator",
+    "CLOCK_CALLS",
+    "FloatLiteralEquality",
+    "LEGACY_NP_RANDOM",
+    "NumpyGlobalRandom",
+    "SEEDABLE_NP_RANDOM",
+    "WallClockRead",
+]

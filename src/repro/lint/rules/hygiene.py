@@ -1,0 +1,136 @@
+"""VPL4xx — observability and cache hygiene rules.
+
+* VPL401 — metric names handed to ``counter()`` / ``gauge()`` /
+  ``histogram()`` must be grep-able: either a string literal matching
+  the registered-name pattern (``vprofile_*``) or a named constant.
+  Dynamically composed names (f-strings, concatenation, ``.format``,
+  subscripts) fragment the metric namespace and defeat
+  ``preregister_pipeline_metrics``'s stable-export guarantee.
+* VPL402 — the capture-cache key surface (dataclass field layouts and
+  key-construction functions in the watched files) is fingerprinted
+  against ``capture_schema.json``; any drift without a
+  ``CACHE_SCHEMA_VERSION`` bump is an invalidation bug waiting to serve
+  stale archives.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.lint import fingerprint as fp
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ModuleContext, Rule, register
+
+REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+
+def _metric_name_arg(call: ast.Call) -> Optional[ast.expr]:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "name":
+            return keyword.value
+    return None
+
+
+@register
+class MetricNameLiteral(Rule):
+    code = "VPL401"
+    name = "metric-name-literal"
+    summary = "metric name must be a literal or named constant"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        pattern = re.compile(module.config.metric_name_pattern)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in REGISTRY_FACTORIES
+            ):
+                continue
+            name = _metric_name_arg(node)
+            if name is None:
+                continue
+            if isinstance(name, ast.Constant) and isinstance(name.value, str):
+                if not pattern.match(name.value):
+                    yield self.diagnostic(
+                        module,
+                        name,
+                        f"metric name {name.value!r} does not match the "
+                        f"registered-name pattern "
+                        f"{module.config.metric_name_pattern!r}",
+                    )
+            elif not isinstance(name, (ast.Name, ast.Attribute)):
+                yield self.diagnostic(
+                    module,
+                    name,
+                    "dynamically composed metric name; use a string literal "
+                    "or an ALL_CAPS module constant so the namespace stays "
+                    "grep-able and pre-registerable",
+                )
+
+
+@register
+class CacheSchemaLock(Rule):
+    code = "VPL402"
+    name = "cache-schema-lock"
+    summary = "cache key surface changed without a schema-version bump"
+
+    def _anchor(self, module: ModuleContext) -> ast.AST:
+        constant = module.config.schema_version_constant
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == constant
+                for t in node.targets
+            ):
+                return node
+        return module.tree
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        config = module.config
+        if module.path != config.schema_version_file:
+            return
+        root = Path(module.root)
+        anchor = self._anchor(module)
+        lock = fp.read_lock(root, config)
+        refresh = "run `python -m repro.lint --update-schema-lock` to re-record"
+        if lock is None:
+            yield self.diagnostic(
+                module,
+                anchor,
+                f"schema lock {config.schema_lock} is missing or unreadable; "
+                f"{refresh}",
+            )
+            return
+        current = fp.schema_fingerprint(root, config)
+        version = fp.current_schema_version(root, config)
+        if current != lock.get("fingerprint"):
+            if version == lock.get("schema_version"):
+                yield self.diagnostic(
+                    module,
+                    anchor,
+                    "capture-cache key inputs changed but "
+                    f"{config.schema_version_constant} did not; bump it so "
+                    f"stale entries miss, then {refresh}",
+                )
+            else:
+                yield self.diagnostic(
+                    module,
+                    anchor,
+                    f"capture-cache key inputs changed; {refresh}",
+                )
+        elif version != lock.get("schema_version"):
+            yield self.diagnostic(
+                module,
+                anchor,
+                f"{config.schema_version_constant} ({version}) disagrees with "
+                f"the schema lock ({lock.get('schema_version')}); {refresh}",
+            )
+
+
+__all__ = ["CacheSchemaLock", "MetricNameLiteral", "REGISTRY_FACTORIES"]

@@ -1,0 +1,133 @@
+"""VPL2xx — seed-discipline rules.
+
+Randomness flows *down* the call tree: callers spawn children from a
+``SeedSequence`` and inject generators; callees never invent their own.
+
+* VPL201 — a function that accepts an ``rng``/``seed`` parameter must
+  not construct a generator disconnected from it.  The one blessed
+  shape is the guarded, explicitly seeded fallback::
+
+      if rng is None:
+          rng = np.random.default_rng(0)
+
+* VPL202 — ``SeedSequence`` children must come from ``.spawn()``; a
+  direct ``SeedSequence(..., spawn_key=...)`` constructor hand-forges a
+  child and silently detaches it from the parent's entropy tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ModuleContext, Rule, register
+
+GENERATOR_FACTORIES = frozenset(
+    {"numpy.random.default_rng", "numpy.random.RandomState",
+     "numpy.random.Generator"}
+)
+
+
+def _rng_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameter names that designate an injected randomness source."""
+    names: set[str] = set()
+    args = func.args
+    for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        name = arg.arg
+        if name == "rng" or name.endswith("_rng") or name == "seed" \
+                or name.endswith("_seed"):
+            names.add(name)
+    return names
+
+
+def _references(node: ast.AST, names: set[str]) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id in names for sub in ast.walk(node)
+    )
+
+
+def _none_guards(func: ast.AST, params: set[str]) -> set[ast.If]:
+    """``if <param> is None:`` blocks inside ``func``."""
+    guards: set[ast.If] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id in params
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None
+        ):
+            guards.add(node)
+    return guards
+
+
+@register
+class DisconnectedGenerator(Rule):
+    code = "VPL201"
+    name = "disconnected-generator"
+    summary = "function with an rng/seed parameter builds an unrelated generator"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = _rng_params(func)
+            if not params:
+                continue
+            guarded: set[ast.Call] = set()
+            for guard in _none_guards(func, params):
+                for sub in ast.walk(guard):
+                    if isinstance(sub, ast.Call):
+                        guarded.add(sub)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = module.resolver.resolve_call(node)
+                if dotted not in GENERATOR_FACTORIES:
+                    continue
+                if not node.args and not node.keywords:
+                    continue  # argless is VPL102's finding, not a duplicate
+                if _references(node, params):
+                    continue  # derived from the injected source
+                if node in guarded:
+                    continue  # seeded fallback under `if rng is None:`
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "this function receives "
+                    f"{'/'.join(sorted(params))} but builds a generator "
+                    "disconnected from it; derive from the injected source "
+                    "(or guard a seeded fallback with `if rng is None:`)",
+                )
+
+
+@register
+class HandForgedSeedChild(Rule):
+    code = "VPL202"
+    name = "hand-forged-seed-child"
+    summary = "SeedSequence child built via spawn_key instead of .spawn()"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.resolver.resolve_call(node) != "numpy.random.SeedSequence":
+                continue
+            if any(kw.arg == "spawn_key" for kw in node.keywords):
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "SeedSequence(spawn_key=...) hand-forges a child stream; "
+                    "children must come from parent.spawn() so the entropy "
+                    "tree stays auditable (suppress only with a documented "
+                    "O(1)-addressing justification)",
+                )
+
+
+__all__ = ["DisconnectedGenerator", "GENERATOR_FACTORIES", "HandForgedSeedChild"]

@@ -1,0 +1,108 @@
+"""Drive the rules over files and trees; the checker's programmatic API.
+
+``lint_source`` lints one in-memory module (the unit-test entry point);
+``lint_paths`` walks files and directories, applies the config's
+excludes, runs every enabled rule, and filters diagnostics through
+select/ignore scoping and inline suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ModuleContext, Rule, iter_rules
+from repro.lint.suppressions import collect_suppressions, is_suppressed
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+def collect_files(paths: Iterable[str | Path], root: Path) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not SKIP_DIRS.intersection(candidate.parts) \
+                        and "egg-info" not in str(candidate):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {entry}")
+    return sorted(found)
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: Optional[LintConfig] = None,
+    *,
+    root: str | Path = ".",
+    rules: Optional[Iterable[Rule]] = None,
+) -> list[Diagnostic]:
+    """Lint one module given as text; ``path`` drives the path scoping."""
+    config = config or LintConfig()
+    if config.is_excluded(path):
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="VPL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    module = ModuleContext(
+        path=path, tree=tree, source=source, config=config, root=str(root)
+    )
+    suppressions = collect_suppressions(source)
+    diagnostics: list[Diagnostic] = []
+    for rule in rules if rules is not None else iter_rules():
+        for diagnostic in rule.check(module):
+            if not config.code_enabled(diagnostic.code, path):
+                continue
+            if is_suppressed(suppressions, diagnostic.line, diagnostic.code):
+                continue
+            diagnostics.append(diagnostic)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: Optional[LintConfig] = None,
+    *,
+    root: str | Path = ".",
+) -> list[Diagnostic]:
+    """Lint every Python file reachable from ``paths``."""
+    config = config or LintConfig()
+    root = Path(root)
+    diagnostics: list[Diagnostic] = []
+    for path in collect_files(paths, root):
+        relative = _relative(path, root)
+        if config.is_excluded(relative):
+            continue
+        source = path.read_text(encoding="utf-8")
+        diagnostics.extend(lint_source(source, relative, config, root=root))
+    return sorted(diagnostics)
+
+
+__all__ = ["collect_files", "lint_paths", "lint_source"]

@@ -1,0 +1,59 @@
+"""Inline suppression comments: ``# vpl: ignore[VPL104]``.
+
+A suppression silences diagnostics *on its own line only* and must name
+the codes it waives (``# vpl: ignore`` with no codes waives everything
+on the line — use sparingly).  Comments are read with :mod:`tokenize` so
+strings containing the marker text are never misparsed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Mapping
+
+#: Sentinel meaning "every code suppressed on this line".
+ALL_CODES = "*"
+
+_MARKER = re.compile(
+    r"#\s*vpl:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def collect_suppressions(source: str) -> Mapping[int, frozenset[str]]:
+    """Map of line number -> codes suppressed on that line."""
+    suppressed: dict[int, frozenset[str]] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressed  # the parser will report the real problem
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes:
+            parsed = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+        else:
+            parsed = frozenset({ALL_CODES})
+        line = token.start[0]
+        suppressed[line] = suppressed.get(line, frozenset()) | parsed
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: Mapping[int, frozenset[str]], line: int, code: str
+) -> bool:
+    codes = suppressions.get(line)
+    if not codes:
+        return False
+    return ALL_CODES in codes or code.upper() in codes
+
+
+__all__ = ["ALL_CODES", "collect_suppressions", "is_suppressed"]

@@ -1,0 +1,34 @@
+"""The process-clock funnel for the rest of the codebase.
+
+Lint rule VPL103 forbids direct ``time.*`` / ``datetime.*`` clock reads
+outside ``repro.obs``: a stray wall-clock read in a synthesis or
+extraction path is exactly the kind of silent nondeterminism that breaks
+the byte-identical-traces guarantee.  Code that legitimately needs
+timing — throughput reports, latency histograms — imports it from here,
+so every clock consumer in the tree is one ``grep`` away and tests can
+monkeypatch a single module.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as _perf_counter
+from time import process_time as _process_time
+from time import time as _wall_time
+
+
+def monotonic() -> float:
+    """High-resolution monotonic seconds; for measuring durations."""
+    return _perf_counter()
+
+
+def cpu_time() -> float:
+    """Process CPU seconds; for wall-vs-CPU breakdowns."""
+    return _process_time()
+
+
+def wall_clock() -> float:
+    """Epoch seconds; for timestamping events, never for measuring."""
+    return _wall_time()
+
+
+__all__ = ["cpu_time", "monotonic", "wall_clock"]

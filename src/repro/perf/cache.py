@@ -39,6 +39,12 @@ CACHE_SCHEMA_VERSION = 1
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
+#: Cache-outcome counters, spelled as constants so the metric namespace
+#: stays literal and grep-able (VPL401).
+CACHE_HITS_METRIC = "vprofile_cache_hits_total"
+CACHE_MISSES_METRIC = "vprofile_cache_misses_total"
+CACHE_EVICTIONS_METRIC = "vprofile_cache_evictions_total"
+
 
 def _jsonable(obj: Any) -> Any:
     """Canonical JSON-compatible form of a key component.
@@ -133,10 +139,8 @@ class CaptureCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.npz"
 
-    def _count(self, outcome: str, n: int = 1) -> None:
-        get_registry().counter(
-            f"vprofile_cache_{outcome}_total", help=f"Capture-cache {outcome}"
-        ).inc(n)
+    def _count(self, metric: str, help: str, n: int = 1) -> None:
+        get_registry().counter(metric, help=help).inc(n)
 
     def get(self, key: str) -> list[VoltageTrace] | None:
         """Load the traces stored under ``key``; ``None`` on a miss.
@@ -146,17 +150,17 @@ class CaptureCache:
         """
         path = self.path_for(key)
         if not path.exists():
-            self._count("misses")
+            self._count(CACHE_MISSES_METRIC, "Capture-cache misses")
             return None
         try:
             traces = load_traces(path)
         except AcquisitionError:
             path.unlink(missing_ok=True)
-            self._count("evictions")
-            self._count("misses")
+            self._count(CACHE_EVICTIONS_METRIC, "Capture-cache evictions")
+            self._count(CACHE_MISSES_METRIC, "Capture-cache misses")
             return None
         os.utime(path)  # bump LRU recency
-        self._count("hits")
+        self._count(CACHE_HITS_METRIC, "Capture-cache hits")
         return traces
 
     def put(self, key: str, traces: list[VoltageTrace]) -> Path:
@@ -180,7 +184,7 @@ class CaptureCache:
         for path in stale:
             path.unlink(missing_ok=True)
         if stale:
-            self._count("evictions", len(stale))
+            self._count(CACHE_EVICTIONS_METRIC, "Capture-cache evictions", len(stale))
 
     def info(self) -> dict[str, Any]:
         """Cache root, entry count and total size for ``cli cache info``."""
@@ -205,6 +209,9 @@ class CaptureCache:
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CACHE_ENV_VAR",
+    "CACHE_HITS_METRIC",
+    "CACHE_MISSES_METRIC",
+    "CACHE_EVICTIONS_METRIC",
     "CaptureCache",
     "capture_cache_key",
     "default_cache_root",

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.acquisition.trace import VoltageTrace
 from repro.analog.environment import NOMINAL_ENVIRONMENT, Environment
-from repro.can.bus import CanBus
+from repro.can.bus import BusTransmission, CanBus
 from repro.can.frame import CanFrame
 from repro.can.traffic import TrafficGenerator
 from repro.core.edge_extraction import (
@@ -179,7 +179,7 @@ def _run_engine(
 
 def plan_transmissions(
     vehicle: VehicleConfig, duration_s: float, *, seed: int = 0
-):
+) -> list[BusTransmission]:
     """The bus-arbitrated transmission schedule of a capture run.
 
     Identical to the planning half of
@@ -202,7 +202,7 @@ def plan_transmissions(
 
 def render_transmissions(
     vehicle: VehicleConfig,
-    transmissions,
+    transmissions: Sequence[BusTransmission],
     *,
     env: Environment = NOMINAL_ENVIRONMENT,
     seed: int = 0,

@@ -25,7 +25,7 @@ from typing import Any, Iterator, Protocol, runtime_checkable
 import numpy as np
 
 from repro.acquisition.adc import AdcConfig
-from repro.acquisition.archive import load_traces
+from repro.acquisition.archive import PathOrFile, load_traces
 from repro.acquisition.segmentation import assemble_stream
 from repro.acquisition.trace import VoltageTrace
 from repro.analog.environment import NOMINAL_ENVIRONMENT, Environment
@@ -132,7 +132,7 @@ class ReplaySource:
 
     @classmethod
     def from_archive(
-        cls, path, chunk_samples: int = DEFAULT_CHUNK_SAMPLES
+        cls, path: PathOrFile, chunk_samples: int = DEFAULT_CHUNK_SAMPLES
     ) -> "ReplaySource":
         """Replay a saved ``.npz`` trace archive (path or binary file)."""
         return cls.from_traces(load_traces(path), chunk_samples)

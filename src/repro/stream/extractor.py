@@ -100,7 +100,7 @@ class StreamingExtractor:
         """Flush the end-of-stream remainder."""
         return self._extract(self.segmenter.finish())
 
-    def _extract(self, traces) -> list[StreamMessage]:
+    def _extract(self, traces: list[VoltageTrace]) -> list[StreamMessage]:
         messages: list[StreamMessage] = []
         for trace in traces:
             if self.extraction is None:

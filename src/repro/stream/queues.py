@@ -16,8 +16,11 @@ from __future__ import annotations
 import threading
 from collections import deque
 from enum import Enum
+from typing import Callable, Generic, TypeVar
 
 from repro.errors import StreamError
+
+T = TypeVar("T")
 
 
 class OverflowPolicy(str, Enum):
@@ -32,7 +35,7 @@ class QueueClosed(StreamError):
     """Raised by :meth:`BoundedQueue.get_batch` after close + drain."""
 
 
-class BoundedQueue:
+class BoundedQueue(Generic[T]):
     """A thread-safe FIFO with a hard capacity and an overflow policy."""
 
     def __init__(
@@ -46,7 +49,7 @@ class BoundedQueue:
         self.capacity = int(capacity)
         self.policy = OverflowPolicy(policy)
         self.name = name
-        self._items: deque = deque()
+        self._items: deque[T] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
@@ -57,7 +60,7 @@ class BoundedQueue:
         self.high_watermark = 0
 
     # ------------------------------------------------------------------
-    def put(self, item) -> bool:
+    def put(self, item: T) -> bool:
         """Enqueue ``item``; returns False when the policy dropped it.
 
         Under ``BLOCK`` the call waits for space (or for the queue to be
@@ -89,8 +92,8 @@ class BoundedQueue:
         self,
         max_items: int,
         timeout: float | None = None,
-        on_batch=None,
-    ) -> list:
+        on_batch: Callable[[int], None] | None = None,
+    ) -> list[T]:
         """Dequeue 1..``max_items`` items, waiting for the first.
 
         Blocks until at least one item is available, then drains up to
@@ -113,7 +116,7 @@ class BoundedQueue:
                     raise QueueClosed(f"queue {self.name!r} is closed")
                 if not self._not_empty.wait(timeout):
                     return []
-            batch = []
+            batch: list[T] = []
             while self._items and len(batch) < max_items:
                 batch.append(self._items.popleft())
             self.gets += len(batch)

@@ -28,7 +28,6 @@ import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -36,8 +35,9 @@ import numpy as np
 from repro.core.detection import AnomalyReason
 from repro.errors import StreamError
 from repro.ids.alerts import Alert, AlertLog
+from repro.obs.clock import monotonic
 from repro.obs.events import get_event_log
-from repro.obs.registry import get_registry
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.stream.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.stream.chunks import ChunkSource
 from repro.stream.extractor import StreamingExtractor, StreamMessage
@@ -191,7 +191,7 @@ class StreamRuntime:
             resumed=checkpoint is not None,
         )
 
-        t0 = perf_counter()
+        t0 = monotonic()
         try:
             for chunk in source.chunks(start_chunk):
                 report.chunks += 1
@@ -227,7 +227,7 @@ class StreamRuntime:
                 report.checkpoints += 1
         finally:
             pool.close()
-        report.wall_s = perf_counter() - t0
+        report.wall_s = monotonic() - t0
 
         results.sort(key=lambda v: v.seq)
         report.verdicts = results
@@ -341,7 +341,9 @@ class StreamRuntime:
             margin=self.pipeline.config.margin,
         )
 
-    def _mirror_into_pipeline(self, report: StreamReport, registry) -> None:
+    def _mirror_into_pipeline(
+        self, report: StreamReport, registry: MetricsRegistry
+    ) -> None:
         """Fold the run's counters into the shared pipeline stats.
 
         The worker path bypasses ``VProfilePipeline.process``, so the

@@ -16,19 +16,20 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Callable
 
 import numpy as np
 
 from repro.core.detection import (
     AnomalyReason,
+    BatchDetection,
     DetectionResult,
     Detector,
     Verdict,
 )
 from repro.core.online_update import OnlineUpdater
 from repro.errors import StreamError
+from repro.obs.clock import monotonic
 from repro.obs.registry import get_registry
 from repro.stream.extractor import StreamMessage
 from repro.stream.queues import BoundedQueue, OverflowPolicy, QueueClosed
@@ -95,7 +96,7 @@ class ShardedWorkerPool:
         self.batch_size = int(batch_size)
         self.updater = updater
         self.on_result = on_result
-        self.queues = [
+        self.queues: list[BoundedQueue[tuple[int, StreamMessage, float]]] = [
             BoundedQueue(queue_capacity, policy, name=f"shard{i}")
             for i in range(self.n_workers)
         ]
@@ -130,7 +131,7 @@ class ShardedWorkerPool:
             raise StreamError("worker pool failed") from self._failure
         shard = self.shard_of(message)
         queue = self.queues[shard]
-        ingest_t = perf_counter() if self._registry.enabled else 0.0
+        ingest_t = monotonic() if self._registry.enabled else 0.0
         accepted = queue.put((seq, message, ingest_t))
         if self._registry.enabled:
             label = str(shard)
@@ -213,14 +214,17 @@ class ShardedWorkerPool:
             if not result.is_anomaly and self.updater is not None:
                 with self._update_lock:
                     report = self.updater.update([message.edge_set])
-                folded = sum(report.updated.values())
-                if folded:
-                    self.updated += folded
+                    # The tally must share the update's critical section:
+                    # a bare `self.updated += n` after the lock is a lost-
+                    # update race between shards (found by VPL301).
+                    folded = sum(report.updated.values())
+                    if folded:
+                        self.updated += folded
             if registry.enabled and ingest_t:
                 registry.histogram(
                     LATENCY_METRIC,
                     help="Ingest-to-verdict latency through the stream runtime",
-                ).observe(perf_counter() - ingest_t)
+                ).observe(monotonic() - ingest_t)
             if self.on_result is not None:
                 self.on_result(
                     StreamVerdict(
@@ -228,7 +232,9 @@ class ShardedWorkerPool:
                     )
                 )
 
-    def _result_from_batch(self, detection, row: int, sa: int) -> DetectionResult:
+    def _result_from_batch(
+        self, detection: BatchDetection, row: int, sa: int
+    ) -> DetectionResult:
         """Rebuild the single-message :class:`DetectionResult` shape.
 
         Mirrors ``Detector._classify``'s reason precedence so a verdict

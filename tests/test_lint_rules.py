@@ -1,0 +1,486 @@
+"""Per-rule positive/negative fixtures for the VPL invariant checker.
+
+Every rule code gets at least one firing snippet and one clean snippet,
+plus shared tests for inline ``# vpl: ignore[...]`` suppressions,
+config-driven scoping, select/ignore filtering, and the schema-lock
+workflow (VPL402) against a throwaway mini-repo.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintConfig,
+    config_from_mapping,
+    lint_source,
+    update_lock,
+)
+from repro.lint.config import LintConfigError
+from repro.lint.fingerprint import schema_fingerprint
+
+
+def codes(source, path="src/repro/fake.py", config=None, root="."):
+    diagnostics = lint_source(textwrap.dedent(source), path, config, root=root)
+    return [d.code for d in diagnostics]
+
+
+# ----------------------------------------------------------------------
+# VPL101 — legacy numpy.random module calls
+# ----------------------------------------------------------------------
+def test_vpl101_fires_on_module_level_np_random():
+    assert codes("""
+        import numpy as np
+        np.random.seed(42)
+        x = np.random.normal(size=8)
+    """) == ["VPL101", "VPL101"]
+
+
+def test_vpl101_fires_via_from_import():
+    assert codes("""
+        from numpy.random import shuffle
+        shuffle([1, 2, 3])
+    """) == ["VPL101"]
+
+
+def test_vpl101_clean_on_generator_api():
+    assert codes("""
+        import numpy as np
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=8)
+    """) == []
+
+
+def test_vpl101_clean_on_unrelated_local_names():
+    # A local variable named like the module must not be resolved.
+    assert codes("""
+        class Thing:
+            def normal(self):
+                return 1
+        random = Thing()
+        random.normal()
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# VPL102 — argless default_rng / seed
+# ----------------------------------------------------------------------
+def test_vpl102_fires_on_argless_default_rng():
+    assert codes("""
+        import numpy as np
+        rng = np.random.default_rng()
+    """) == ["VPL102"]
+
+
+def test_vpl102_fires_on_from_import_spelling():
+    assert codes("""
+        from numpy.random import default_rng
+        rng = default_rng()
+    """) == ["VPL102"]
+
+
+def test_vpl102_clean_when_seeded():
+    assert codes("""
+        import numpy as np
+        rng = np.random.default_rng(123)
+        rng2 = np.random.default_rng(np.random.SeedSequence(5))
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# VPL103 — stray clock reads
+# ----------------------------------------------------------------------
+CLOCK_SNIPPET = """
+    import time
+    from datetime import datetime
+
+    def stamp():
+        return time.time(), datetime.now()
+"""
+
+
+def test_vpl103_fires_in_library_code():
+    assert codes(CLOCK_SNIPPET) == ["VPL103", "VPL103"]
+
+
+def test_vpl103_fires_on_bare_perf_counter():
+    assert codes("""
+        from time import perf_counter
+        t0 = perf_counter()
+    """) == ["VPL103"]
+
+
+def test_vpl103_exempt_paths_from_config():
+    for path in ("src/repro/obs/timers.py", "benchmarks/test_x.py",
+                 "examples/demo.py", "tests/test_y.py"):
+        assert codes(CLOCK_SNIPPET, path=path) == []
+
+
+def test_vpl103_clean_when_routed_through_obs():
+    assert codes("""
+        from repro.obs.clock import monotonic
+        t0 = monotonic()
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# VPL104 — float-literal equality
+# ----------------------------------------------------------------------
+def test_vpl104_fires_on_float_eq_and_ne():
+    assert codes("""
+        def f(x, y):
+            return x == 1.5 or y != 0.25
+    """) == ["VPL104", "VPL104"]
+
+
+def test_vpl104_clean_on_int_compare_and_isclose():
+    assert codes("""
+        import math
+        def f(x):
+            return x == 1 or math.isclose(x, 1.5)
+    """) == []
+
+
+def test_vpl104_scoped_to_library_paths():
+    assert codes("def f(x):\n    return x == 1.5\n",
+                 path="tests/test_exact.py") == []
+
+
+# ----------------------------------------------------------------------
+# VPL201 — generator disconnected from an rng/seed parameter
+# ----------------------------------------------------------------------
+def test_vpl201_fires_on_disconnected_generator():
+    assert codes("""
+        import numpy as np
+        def synth(rng):
+            local = np.random.default_rng(1234)
+            return local.normal()
+    """) == ["VPL201"]
+
+
+def test_vpl201_clean_when_derived_from_seed_param():
+    assert codes("""
+        import numpy as np
+        def synth(seed):
+            rng = np.random.default_rng(seed)
+            return rng.normal()
+    """) == []
+
+
+def test_vpl201_clean_on_guarded_seeded_fallback():
+    assert codes("""
+        import numpy as np
+        def synth(rng=None):
+            if rng is None:
+                rng = np.random.default_rng(0)
+            return rng.normal()
+    """) == []
+
+
+def test_vpl201_argless_fallback_is_vpl102_not_both():
+    assert codes("""
+        import numpy as np
+        def synth(rng=None):
+            if rng is None:
+                rng = np.random.default_rng()
+            return rng.normal()
+    """) == ["VPL102"]
+
+
+# ----------------------------------------------------------------------
+# VPL202 — hand-forged SeedSequence children
+# ----------------------------------------------------------------------
+def test_vpl202_fires_on_spawn_key_kwarg():
+    assert codes("""
+        import numpy as np
+        child = np.random.SeedSequence(entropy=1, spawn_key=(3,))
+    """) == ["VPL202"]
+
+
+def test_vpl202_clean_on_spawn():
+    assert codes("""
+        import numpy as np
+        children = np.random.SeedSequence(1).spawn(4)
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# VPL301 — unlocked read-modify-write in lock-owning classes
+# ----------------------------------------------------------------------
+LOCKED_CLASS = """
+    import threading
+
+    class Pool:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def bump(self):
+            {body}
+"""
+
+
+def test_vpl301_fires_outside_lock():
+    source = LOCKED_CLASS.format(body="self.count += 1")
+    assert codes(source, path="src/repro/stream/fake.py") == ["VPL301"]
+
+
+def test_vpl301_clean_under_lock():
+    source = LOCKED_CLASS.format(
+        body="with self._lock:\n                self.count += 1"
+    )
+    assert codes(source, path="src/repro/stream/fake.py") == []
+
+
+def test_vpl301_clean_without_a_lock_attribute():
+    assert codes("""
+        class Tally:
+            def __init__(self):
+                self.count = 0
+            def bump(self):
+                self.count += 1
+    """, path="src/repro/stream/fake.py") == []
+
+
+def test_vpl301_scoped_to_concurrency_paths():
+    source = LOCKED_CLASS.format(body="self.count += 1")
+    assert codes(source, path="src/repro/eval/fake.py") == []
+
+
+def test_vpl301_recognises_injected_lock_by_hint():
+    assert codes("""
+        import threading
+        class Pool:
+            def __init__(self, shared_lock):
+                self._lock = threading.Lock()
+                self.shared_lock = shared_lock
+                self.count = 0
+            def bump(self):
+                with self.shared_lock:
+                    self.count += 1
+    """, path="src/repro/stream/fake.py") == []
+
+
+# ----------------------------------------------------------------------
+# VPL302 — mutable default arguments
+# ----------------------------------------------------------------------
+def test_vpl302_fires_on_list_dict_set_defaults():
+    assert codes("""
+        def f(a=[], b={}, c=set()):
+            return a, b, c
+    """) == ["VPL302", "VPL302", "VPL302"]
+
+
+def test_vpl302_clean_on_none_default():
+    assert codes("""
+        def f(a=None, b=(), c="x"):
+            return a, b, c
+    """) == []
+
+
+# ----------------------------------------------------------------------
+# VPL401 — metric name hygiene
+# ----------------------------------------------------------------------
+def test_vpl401_fires_on_dynamic_name():
+    assert codes("""
+        def count(registry, outcome):
+            registry.counter(f"vprofile_cache_{outcome}_total").inc()
+    """) == ["VPL401"]
+
+
+def test_vpl401_fires_on_nonconforming_literal():
+    assert codes("""
+        def count(registry):
+            registry.counter("requests_total").inc()
+    """) == ["VPL401"]
+
+
+def test_vpl401_clean_on_literal_and_constant():
+    assert codes("""
+        HITS_METRIC = "vprofile_cache_hits_total"
+        def count(registry):
+            registry.counter(HITS_METRIC).inc()
+            registry.gauge("vprofile_stream_queue_depth").set(1)
+    """) == []
+
+
+def test_vpl401_per_file_ignore_for_tests():
+    config = LintConfig(per_file_ignores={"tests/*": ("VPL401",)})
+    assert codes("""
+        def count(registry):
+            registry.counter("toy_total").inc()
+    """, path="tests/test_registry.py", config=config) == []
+
+
+# ----------------------------------------------------------------------
+# VPL402 — capture-cache schema lock (mini-repo on disk)
+# ----------------------------------------------------------------------
+CACHE_MODULE_V1 = """
+from dataclasses import dataclass
+
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class KeyInput:
+    vehicle: str
+    duration_s: float
+"""
+
+
+@pytest.fixture
+def mini_repo(tmp_path):
+    (tmp_path / "src").mkdir()
+    cache_py = tmp_path / "src" / "cache.py"
+    cache_py.write_text(CACHE_MODULE_V1)
+    config = LintConfig(
+        schema_version_file="src/cache.py",
+        schema_watch=("src/cache.py",),
+        schema_lock="schema.lock.json",
+    )
+    return tmp_path, cache_py, config
+
+
+def lint_cache(cache_py, config, root):
+    return lint_source(
+        cache_py.read_text(), "src/cache.py", config, root=root
+    )
+
+
+def test_vpl402_fires_without_a_lock_file(mini_repo):
+    root, cache_py, config = mini_repo
+    found = lint_cache(cache_py, config, root)
+    assert [d.code for d in found] == ["VPL402"]
+    assert "missing" in found[0].message
+
+
+def test_vpl402_clean_after_update_lock(mini_repo):
+    root, cache_py, config = mini_repo
+    update_lock(root, config)
+    assert lint_cache(cache_py, config, root) == []
+
+
+def test_vpl402_fires_on_field_change_without_version_bump(mini_repo):
+    root, cache_py, config = mini_repo
+    update_lock(root, config)
+    cache_py.write_text(CACHE_MODULE_V1 + "    seed: int = 0\n")
+    found = lint_cache(cache_py, config, root)
+    assert [d.code for d in found] == ["VPL402"]
+    assert "bump" in found[0].message
+    # Anchored at the version-constant assignment.
+    version_line = CACHE_MODULE_V1.splitlines().index(
+        "CACHE_SCHEMA_VERSION = 1"
+    ) + 1
+    assert found[0].line == version_line
+
+
+def test_vpl402_clean_after_bump_and_relock(mini_repo):
+    root, cache_py, config = mini_repo
+    update_lock(root, config)
+    changed = CACHE_MODULE_V1.replace(
+        "CACHE_SCHEMA_VERSION = 1", "CACHE_SCHEMA_VERSION = 2"
+    ) + "    seed: int = 0\n"
+    cache_py.write_text(changed)
+    update_lock(root, config)
+    assert lint_cache(cache_py, config, root) == []
+
+
+def test_vpl402_fingerprint_ignores_comments_and_bodies(mini_repo):
+    root, cache_py, config = mini_repo
+    before = schema_fingerprint(root, config)
+    cache_py.write_text("# a leading comment\n" + CACHE_MODULE_V1)
+    assert schema_fingerprint(root, config) == before
+
+
+def test_vpl402_lock_file_is_json_with_version(mini_repo):
+    root, _, config = mini_repo
+    path = update_lock(root, config)
+    payload = json.loads(path.read_text())
+    assert payload["schema_version"] == 1
+    assert len(payload["fingerprint"]) == 64
+
+
+# ----------------------------------------------------------------------
+# Suppressions, filtering, diagnostics plumbing
+# ----------------------------------------------------------------------
+def test_inline_suppression_silences_named_code():
+    assert codes("""
+        def f(x):
+            return x == 1.5  # vpl: ignore[VPL104]
+    """) == []
+
+
+def test_inline_suppression_is_code_specific():
+    # Suppressing a different code must not silence the finding.
+    assert codes("""
+        def f(x):
+            return x == 1.5  # vpl: ignore[VPL101]
+    """) == ["VPL104"]
+
+
+def test_bare_suppression_silences_everything_on_the_line():
+    assert codes("""
+        import numpy as np
+        rng = np.random.default_rng()  # vpl: ignore
+    """) == []
+
+
+def test_suppression_only_applies_to_its_own_line():
+    assert codes("""
+        import numpy as np
+        # vpl: ignore[VPL102]
+        rng = np.random.default_rng()
+    """) == ["VPL102"]
+
+
+def test_select_and_ignore_prefixes():
+    source = """
+        import numpy as np
+        def f(x):
+            np.random.seed(1)
+            return x == 1.5
+    """
+    assert codes(source, config=LintConfig(select=("VPL1",))) \
+        == ["VPL101", "VPL104"]
+    assert codes(source, config=LintConfig(select=("VPL104",))) == ["VPL104"]
+    assert codes(source, config=LintConfig(ignore=("VPL104",))) == ["VPL101"]
+
+
+def test_exclude_skips_file_entirely():
+    config = LintConfig(exclude=("src/generated",))
+    assert codes("import numpy as np\nnp.random.seed(1)\n",
+                 path="src/generated/stub.py", config=config) == []
+
+
+def test_syntax_error_reported_as_vpl000():
+    found = lint_source("def broken(:\n", "src/repro/broken.py")
+    assert [d.code for d in found] == ["VPL000"]
+
+
+def test_diagnostic_format_is_compiler_shaped():
+    d = Diagnostic(path="src/x.py", line=3, col=4, code="VPL104", message="boom")
+    assert d.format() == "src/x.py:3:4: VPL104 boom"
+
+
+def test_config_from_mapping_round_trip():
+    config = config_from_mapping(
+        {
+            "select": ["VPL1"],
+            "clock-exempt": ["src/repro/obs"],
+            "per-file-ignores": {"tests/*": ["VPL401"]},
+            "metric-name-pattern": "^m_",
+        }
+    )
+    assert config.select == ("VPL1",)
+    assert config.clock_exempt == ("src/repro/obs",)
+    assert config.per_file_ignores == {"tests/*": ("VPL401",)}
+    assert config.metric_name_pattern == "^m_"
+
+
+def test_config_rejects_unknown_keys_and_bad_types():
+    with pytest.raises(LintConfigError):
+        config_from_mapping({"no-such-key": True})
+    with pytest.raises(LintConfigError):
+        config_from_mapping({"select": "VPL1"})
