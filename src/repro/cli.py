@@ -11,6 +11,11 @@ Python:
   injecting hijack attacks, and print the confusion matrix;
 * ``stream``      — run the online streaming runtime (chunked ingestion,
   sharded workers, backpressure, checkpoint/resume) and print alerts;
+  ``--serve HOST:PORT`` exposes ``/metrics`` / ``/health`` /
+  ``/timeseries`` over HTTP while the run is live, ``--flight-dir``
+  dumps forensics bundles on alert;
+* ``health``      — scrape the per-SA profile-health verdicts from a
+  running ``stream --serve`` endpoint;
 * ``experiment``  — regenerate one of the paper's experiments
   (``suite``, ``temperature``, ``voltage``, ``sweep``);
 * ``stats``       — summarize a metrics file emitted by a previous run;
@@ -33,7 +38,9 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -67,6 +74,8 @@ from repro.stream import (
     OverflowPolicy,
     ReplaySource,
     StreamConfig,
+    StreamTelemetry,
+    TelemetryConfig,
     load_checkpoint,
 )
 from repro.vehicles.dataset import capture_session
@@ -342,6 +351,20 @@ def cmd_stream(args: argparse.Namespace) -> int:
                   f"({len(training)} messages, "
                   f"{pipeline.model.n_clusters} clusters)")
 
+    # Longitudinal telemetry: built up front (not by the runtime) so the
+    # component handles exist before the run — the HTTP server scrapes
+    # /health and /timeseries while the stream is still live.
+    serve_spec = obs.parse_host_port(args.serve) if args.serve else None
+    telemetry = None
+    if args.telemetry or args.flight_dir or serve_spec is not None:
+        model = resume.model if resume is not None else pipeline.model
+        telemetry = StreamTelemetry(
+            TelemetryConfig(flight_dir=args.flight_dir),
+            model=model,
+            margin=margin,
+            n_shards=args.workers,
+        )
+
     config = StreamConfig(
         n_workers=args.workers,
         queue_capacity=args.queue_capacity,
@@ -351,9 +374,39 @@ def cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_every_chunks=args.checkpoint_every,
         hijack_probability=args.hijack,
         hijack_seed=args.hijack_seed,
+        telemetry=telemetry,
     )
-    with obs.span("cli.stream", vehicle=vehicle.name, workers=config.n_workers):
-        report = pipeline.stream(source, config, resume=resume)
+
+    # /metrics is only useful with a live registry; when --metrics-out
+    # did not already enable one, serve a run-scoped registry.
+    owned_registry = previous_registry = None
+    if serve_spec is not None and not obs.get_registry().enabled:
+        owned_registry = obs.MetricsRegistry()
+        obs.preregister_pipeline_metrics(owned_registry)
+        previous_registry = obs.set_registry(owned_registry)
+
+    server = None
+    try:
+        if serve_spec is not None:
+            assert telemetry is not None
+            host, port = serve_spec
+            server = obs.MetricsServer(
+                health=telemetry.health,
+                timeseries=telemetry.timeseries,
+                host=host,
+                port=port,
+            ).start()
+            print(f"serving on {server.url} (/metrics /health /timeseries)")
+        with obs.span("cli.stream", vehicle=vehicle.name, workers=config.n_workers):
+            report = pipeline.stream(source, config, resume=resume)
+        if server is not None and args.serve_grace > 0:
+            print(f"serving for another {args.serve_grace:g}s after the run")
+            time.sleep(args.serve_grace)
+    finally:
+        if server is not None:
+            server.stop()
+        if owned_registry is not None:
+            obs.set_registry(previous_registry)
 
     shown = report.alerts.alerts[: args.max_alerts]
     for alert in shown:
@@ -373,8 +426,45 @@ def cmd_stream(args: argparse.Namespace) -> int:
           f"extraction-failures={report.extraction_failures} "
           f"checkpoints={report.checkpoints}")
     print(f"  {report.frames_per_s:.0f} frames/s over {report.wall_s:.2f}s")
+    if telemetry is not None:
+        health = telemetry.health.verdicts()
+        states = [s["state"] for s in health["sources"].values()]
+        print(f"  profile health: {health['overall']} "
+              f"({len(states)} sources: "
+              f"{sum(s == 'healthy' for s in states)} healthy, "
+              f"{sum(s == 'drifting' for s in states)} drifting, "
+              f"{sum(s == 'suspect' for s in states)} suspect)")
+        for bundle in report.bundles:
+            print(f"forensics bundle -> {bundle}")
     if args.checkpoint:
         print(f"checkpoint -> {args.checkpoint}")
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    host, port = obs.parse_host_port(args.address)
+    url = f"http://{host}:{port}/health"
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (URLError, OSError, ValueError) as exc:
+        print(f"error: cannot scrape {url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"overall: {payload.get('overall', 'unknown')}")
+    for sa, info in sorted(payload.get("sources", {}).items()):
+        drift = info.get("drift_distance")
+        drift_text = "n/a" if drift is None else f"{drift:.4f}"
+        print(f"  {sa} [{info.get('cluster') or 'unmapped'}] {info['state']}: "
+              f"drift={drift_text} "
+              f"alert-ratio={info['alert_ratio']:.2f} "
+              f"update-accept={info['update_accept_ratio']:.2f} "
+              f"(n={info['verdicts_seen']})")
     return 0
 
 
@@ -551,8 +641,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="resume from a checkpoint directory")
     stream.add_argument("--max-alerts", type=int, default=10,
                         help="alert lines to print before summarising")
+    stream.add_argument("--telemetry", action="store_true",
+                        help="enable longitudinal telemetry (time-series "
+                             "store + per-SA profile health)")
+    stream.add_argument("--flight-dir", metavar="DIR",
+                        help="enable the alert flight recorder; forensics "
+                             "bundles are written here (implies --telemetry)")
+    stream.add_argument("--serve", metavar="HOST:PORT",
+                        help="serve /metrics, /health and /timeseries over "
+                             "HTTP during the run (port 0 picks a free port; "
+                             "implies --telemetry)")
+    stream.add_argument("--serve-grace", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="keep serving this long after the run finishes "
+                             "(for scrapers that poll)")
     _add_jobs_arg(stream)
     stream.set_defaults(handler=cmd_stream)
+
+    health = commands.add_parser(
+        "health", help="scrape per-SA profile health from a --serve endpoint"
+    )
+    health.add_argument("address", metavar="HOST:PORT",
+                        help="address of a running `repro stream --serve`")
+    health.add_argument("--json", action="store_true",
+                        help="print the raw /health JSON payload")
+    health.add_argument("--timeout", type=float, default=5.0,
+                        help="HTTP timeout in seconds")
+    health.set_defaults(handler=cmd_health)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate one of the paper's experiments"

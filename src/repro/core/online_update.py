@@ -14,7 +14,7 @@ grows, and recommends retraining once ``N_n`` reaches an upper bound
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -57,9 +57,20 @@ class OnlineUpdater:
         The upper bound ``M`` on a cluster's edge-set count; once
         reached, further updates to that cluster are refused and the
         caller should retrain.  ``None`` disables the bound.
+    observer:
+        Optional ``(source_address, accepted)`` callback invoked for
+        every edge set offered to the updater — ``accepted`` is True
+        when the sample was folded in, False when it was refused
+        (saturated cluster or unknown SA).  The profile-health monitor
+        hangs off this hook to track update-acceptance rates.
     """
 
-    def __init__(self, model: VProfileModel, retrain_bound: int | None = None):
+    def __init__(
+        self,
+        model: VProfileModel,
+        retrain_bound: int | None = None,
+        observer: Callable[[int, bool], None] | None = None,
+    ):
         if model.metric is not Metric.MAHALANOBIS:
             raise DetectionError(
                 "Algorithm 4 updates covariances; it requires a Mahalanobis model"
@@ -68,6 +79,7 @@ class OnlineUpdater:
             raise TrainingError("retrain bound M must be at least 2")
         self.model = model
         self.retrain_bound = retrain_bound
+        self.observer = observer
 
     def needs_retrain(self, cluster_index: int) -> bool:
         """True when the cluster's count has reached the bound ``M``."""
@@ -95,14 +107,20 @@ class OnlineUpdater:
             cluster_index = self.model.cluster_of_sa(edge_set.source_address)
             if cluster_index is None:
                 report.skipped_unknown_sa += 1
+                if self.observer is not None:
+                    self.observer(edge_set.source_address, False)
                 continue
             name = self.model.clusters[cluster_index].name
             if self.needs_retrain(cluster_index):
                 if name not in report.saturated:
                     report.saturated.append(name)
+                if self.observer is not None:
+                    self.observer(edge_set.source_address, False)
                 continue
             self._update_cluster(cluster_index, edge_set.vector)
             report.updated[name] = report.updated.get(name, 0) + 1
+            if self.observer is not None:
+                self.observer(edge_set.source_address, True)
         return report
 
     def _update_cluster(self, cluster_index: int, x: np.ndarray) -> None:

@@ -38,6 +38,7 @@ from repro.core.training import TrainingData, train_model
 from repro.errors import DetectionError
 from repro.obs import preregister_pipeline_metrics
 from repro.obs.events import get_event_log
+from repro.obs.health import HealthConfig, ProfileHealthMonitor
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.spans import span
 
@@ -100,6 +101,7 @@ class VProfilePipeline:
         self._detector: Detector | None = None
         self._updater: OnlineUpdater | None = None
         self.stats = PipelineStats()
+        self.health: ProfileHealthMonitor | None = None
         self._obs_registry: MetricsRegistry | None = None
         self._m_processed = None
         self._m_updated = None
@@ -203,6 +205,24 @@ class VProfilePipeline:
         """The Algorithm 4 updater, when online updates are enabled."""
         return self._updater
 
+    def enable_health(
+        self, config: HealthConfig | None = None
+    ) -> ProfileHealthMonitor:
+        """Attach a profile-health monitor to the trained model.
+
+        Pins the current cluster profiles as the drift baseline, routes
+        Algorithm-4 accept/reject decisions into the monitor, and makes
+        :meth:`process` record every verdict.  Call after :meth:`train`
+        or :meth:`load_model` — the baseline is whatever the profiles
+        look like *now*.
+        """
+        if self.model is None:
+            raise DetectionError("pipeline is not trained")
+        self.health = ProfileHealthMonitor(self.model, config)
+        if self._updater is not None:
+            self._updater.observer = self.health.record_update
+        return self.health
+
     def process(self, trace: VoltageTrace) -> DetectionResult:
         """Classify one trace, updating counters (and the model if
         online updates are enabled)."""
@@ -213,6 +233,8 @@ class VProfilePipeline:
             self._bind_obs(registry)
         edge_set = extract_edge_set(trace, self.extraction)
         result = self._detector.classify(edge_set)
+        if self.health is not None:
+            self.health.record_verdict(result.source_address, result.is_anomaly)
         stats = self.stats
         stats.processed += 1
         self._m_processed.inc()

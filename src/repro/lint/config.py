@@ -52,9 +52,13 @@ class LintConfig:
     per_file_ignores:
         Mapping of path pattern to rule codes skipped for those files.
     clock_exempt:
-        Paths where VPL103 (wall-clock reads) does not apply —
-        ``repro.obs`` owns the process clocks, benchmarks measure time
-        on purpose.
+        Paths where VPL103 (wall-clock reads) does not apply — only the
+        three ``repro.obs`` core modules that *implement* the clock
+        funnel (``clock`` / ``spans`` / ``events``), the linter itself,
+        and benchmarks, which measure time on purpose.  Everything else
+        in ``repro.obs`` (time-series store, health monitor, recorder,
+        server) must route through ``repro.obs.clock`` like any other
+        subsystem.
     float_compare_paths:
         Paths where VPL104 (float ``==``) applies; library code only,
         tests legitimately assert exact expected floats.
@@ -79,7 +83,9 @@ class LintConfig:
     exclude: tuple[str, ...] = ("src/repro.egg-info",)
     per_file_ignores: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
     clock_exempt: tuple[str, ...] = (
-        "src/repro/obs",
+        "src/repro/obs/clock.py",
+        "src/repro/obs/spans.py",
+        "src/repro/obs/events.py",
         "src/repro/lint",
         "benchmarks",
         "examples",

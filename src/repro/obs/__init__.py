@@ -16,6 +16,18 @@ when nobody is looking:
 * :mod:`repro.obs.export` — Prometheus text / JSON snapshot exporters
   plus the ``stats`` summariser.
 
+Layered on top, the longitudinal telemetry added for the streaming
+runtime:
+
+* :mod:`repro.obs.timeseries` — bounded ring-buffer time-series store
+  snapshotting the registry into fixed-memory windows;
+* :mod:`repro.obs.health` — per-SA profile-health monitor (drift vs a
+  pinned baseline, update-acceptance and alert rates, hysteresis);
+* :mod:`repro.obs.recorder` — alert flight recorder dumping replayable
+  forensics bundles;
+* :mod:`repro.obs.server` — stdlib HTTP endpoint serving ``/metrics``,
+  ``/health`` and ``/timeseries``.
+
 Typical use::
 
     from repro import obs
@@ -61,6 +73,22 @@ from repro.obs.export import (
     to_prometheus,
     write_metrics,
 )
+from repro.obs.health import (
+    DRIFTING,
+    HEALTHY,
+    HEALTH_METRIC,
+    HealthAssessment,
+    HealthConfig,
+    ProfileHealthMonitor,
+    SUSPECT,
+)
+from repro.obs.recorder import (
+    BUNDLE_VERSION,
+    FlightRecord,
+    FlightRecorder,
+    ForensicsBundle,
+    ReplayReport,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_QUANTILES,
@@ -78,6 +106,7 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
+from repro.obs.server import MetricsServer, parse_host_port
 from repro.obs.spans import (
     NULL_TIMER,
     SPAN_ERRORS_METRIC,
@@ -88,6 +117,12 @@ from repro.obs.spans import (
     current_span,
     span,
     stage_timer,
+)
+from repro.obs.timeseries import (
+    AggregatePoint,
+    TimePoint,
+    TimeSeriesStore,
+    series_key,
 )
 
 #: The three per-message pipeline stages fed into ``vprofile_stage_seconds``.
@@ -192,6 +227,16 @@ __all__ = [
     # export
     "to_prometheus", "to_json", "write_metrics",
     "load_snapshot", "parse_prometheus", "summarize_snapshot",
+    # timeseries
+    "TimeSeriesStore", "TimePoint", "AggregatePoint", "series_key",
+    # health
+    "ProfileHealthMonitor", "HealthConfig", "HealthAssessment",
+    "HEALTHY", "DRIFTING", "SUSPECT", "HEALTH_METRIC",
+    # recorder
+    "FlightRecorder", "FlightRecord", "ForensicsBundle", "ReplayReport",
+    "BUNDLE_VERSION",
+    # server
+    "MetricsServer", "parse_host_port",
     # clock funnel
     "monotonic", "cpu_time", "wall_clock",
     # composite helpers

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 from pathlib import Path
 
@@ -30,6 +31,12 @@ from repro.obs.registry import MetricsRegistry
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    # HELP text escapes only backslash and newline (no quotes) per the
+    # exposition format.
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(labels: dict[str, str]) -> str:
@@ -57,7 +64,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for family in registry.families():
         if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for key, child in sorted(family.children.items()):
             labels = dict(key)
@@ -92,12 +99,23 @@ def write_metrics(registry: MetricsRegistry, path: str | Path) -> Path:
 
     ``.json`` gets the JSON snapshot, everything else the Prometheus
     text format.
+
+    The write is atomic (tmp file + fsync + rename), so a crash or a
+    concurrent scrape never observes a truncated metrics file — the CLI
+    calls this from its error/exit paths, where a half-written file
+    would silently corrupt the last run's evidence.
     """
     path = Path(path)
     if path.suffix == ".json":
-        path.write_text(json.dumps(to_json(registry), indent=2, sort_keys=True) + "\n")
+        text = json.dumps(to_json(registry), indent=2, sort_keys=True) + "\n"
     else:
-        path.write_text(to_prometheus(registry))
+        text = to_prometheus(registry)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
     return path
 
 
@@ -110,7 +128,27 @@ _LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
 
 
 def _unescape_label_value(value: str) -> str:
-    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    # A left-to-right scan, not chained str.replace: replacement chains
+    # mis-handle sequences like '\\' + 'n' (an escaped backslash
+    # followed by a literal n), which must decode to '\' + 'n', not a
+    # newline.
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
 
 
 def _parse_sample_value(text: str) -> float:
@@ -238,7 +276,9 @@ def _format_seconds(seconds: float | None) -> str:
 def _label_suffix(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+    return "{" + ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    ) + "}"
 
 
 def summarize_snapshot(snapshot: dict, source: str = "") -> str:

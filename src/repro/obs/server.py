@@ -1,0 +1,229 @@
+"""Stdlib HTTP endpoint for live telemetry.
+
+A tiny :class:`ThreadingHTTPServer` wrapper exposing three read-only
+routes:
+
+* ``/metrics`` — Prometheus text exposition (the existing
+  :func:`repro.obs.export.to_prometheus` output);
+* ``/health`` — JSON per-source-address profile-health verdicts from a
+  :class:`~repro.obs.health.ProfileHealthMonitor`;
+* ``/timeseries`` — windowed JSON from a
+  :class:`~repro.obs.timeseries.TimeSeriesStore` (``?last=N`` trims to
+  the most recent N points).
+
+Started by ``repro stream --serve HOST:PORT`` (port 0 binds an
+ephemeral port — the chosen one is in :attr:`MetricsServer.port`, which
+integration tests rely on).  Requests are served from daemon threads
+and only ever *read* telemetry state, so the hot path never blocks on a
+scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ObservabilityError
+from repro.obs.events import get_event_log
+from repro.obs.export import to_prometheus
+from repro.obs.registry import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.health import ProfileHealthMonitor
+    from repro.obs.timeseries import TimeSeriesStore
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve ``/metrics``, ``/health`` and ``/timeseries`` over HTTP.
+
+    Parameters
+    ----------
+    registry:
+        Registry backing ``/metrics``; defaults to the active registry
+        at scrape time (so it follows ``set_registry`` swaps).
+    health / timeseries:
+        Optional sources for the other two routes; without them the
+        routes answer 503 so scrapers can tell "not wired" from 404.
+    host / port:
+        Bind address.  ``port=0`` asks the OS for an ephemeral port.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        health: "ProfileHealthMonitor | None" = None,
+        timeseries: "TimeSeriesStore | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry
+        self.health = health
+        self.timeseries = timeseries
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                server._handle(self)
+
+            def log_message(self, format: str, *args) -> None:
+                get_event_log().debug(
+                    "obs.server.request", detail=format % args
+                )
+
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind metrics server to {host}:{port}: {exc}"
+            ) from exc
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MetricsServer":
+        if self._thread is not None:
+            raise ObservabilityError("metrics server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="vprofile-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        get_event_log().info("obs.server.started", url=self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join()
+        self._httpd.server_close()
+        self._thread = None
+        get_event_log().info("obs.server.stopped", url=self.url)
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(request.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                registry = (
+                    self.registry if self.registry is not None else get_registry()
+                )
+                body = to_prometheus(registry).encode("utf-8")
+                self._respond(request, 200, PROMETHEUS_CONTENT_TYPE, body)
+            elif route == "/health":
+                if self.health is None:
+                    self._respond_json(
+                        request, 503, {"error": "no health monitor attached"}
+                    )
+                else:
+                    self._respond_json(request, 200, self.health.verdicts())
+            elif route == "/timeseries":
+                if self.timeseries is None:
+                    self._respond_json(
+                        request, 503, {"error": "no time-series store attached"}
+                    )
+                else:
+                    last = _int_param(parse_qs(parsed.query), "last")
+                    self._respond_json(
+                        request, 200, self.timeseries.to_payload(last=last)
+                    )
+            else:
+                self._respond_json(
+                    request,
+                    404,
+                    {
+                        "error": f"unknown route {route!r}",
+                        "routes": ["/metrics", "/health", "/timeseries"],
+                    },
+                )
+        except Exception as exc:  # scrape failures must not kill the thread
+            get_event_log().error("obs.server.error", route=route, error=repr(exc))
+            try:
+                self._respond_json(request, 500, {"error": repr(exc)})
+            except Exception:  # client went away mid-response
+                pass
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler,
+        status: int,
+        content_type: str,
+        body: bytes,
+    ) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    @classmethod
+    def _respond_json(
+        cls, request: BaseHTTPRequestHandler, status: int, payload: dict
+    ) -> None:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        cls._respond(request, status, JSON_CONTENT_TYPE, body)
+
+
+def _int_param(query: dict[str, list[str]], name: str) -> int | None:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError:
+        return None
+
+
+def parse_host_port(spec: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI argument (``:PORT`` means localhost)."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep:
+        raise ObservabilityError(
+            f"expected HOST:PORT, got {spec!r} (use e.g. 127.0.0.1:9090)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ObservabilityError(f"invalid port in {spec!r}") from None
+    if not 0 <= port <= 65535:
+        raise ObservabilityError(f"port out of range in {spec!r}")
+    return host or "127.0.0.1", port
+
+
+__all__ = [
+    "JSON_CONTENT_TYPE",
+    "MetricsServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_host_port",
+]

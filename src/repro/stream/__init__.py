@@ -16,6 +16,9 @@ that just ended legitimate?" — against a continuous digitizer stream:
   SA-sharded classification workers that batch the vectorised detector;
 * :mod:`repro.stream.runtime` — the supervisor: ordering, hijack
   injection, checkpoint/resume, graceful shutdown, obs metrics;
+* :mod:`repro.stream.telemetry` — longitudinal telemetry riding on the
+  runtime: metrics time-series, per-SA profile health, and the alert
+  flight recorder (see :mod:`repro.obs`);
 * :mod:`repro.stream.checkpoint` — the on-disk checkpoint format.
 
 Typical use::
@@ -51,6 +54,7 @@ from repro.stream.runtime import (
     StreamRuntime,
 )
 from repro.stream.segmenter import StreamingSegmenter
+from repro.stream.telemetry import StreamTelemetry, TelemetryConfig
 from repro.stream.workers import (
     DROPPED_METRIC,
     LATENCY_METRIC,
@@ -82,6 +86,8 @@ __all__ = [
     "StreamReport",
     "StreamRuntime",
     "StreamingSegmenter",
+    "StreamTelemetry",
+    "TelemetryConfig",
     "DROPPED_METRIC",
     "LATENCY_METRIC",
     "QUEUE_DEPTH_METRIC",

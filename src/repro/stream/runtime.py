@@ -42,6 +42,7 @@ from repro.stream.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.stream.chunks import ChunkSource
 from repro.stream.extractor import StreamingExtractor, StreamMessage
 from repro.stream.queues import OverflowPolicy
+from repro.stream.telemetry import StreamTelemetry, TelemetryConfig
 from repro.stream.workers import ShardedWorkerPool, StreamVerdict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -74,6 +75,12 @@ class StreamConfig:
         final checkpoint when ``checkpoint_dir`` is set).
     hijack_probability / hijack_seed:
         In-flight SA-rewrite attack injection (0 disables).
+    telemetry:
+        Longitudinal telemetry: a :class:`TelemetryConfig` (the runtime
+        builds the :class:`StreamTelemetry` from the pipeline's model
+        at run start) or a pre-built :class:`StreamTelemetry` (when the
+        caller needs the component handles up front, e.g. to serve
+        ``/health`` while the run is live).  ``None`` disables it.
     """
 
     n_workers: int = 1
@@ -84,6 +91,7 @@ class StreamConfig:
     checkpoint_every_chunks: int = 0
     hijack_probability: float = 0.0
     hijack_seed: int = 0
+    telemetry: TelemetryConfig | StreamTelemetry | None = None
 
 
 @dataclass
@@ -108,6 +116,8 @@ class StreamReport:
     verdicts: list[StreamVerdict] = field(default_factory=list)
     alerts: AlertLog = field(default_factory=AlertLog)
     checkpoints: int = 0
+    telemetry: StreamTelemetry | None = None
+    bundles: list[Path] = field(default_factory=list)
 
     @property
     def frames_per_s(self) -> float:
@@ -168,7 +178,25 @@ class StreamRuntime:
         results: list[StreamVerdict] = []
         results_lock = threading.Lock()
 
+        telemetry: StreamTelemetry | None = None
+        if config.telemetry is not None:
+            if isinstance(config.telemetry, StreamTelemetry):
+                telemetry = config.telemetry
+            else:
+                model = pipeline.model
+                assert model is not None  # is_trained checked above
+                telemetry = StreamTelemetry(
+                    config.telemetry,
+                    model=model,
+                    margin=pipeline.config.margin,
+                    n_shards=config.n_workers,
+                )
+            telemetry.attach_updater(pipeline.updater)
+        report.telemetry = telemetry
+
         def collect(verdict: StreamVerdict) -> None:
+            if telemetry is not None:
+                telemetry.on_verdict(verdict)
             with results_lock:
                 results.append(verdict)
 
@@ -180,6 +208,7 @@ class StreamRuntime:
             batch_size=config.batch_size,
             updater=pipeline.updater,
             on_result=collect,
+            recorder=telemetry.recorder if telemetry is not None else None,
         )
         events.info(
             "stream.started",
@@ -206,6 +235,8 @@ class StreamRuntime:
                 seq = self._submit_all(
                     pool, extractor.push(chunk), seq, report
                 )
+                if telemetry is not None:
+                    telemetry.on_chunk()
                 if (
                     config.checkpoint_dir is not None
                     and config.checkpoint_every_chunks > 0
@@ -227,6 +258,8 @@ class StreamRuntime:
                 report.checkpoints += 1
         finally:
             pool.close()
+        if telemetry is not None:
+            report.bundles = telemetry.finish()
         report.wall_s = monotonic() - t0
 
         results.sort(key=lambda v: v.seq)

@@ -30,6 +30,7 @@ from repro.core.detection import (
 from repro.core.online_update import OnlineUpdater
 from repro.errors import StreamError
 from repro.obs.clock import monotonic
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import get_registry
 from repro.stream.extractor import StreamMessage
 from repro.stream.queues import BoundedQueue, OverflowPolicy, QueueClosed
@@ -74,6 +75,10 @@ class ShardedWorkerPool:
         the shared model under the pool's update lock.
     on_result:
         Callback invoked from worker threads for every verdict.
+    recorder:
+        Optional flight recorder; every verdict is appended to its
+        shard's ring from the worker thread that produced it, so the
+        pre-alert context window never crosses shard locks.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class ShardedWorkerPool:
         batch_size: int = 8,
         updater: OnlineUpdater | None = None,
         on_result: Callable[[StreamVerdict], None] | None = None,
+        recorder: FlightRecorder | None = None,
     ):
         if n_workers < 1:
             raise StreamError(f"n_workers must be >= 1, got {n_workers}")
@@ -96,6 +102,7 @@ class ShardedWorkerPool:
         self.batch_size = int(batch_size)
         self.updater = updater
         self.on_result = on_result
+        self.recorder = recorder
         self.queues: list[BoundedQueue[tuple[int, StreamMessage, float]]] = [
             BoundedQueue(queue_capacity, policy, name=f"shard{i}")
             for i in range(self.n_workers)
@@ -225,6 +232,15 @@ class ShardedWorkerPool:
                     LATENCY_METRIC,
                     help="Ingest-to-verdict latency through the stream runtime",
                 ).observe(monotonic() - ingest_t)
+            if self.recorder is not None:
+                self.recorder.record(
+                    seq,
+                    index,
+                    int(sas[row]),
+                    message.start_s,
+                    message.edge_set.vector,
+                    result,
+                )
             if self.on_result is not None:
                 self.on_result(
                     StreamVerdict(

@@ -253,6 +253,21 @@ class TestErrorPaths:
         ]) == 2
         assert "metrics output directory does not exist" in capsys.readouterr().err
 
+    def test_metrics_flushed_when_handler_fails(self, tmp_path, capsys):
+        # A failing run must still leave its (partial) metrics behind:
+        # the post-mortem needs whatever evidence accumulated.
+        metrics = tmp_path / "m.prom"
+        assert main([
+            "detect", "--vehicle", "sterling",
+            "--model", str(tmp_path / "missing.npz"),
+            "--duration", "1",
+            "--metrics-out", str(metrics),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert f"metrics -> {metrics}" in err
+        assert "vprofile_messages_total 0" in metrics.read_text()
+
     def test_stats_missing_file_exits_nonzero(self, capsys):
         assert main(["stats", "no-such-metrics.prom"]) == 2
         assert "error:" in capsys.readouterr().err

@@ -113,9 +113,19 @@ def test_vpl103_fires_on_bare_perf_counter():
 
 
 def test_vpl103_exempt_paths_from_config():
-    for path in ("src/repro/obs/timers.py", "benchmarks/test_x.py",
+    # Only the clock-funnel implementation modules are exempt.
+    for path in ("src/repro/obs/clock.py", "src/repro/obs/spans.py",
+                 "src/repro/obs/events.py", "benchmarks/test_x.py",
                  "examples/demo.py", "tests/test_y.py"):
         assert codes(CLOCK_SNIPPET, path=path) == []
+
+
+def test_vpl103_fires_in_longitudinal_obs_modules():
+    # The new obs layer is NOT exempt: timeseries/health/recorder/server
+    # must route through repro.obs.clock like any other subsystem.
+    for path in ("src/repro/obs/timeseries.py", "src/repro/obs/health.py",
+                 "src/repro/obs/recorder.py", "src/repro/obs/server.py"):
+        assert codes(CLOCK_SNIPPET, path=path) == ["VPL103", "VPL103"]
 
 
 def test_vpl103_clean_when_routed_through_obs():
@@ -304,6 +314,22 @@ def test_vpl401_clean_on_literal_and_constant():
             registry.counter(HITS_METRIC).inc()
             registry.gauge("vprofile_stream_queue_depth").set(1)
     """) == []
+
+
+def test_vpl401_covers_longitudinal_obs_modules():
+    # VPL401 is repo-wide: dynamic metric names in the new obs layer
+    # fire exactly as they would anywhere else.
+    for path in ("src/repro/obs/timeseries.py", "src/repro/obs/health.py",
+                 "src/repro/obs/recorder.py", "src/repro/obs/server.py"):
+        assert codes("""
+            def publish(registry, sa):
+                registry.gauge("vprofile_profile_health_" + sa).set(1)
+        """, path=path) == ["VPL401"]
+        assert codes("""
+            HEALTH_METRIC = "vprofile_profile_health"
+            def publish(registry):
+                registry.gauge(HEALTH_METRIC, sa="0x10").set(1)
+        """, path=path) == []
 
 
 def test_vpl401_per_file_ignore_for_tests():

@@ -357,3 +357,54 @@ class TestGlobalToggles:
             assert f'vprofile_stage_seconds_count{{stage="{stage}"}} 0' in text
         for reason in obs.ANOMALY_REASONS:
             assert f'vprofile_anomalies_total{{reason="{reason}"}} 0' in text
+
+
+class TestExportHardening:
+    """Escaping corners and crash-safety of the exposition writer."""
+
+    def test_help_text_is_escaped_onto_one_line(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("odd_total", help="line one\nline two \\ slash").inc()
+        text = obs.to_prometheus(registry)
+        assert "# HELP odd_total line one\\nline two \\\\ slash" in text
+        # The family still occupies exactly one HELP line.
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP odd_total")]
+        assert len(help_lines) == 1
+
+    def test_label_newline_round_trips(self):
+        registry = obs.MetricsRegistry()
+        registry.counter("odd_total", note="up\ndown").inc()
+        snapshot = obs.parse_prometheus(obs.to_prometheus(registry))
+        (counter,) = snapshot["counters"]
+        assert counter["labels"]["note"] == "up\ndown"
+
+    def test_escaped_backslash_before_n_round_trips(self):
+        # '\' followed by a literal 'n' encodes as '\\' + 'n'; a naive
+        # chained-replace decoder would misread that as a newline.
+        registry = obs.MetricsRegistry()
+        registry.counter("odd_total", path="C:\\notes").inc()
+        text = obs.to_prometheus(registry)
+        assert 'path="C:\\\\notes"' in text
+        snapshot = obs.parse_prometheus(text)
+        (counter,) = snapshot["counters"]
+        assert counter["labels"]["path"] == "C:\\notes"
+
+    def test_adversarial_label_values_round_trip(self):
+        values = ['\\n', '\\', '"', '\\"', 'a\nb\\c"d', '\\\\n']
+        registry = obs.MetricsRegistry()
+        for i, value in enumerate(values):
+            registry.counter("odd_total", idx=str(i), v=value).inc()
+        snapshot = obs.parse_prometheus(obs.to_prometheus(registry))
+        decoded = {c["labels"]["idx"]: c["labels"]["v"] for c in snapshot["counters"]}
+        assert decoded == {str(i): v for i, v in enumerate(values)}
+
+    def test_write_metrics_is_atomic(self, tmp_path):
+        registry = obs.MetricsRegistry()
+        registry.counter("msgs_total").inc()
+        path = tmp_path / "m.prom"
+        path.write_text("stale contents")
+        out = obs.write_metrics(registry, path)
+        assert out == path
+        assert "msgs_total 1" in path.read_text()
+        # No temp droppings left next to the target.
+        assert list(tmp_path.iterdir()) == [path]

@@ -1,0 +1,242 @@
+"""The per-SA profile-health monitor: baseline pinning, rates, hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ClusterProfile, Metric, VProfileModel
+from repro.errors import ObservabilityError
+from repro.obs.health import (
+    DRIFTING,
+    HEALTHY,
+    SUSPECT,
+    HealthConfig,
+    ProfileHealthMonitor,
+)
+from repro.obs.registry import MetricsRegistry, use_registry
+
+
+def make_model(dim=4, n_clusters=2):
+    clusters = []
+    for i in range(n_clusters):
+        mean = np.full(dim, float(i * 10))
+        clusters.append(
+            ClusterProfile(
+                name=f"ECU{i}",
+                mean=mean,
+                max_distance=3.0,
+                count=100,
+                covariance=np.eye(dim),
+                inv_covariance=np.eye(dim),
+            )
+        )
+    sa_to_cluster = {0x10 + i: i for i in range(n_clusters)}
+    return VProfileModel(
+        metric=Metric.MAHALANOBIS, clusters=clusters, sa_to_cluster=sa_to_cluster
+    )
+
+
+# Tight hysteresis so tests can flip states in a handful of assessments.
+FAST = HealthConfig(hysteresis=1, window=16)
+
+
+class TestBaselinePinning:
+    def test_zero_drift_at_attach(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        assert monitor.drift_distance(0x10) == 0.0
+
+    def test_live_mean_movement_is_measured_against_baseline(self):
+        model = make_model()
+        monitor = ProfileHealthMonitor(model, FAST)
+        model.clusters[0].mean = model.clusters[0].mean + np.array(
+            [2.0, 0.0, 0.0, 0.0]
+        )
+        # Identity baseline covariance: Mahalanobis == Euclidean here.
+        assert monitor.drift_distance(0x10) == pytest.approx(2.0)
+        # The other cluster did not move.
+        assert monitor.drift_distance(0x11) == 0.0
+
+    def test_baseline_is_a_copy_not_a_view(self):
+        model = make_model()
+        monitor = ProfileHealthMonitor(model, FAST)
+        # In-place mutation of the live arrays must not move the yardstick.
+        model.clusters[0].mean += 5.0
+        assert monitor.drift_distance(0x10) == pytest.approx(
+            5.0 * np.sqrt(model.clusters[0].mean.shape[0])
+        )
+
+    def test_unknown_sa_drift_is_nan(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        assert np.isnan(monitor.drift_distance(0x99))
+
+
+class TestStates:
+    def test_fresh_source_is_healthy(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        assessment = monitor.assess(0x10)
+        assert assessment.state == HEALTHY
+        assert assessment.cluster == "ECU0"
+
+    def test_drift_warn_threshold_yields_drifting(self):
+        model = make_model()
+        monitor = ProfileHealthMonitor(model, FAST)
+        model.clusters[0].mean = model.clusters[0].mean + np.array(
+            [1.5, 0.0, 0.0, 0.0]
+        )
+        assert monitor.assess(0x10).state == DRIFTING
+
+    def test_drift_alarm_threshold_yields_suspect(self):
+        model = make_model()
+        monitor = ProfileHealthMonitor(model, FAST)
+        model.clusters[0].mean = model.clusters[0].mean + np.array(
+            [4.0, 0.0, 0.0, 0.0]
+        )
+        assert monitor.assess(0x10).state == SUSPECT
+
+    def test_alert_rate_escalates(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        for _ in range(10):
+            monitor.record_verdict(0x10, is_anomaly=True)
+        assessment = monitor.assess(0x10)
+        assert assessment.alert_ratio == 1.0
+        assert assessment.state == SUSPECT
+
+    def test_low_update_acceptance_marks_drifting(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        for i in range(10):
+            monitor.record_update(0x10, accepted=(i == 0))  # 10% accepted
+        assessment = monitor.assess(0x10)
+        assert assessment.update_accept_ratio == pytest.approx(0.1)
+        assert assessment.state == DRIFTING
+
+    def test_windows_are_bounded(self):
+        monitor = ProfileHealthMonitor(make_model(), HealthConfig(window=8))
+        for _ in range(100):
+            monitor.record_verdict(0x10, True)
+            monitor.record_update(0x10, False)
+        assessment = monitor.assess(0x10)
+        assert assessment.verdicts_seen == 8
+        assert assessment.updates_seen == 8
+
+    def test_recovery_when_alerts_stop(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        for _ in range(16):
+            monitor.record_verdict(0x10, True)
+        assert monitor.assess(0x10).state == SUSPECT
+        # The bounded window forgets the alert burst.
+        for _ in range(16):
+            monitor.record_verdict(0x10, False)
+        assert monitor.assess(0x10).state == HEALTHY
+
+    def test_config_validation(self):
+        with pytest.raises(ObservabilityError):
+            HealthConfig(drift_warn=0.0)
+        with pytest.raises(ObservabilityError):
+            HealthConfig(drift_warn=2.0, drift_alarm=1.0)
+        with pytest.raises(ObservabilityError):
+            HealthConfig(window=0)
+        with pytest.raises(ObservabilityError):
+            HealthConfig(hysteresis=0)
+
+
+class TestHysteresis:
+    def test_single_bad_assessment_does_not_flip(self):
+        config = HealthConfig(hysteresis=3, window=16)
+        monitor = ProfileHealthMonitor(make_model(), config)
+        for _ in range(16):
+            monitor.record_verdict(0x10, True)
+        # Needs three consecutive raw SUSPECT assessments to flip.
+        assert monitor.assess(0x10).state == HEALTHY
+        assert monitor.assess(0x10).state == HEALTHY
+        assert monitor.assess(0x10).state == SUSPECT
+
+    def test_streak_resets_when_raw_state_flickers(self):
+        config = HealthConfig(hysteresis=2, window=4)
+        monitor = ProfileHealthMonitor(make_model(), config)
+        for _ in range(4):
+            monitor.record_verdict(0x10, True)
+        assert monitor.assess(0x10).state == HEALTHY  # suspect streak 1
+        for _ in range(4):
+            monitor.record_verdict(0x10, False)
+        assert monitor.assess(0x10).state == HEALTHY  # healthy again: reset
+        for _ in range(4):
+            monitor.record_verdict(0x10, True)
+        assert monitor.assess(0x10).state == HEALTHY  # suspect streak 1
+        assert monitor.assess(0x10).state == SUSPECT  # streak 2: flips
+
+
+class TestReporting:
+    def test_verdicts_payload_shape(self):
+        model = make_model()
+        monitor = ProfileHealthMonitor(model, FAST)
+        monitor.record_verdict(0x10, False)
+        monitor.record_update(0x10, True)
+        model.clusters[1].mean = model.clusters[1].mean + np.array(
+            [4.0, 0.0, 0.0, 0.0]
+        )
+        monitor.record_verdict(0x11, True)
+        payload = monitor.verdicts()
+        assert payload["overall"] == SUSPECT
+        source = payload["sources"]["0x10"]
+        assert source["state"] == HEALTHY
+        assert source["cluster"] == "ECU0"
+        assert source["drift_distance"] == 0.0
+        assert payload["sources"]["0x11"]["state"] == SUSPECT
+
+    def test_overall_is_worst_source(self):
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        monitor.record_verdict(0x10, False)
+        assert monitor.verdicts()["overall"] == HEALTHY
+
+    def test_export_publishes_gauges(self):
+        model = make_model()
+        monitor = ProfileHealthMonitor(model, FAST)
+        monitor.record_verdict(0x10, False)
+        monitor.record_update(0x10, True)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            monitor.export()
+        health = registry.get("vprofile_profile_health", sa="0x10")
+        assert health is not None and health.value == 0.0
+        drift = registry.get("vprofile_profile_drift_distance", sa="0x10")
+        assert drift is not None and drift.value == 0.0
+        accept = registry.get("vprofile_profile_update_accept_ratio", sa="0x10")
+        assert accept is not None and accept.value == 1.0
+
+    def test_export_is_noop_on_null_registry(self):
+        from repro.obs.registry import NULL_REGISTRY, get_registry
+
+        monitor = ProfileHealthMonitor(make_model(), FAST)
+        monitor.record_verdict(0x10, False)
+        assert get_registry() is NULL_REGISTRY
+        monitor.export()  # must not raise or allocate instruments
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        import threading
+
+        monitor = ProfileHealthMonitor(
+            make_model(), HealthConfig(window=100_000)
+        )
+
+        def hammer(sa):
+            for _ in range(2_000):
+                monitor.record_verdict(sa, False)
+                monitor.record_update(sa, True)
+
+        threads = [
+            threading.Thread(target=hammer, args=(sa,))
+            for sa in (0x10, 0x11)
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for sa in (0x10, 0x11):
+            assessment = monitor.assess(sa)
+            assert assessment.verdicts_seen == 4_000
+            assert assessment.updates_seen == 4_000

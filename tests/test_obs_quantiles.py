@@ -1,0 +1,142 @@
+"""Accuracy properties of the P² streaming quantile estimator.
+
+The time-series store persists histogram quantiles every sampling
+interval, so their accuracy is now part of the telemetry contract:
+these tests pin the estimator against known distributions before the
+store starts recording what it says.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import P2Quantile
+
+
+def _feed(estimator, values):
+    for value in values:
+        estimator.observe(float(value))
+    return estimator
+
+
+class TestDegenerateCases:
+    """Below five observations P² is exact (sorted interpolation)."""
+
+    def test_no_observations_value_is_none(self):
+        assert P2Quantile(0.5).value is None
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exact_against_numpy_below_five(self, n):
+        rng = np.random.default_rng(100 + n)
+        data = rng.uniform(-3.0, 7.0, size=n)
+        for q in (0.1, 0.5, 0.9):
+            estimate = _feed(P2Quantile(q), data).value
+            assert estimate == pytest.approx(
+                float(np.quantile(data, q)), rel=1e-12, abs=1e-12
+            )
+
+    def test_single_observation_is_every_quantile(self):
+        for q in (0.01, 0.5, 0.99):
+            assert _feed(P2Quantile(q), [4.25]).value == 4.25
+
+    def test_constant_stream_stays_exact(self):
+        estimator = _feed(P2Quantile(0.9), [2.5] * 100)
+        assert estimator.value == 2.5
+        assert estimator.count == 100
+
+    def test_rejects_out_of_range_quantiles(self):
+        from repro.errors import ObservabilityError
+
+        for q in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ObservabilityError):
+                P2Quantile(q)
+
+
+class TestUniform:
+    """On U(a, b) the q-quantile is a + q(b - a)."""
+
+    @pytest.mark.parametrize("q", [0.1, 0.25, 0.5, 0.75, 0.9, 0.99])
+    def test_converges_to_analytic_quantile(self, q):
+        rng = np.random.default_rng(7)
+        a, b = -2.0, 10.0
+        data = rng.uniform(a, b, size=20_000)
+        estimate = _feed(P2Quantile(q), data).value
+        expected = a + q * (b - a)
+        # Tolerance relative to the support width, not the value (the
+        # analytic 0.5-quantile of this support crosses zero).
+        assert abs(estimate - expected) / (b - a) < 0.01
+
+    def test_estimate_brackets_true_quantile_order(self):
+        rng = np.random.default_rng(8)
+        data = rng.uniform(0.0, 1.0, size=5_000)
+        estimates = [
+            _feed(P2Quantile(q), data).value for q in (0.1, 0.5, 0.9)
+        ]
+        assert estimates[0] < estimates[1] < estimates[2]
+
+    def test_order_independence_is_approximate(self):
+        # P² is order-sensitive by construction, but on a large iid
+        # sample shuffled orders must land close together.
+        rng = np.random.default_rng(9)
+        data = rng.uniform(0.0, 1.0, size=10_000)
+        forward = _feed(P2Quantile(0.5), data).value
+        shuffled = data.copy()
+        rng.shuffle(shuffled)
+        assert _feed(P2Quantile(0.5), shuffled).value == pytest.approx(
+            forward, abs=0.02
+        )
+
+
+class TestBimodal:
+    """Two well-separated modes: the hard case for five-marker sketches."""
+
+    @staticmethod
+    def _bimodal(rng, n, w=0.5):
+        modes = rng.random(n) < w
+        return np.where(
+            modes, rng.normal(0.0, 0.25, n), rng.normal(10.0, 0.25, n)
+        )
+
+    def test_median_lands_between_balanced_modes(self):
+        rng = np.random.default_rng(21)
+        data = self._bimodal(rng, 20_000, w=0.5)
+        estimate = _feed(P2Quantile(0.5), data).value
+        # Anywhere in the gap is a defensible median; it must not sit
+        # inside either mode.
+        assert 1.0 < estimate < 9.0
+
+    @pytest.mark.parametrize("q", [0.1, 0.9])
+    def test_tail_quantiles_land_in_the_right_mode(self, q):
+        rng = np.random.default_rng(22)
+        data = self._bimodal(rng, 20_000, w=0.5)
+        estimate = _feed(P2Quantile(q), data).value
+        expected = float(np.quantile(data, q))
+        assert estimate == pytest.approx(expected, abs=0.2)
+
+    def test_skewed_mixture_tracks_numpy(self):
+        rng = np.random.default_rng(23)
+        data = self._bimodal(rng, 20_000, w=0.9)  # 90% low mode
+        for q in (0.5, 0.8):
+            estimate = _feed(P2Quantile(q), data).value
+            expected = float(np.quantile(data, q))
+            assert estimate == pytest.approx(expected, abs=0.3)
+
+
+class TestHistogramQuantileSurface:
+    """The registry-facing surface the time-series store snapshots."""
+
+    def test_histogram_quantiles_match_standalone_estimators(self):
+        from repro.obs.registry import MetricsRegistry
+
+        rng = np.random.default_rng(31)
+        data = rng.exponential(0.01, size=2_000)
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "vprofile_stream_latency_seconds", help="latency"
+        )
+        standalone = {q: P2Quantile(q) for q in (0.5, 0.9, 0.99)}
+        for x in data:
+            histogram.observe(float(x))
+            for est in standalone.values():
+                est.observe(float(x))
+        for q, est in standalone.items():
+            assert histogram.quantiles[q] == est.value

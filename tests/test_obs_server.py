@@ -1,0 +1,142 @@
+"""The live telemetry endpoint: /metrics, /health, /timeseries."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.model import ClusterProfile, Metric, VProfileModel
+from repro.errors import ObservabilityError
+from repro.obs.health import HealthConfig, ProfileHealthMonitor
+from repro.obs.registry import MetricsRegistry
+from repro.obs.server import (
+    JSON_CONTENT_TYPE,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsServer,
+    parse_host_port,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def make_model(dim=4):
+    clusters = [
+        ClusterProfile(
+            name="ECU0",
+            mean=np.zeros(dim),
+            max_distance=3.0,
+            count=10,
+            covariance=np.eye(dim),
+            inv_covariance=np.eye(dim),
+        )
+    ]
+    return VProfileModel(
+        metric=Metric.MAHALANOBIS, clusters=clusters, sa_to_cluster={0x10: 0}
+    )
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type"), response.read()
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("vprofile_messages_total", help="msgs").inc(42)
+    return registry
+
+
+@pytest.fixture
+def full_server(registry):
+    health = ProfileHealthMonitor(make_model(), HealthConfig(hysteresis=1))
+    health.record_verdict(0x10, False)
+    timeseries = TimeSeriesStore(registry, interval_s=0.0)
+    timeseries.sample(now=1.0)
+    timeseries.sample(now=2.0)
+    server = MetricsServer(registry, health=health, timeseries=timeseries)
+    with server:
+        yield server
+
+
+class TestEndpoints:
+    def test_metrics_in_prometheus_format(self, full_server):
+        status, content_type, body = fetch(full_server.url + "/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        text = body.decode()
+        assert "# TYPE vprofile_messages_total counter" in text
+        assert "vprofile_messages_total 42" in text
+
+    def test_health_verdicts_json(self, full_server):
+        status, content_type, body = fetch(full_server.url + "/health")
+        assert status == 200
+        assert content_type == JSON_CONTENT_TYPE
+        payload = json.loads(body)
+        assert payload["overall"] == "healthy"
+        assert payload["sources"]["0x10"]["state"] == "healthy"
+
+    def test_timeseries_payload(self, full_server):
+        status, _, body = fetch(full_server.url + "/timeseries")
+        assert status == 200
+        payload = json.loads(body)
+        assert [p["ts"] for p in payload["fine"]] == [1.0, 2.0]
+
+    def test_timeseries_last_param(self, full_server):
+        _, _, body = fetch(full_server.url + "/timeseries?last=1")
+        payload = json.loads(body)
+        assert [p["ts"] for p in payload["fine"]] == [2.0]
+
+    def test_unknown_route_is_404_with_directory(self, full_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(full_server.url + "/nope")
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read())
+        assert "/metrics" in payload["routes"]
+
+    def test_url_reflects_ephemeral_port(self, full_server):
+        assert full_server.port != 0
+        assert full_server.url == f"http://127.0.0.1:{full_server.port}"
+
+
+class TestDegradedModes:
+    def test_health_unavailable_is_503(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url + "/health")
+            assert excinfo.value.code == 503
+
+    def test_timeseries_unavailable_is_503(self, registry):
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url + "/timeseries")
+            assert excinfo.value.code == 503
+
+    def test_metrics_still_serves_without_optional_components(self, registry):
+        with MetricsServer(registry) as server:
+            status, _, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert b"vprofile_messages_total" in body
+
+    def test_stop_is_idempotent(self, registry):
+        server = MetricsServer(registry)
+        server.start()
+        server.stop()
+        server.stop()
+
+
+class TestParseHostPort:
+    def test_host_and_port(self):
+        assert parse_host_port("127.0.0.1:9100") == ("127.0.0.1", 9100)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_host_port(":9100") == ("127.0.0.1", 9100)
+
+    def test_port_zero_means_ephemeral(self):
+        assert parse_host_port("localhost:0") == ("localhost", 0)
+
+    @pytest.mark.parametrize("spec", ["", "nohost", "host:", "host:notaport", "host:-1", "host:70000"])
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ObservabilityError):
+            parse_host_port(spec)

@@ -1,0 +1,177 @@
+"""The bounded time-series store: sampling, aggregation, memory bounds."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore, series_key
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("vprofile_messages_total", help="msgs")
+    registry.gauge("vprofile_model_clusters", help="clusters").set(3)
+    return registry
+
+
+class TestSampling:
+    def test_sample_snapshots_counters_and_gauges(self, registry):
+        store = TimeSeriesStore(registry)
+        registry.counter("vprofile_messages_total").inc(5)
+        point = store.sample(now=10.0)
+        assert point.ts == 10.0
+        assert point.values["vprofile_messages_total"] == 5.0
+        assert point.values["vprofile_model_clusters"] == 3.0
+
+    def test_labelled_series_get_distinct_keys(self, registry):
+        registry.counter("vprofile_anomalies_total", help="h",
+                         reason="unknown-sa").inc(2)
+        registry.counter("vprofile_anomalies_total", reason="cluster-mismatch").inc()
+        store = TimeSeriesStore(registry)
+        point = store.sample(now=0.0)
+        assert point.values[
+            series_key("vprofile_anomalies_total", {"reason": "unknown-sa"})
+        ] == 2.0
+        assert point.values[
+            series_key("vprofile_anomalies_total", {"reason": "cluster-mismatch"})
+        ] == 1.0
+
+    def test_histogram_fans_out_into_facets(self, registry):
+        histogram = registry.histogram(
+            "vprofile_stream_latency_seconds", help="latency"
+        )
+        for x in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6):
+            histogram.observe(x)
+        store = TimeSeriesStore(registry)
+        values = store.sample(now=0.0).values
+        assert values["vprofile_stream_latency_seconds:count"] == 6.0
+        assert values["vprofile_stream_latency_seconds:sum"] == pytest.approx(2.1)
+        assert any(key.endswith(":p50") for key in values)
+
+    def test_series_extraction_across_points(self, registry):
+        store = TimeSeriesStore(registry)
+        counter = registry.counter("vprofile_messages_total")
+        for i in range(4):
+            counter.inc()
+            store.sample(now=float(i))
+        series = store.series("vprofile_messages_total")
+        assert series == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+        assert "vprofile_messages_total" in store.keys()
+
+    def test_follows_active_registry_when_unbound(self):
+        from repro.obs.registry import set_registry
+
+        registry = MetricsRegistry()
+        registry.counter("vprofile_messages_total", help="msgs").inc(7)
+        store = TimeSeriesStore()  # no registry pinned
+        previous = set_registry(registry)
+        try:
+            point = store.sample(now=0.0)
+        finally:
+            set_registry(previous)
+        assert point.values["vprofile_messages_total"] == 7.0
+
+    def test_maybe_sample_rate_limits(self, registry):
+        store = TimeSeriesStore(registry, interval_s=3600.0)
+        assert store.due()
+        assert store.maybe_sample(now=0.0) is not None
+        # Immediately afterwards the interval has not elapsed.
+        assert not store.due()
+        assert store.maybe_sample(now=1.0) is None
+        assert len(store) == 1
+
+    def test_zero_interval_always_samples(self, registry):
+        store = TimeSeriesStore(registry, interval_s=0.0)
+        assert store.maybe_sample(now=0.0) is not None
+        assert store.maybe_sample(now=0.1) is not None
+        assert len(store) == 2
+
+
+class TestMemoryBounds:
+    """The acceptance criterion: both rings are provably bounded."""
+
+    def test_fine_ring_is_bounded(self, registry):
+        store = TimeSeriesStore(registry, capacity=16, downsample=4)
+        for i in range(100):
+            store.sample(now=float(i))
+        assert len(store) == 16
+        assert len(store.points) == 16
+        # Oldest points were evicted: the window starts at 84.
+        assert store.points[0].ts == 84.0
+
+    def test_coarse_ring_is_bounded(self, registry):
+        store = TimeSeriesStore(registry, capacity=8, downsample=2)
+        for i in range(200):
+            store.sample(now=float(i))
+        assert len(store.aggregates) == 8
+
+    def test_capacity_validation(self, registry):
+        with pytest.raises(ObservabilityError):
+            TimeSeriesStore(registry, capacity=0)
+        with pytest.raises(ObservabilityError):
+            TimeSeriesStore(registry, downsample=0)
+        with pytest.raises(ObservabilityError):
+            TimeSeriesStore(registry, interval_s=-1.0)
+
+
+class TestDownsampling:
+    def test_aggregate_carries_min_max_mean_last(self, registry):
+        store = TimeSeriesStore(registry, capacity=64, downsample=4)
+        gauge = registry.gauge("vprofile_stream_queue_depth", help="depth")
+        for i, depth in enumerate((1.0, 5.0, 3.0, 2.0)):
+            gauge.set(depth)
+            store.sample(now=float(i))
+        [aggregate] = store.aggregates
+        key = "vprofile_stream_queue_depth"
+        assert aggregate.n == 4
+        assert aggregate.ts_first == 0.0 and aggregate.ts_last == 3.0
+        assert aggregate.minimum[key] == 1.0
+        assert aggregate.maximum[key] == 5.0
+        assert aggregate.mean[key] == pytest.approx(2.75)
+        assert aggregate.last[key] == 2.0
+
+    def test_flush_folds_partial_window(self, registry):
+        store = TimeSeriesStore(registry, capacity=64, downsample=10)
+        for i in range(3):
+            store.sample(now=float(i))
+        assert store.aggregates == []
+        store.flush()
+        [aggregate] = store.aggregates
+        assert aggregate.n == 3
+        store.flush()  # idempotent on an empty pending list
+        assert len(store.aggregates) == 1
+
+    def test_series_appearing_mid_window_aggregates_its_points_only(
+        self, registry
+    ):
+        store = TimeSeriesStore(registry, capacity=64, downsample=2)
+        store.sample(now=0.0)
+        registry.counter("vprofile_cache_hits_total", help="hits").inc(4)
+        store.sample(now=1.0)
+        [aggregate] = store.aggregates
+        assert aggregate.mean["vprofile_cache_hits_total"] == 4.0
+
+
+class TestPayload:
+    def test_payload_shape_and_last_trimming(self, registry):
+        store = TimeSeriesStore(registry, capacity=32, downsample=2)
+        for i in range(6):
+            store.sample(now=float(i))
+        payload = store.to_payload(last=2)
+        assert payload["capacity"] == 32
+        assert payload["downsample"] == 2
+        assert [p["ts"] for p in payload["fine"]] == [4.0, 5.0]
+        assert len(payload["coarse"]) == 2
+        assert set(payload["coarse"][0]) == {
+            "ts_first", "ts_last", "n", "min", "max", "mean", "last"
+        }
+
+    def test_payload_is_json_serialisable(self, registry):
+        import json
+
+        store = TimeSeriesStore(registry)
+        store.sample(now=0.0)
+        store.flush()
+        text = json.dumps(store.to_payload())
+        assert "vprofile_messages_total" in text
