@@ -1,0 +1,70 @@
+"""Fleet gateway scale: N concurrent vehicles through one process.
+
+The gateway's figure of merit is how many simulated vehicles one
+process sustains and what the chunk ingest-to-verdict latency looks
+like at that scale (p50/p99 client-side round-trip, WebSocket and REST
+mixed).  The run also performs the evict/rehydrate byte-identical
+verdict check under load, so the committed artefact doubles as a
+regression record of the supervisor's core guarantee.
+
+Scale knobs for CI smoke runs: ``REPRO_FLEET_TENANTS`` (default 100)
+and ``REPRO_FLEET_DURATION`` (simulated bus seconds per tenant,
+default 0.1).  Marked ``slow``: the default shape streams ~700 chunks
+through a single core.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import report, report_json
+from repro.fleet.gateway import GatewayConfig, GatewayThread
+from repro.fleet.loadgen import LoadgenConfig, format_report, run_loadgen
+from repro.obs.registry import MetricsRegistry
+
+TENANTS = int(os.environ.get("REPRO_FLEET_TENANTS", "100"))
+DURATION_S = float(os.environ.get("REPRO_FLEET_DURATION", "0.1"))
+
+
+@pytest.mark.slow
+def test_fleet_gateway_scale(tmp_path):
+    config = LoadgenConfig(
+        tenants=TENANTS,
+        duration_s=DURATION_S,
+        chunk_samples=32768,
+        seed=0,
+        train_duration_s=4.0,
+        ws_fraction=0.5,
+        check_rehydration=True,
+    )
+    registry = MetricsRegistry()
+    gateway_config = GatewayConfig(
+        state_dir=tmp_path / "state",
+        # Headroom above the fleet size: this benchmark measures
+        # steady-state serving; eviction is exercised by the
+        # rehydration check and pinned by the tier-1 suite.
+        max_resident=TENANTS + 8,
+    )
+    with GatewayThread(gateway_config, registry) as server:
+        result = run_loadgen(server.host, server.port, config)
+        summary = server.gateway._fleet_summary()
+
+    assert result["tenants"] == TENANTS
+    assert result["chunks"] > 0 and result["frames"] > 0
+    assert result["latency"]["count"] == result["chunks"]
+    assert result["latency"]["p99_ms"] >= result["latency"]["p50_ms"]
+    # The gateway's own counters agree with the client-side tally
+    # (the rehydration check adds its two control tenants' chunks).
+    assert summary["chunks"] >= result["chunks"]
+    assert result["rehydration"]["identical"], "evicted verdicts diverged"
+
+    result["gateway"] = {
+        "chunks": summary["chunks"],
+        "frames": summary["frames"],
+        "anomalies": summary["anomalies"],
+        "verdict_latency_s": summary["verdict_latency"],
+        "evictions": summary["evictions"],
+        "rehydrations": summary["rehydrations"],
+    }
+    report("fleet_gateway", format_report(result).rstrip("\n"))
+    report_json("fleet_gateway", result)

@@ -16,6 +16,9 @@ Python:
   dumps forensics bundles on alert;
 * ``health``      — scrape the per-SA profile-health verdicts from a
   running ``stream --serve`` endpoint;
+* ``fleet``       — the multi-tenant detection gateway: ``fleet serve``
+  runs it until SIGTERM (then drains tenants to checkpoints),
+  ``fleet bench`` drives the deterministic N-vehicle load generator;
 * ``experiment``  — regenerate one of the paper's experiments
   (``suite``, ``temperature``, ``voltage``, ``sweep``);
 * ``stats``       — summarize a metrics file emitted by a previous run;
@@ -703,6 +706,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("path", help="metrics file (.json or Prometheus text)")
     stats.set_defaults(handler=cmd_stats)
+
+    from repro.fleet.cli import add_fleet_parser
+
+    add_fleet_parser(commands)
 
     lint = commands.add_parser(
         "lint",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
+from typing import IO
 
 import numpy as np
 
@@ -137,9 +138,15 @@ class VProfileModel:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Serialise to an ``.npz`` archive."""
-        path = Path(path)
+    def save(self, path: "str | Path | IO[bytes]") -> None:
+        """Serialise to an ``.npz`` archive (path or binary file object).
+
+        Accepting file objects lets callers move models over sockets
+        (the fleet gateway registers tenants from uploaded bytes)
+        without a temporary file.
+        """
+        if not hasattr(path, "write"):
+            path = Path(path)
         arrays: dict[str, np.ndarray] = {
             "metric": np.array(self.metric.value),
             "names": np.array([c.name for c in self.clusters]),
@@ -158,9 +165,10 @@ class VProfileModel:
         np.savez_compressed(path, **arrays)
 
     @classmethod
-    def load(cls, path: str | Path) -> "VProfileModel":
+    def load(cls, path: "str | Path | IO[bytes]") -> "VProfileModel":
         """Load a model previously stored with :meth:`save`."""
-        with np.load(Path(path), allow_pickle=False) as archive:
+        source = path if hasattr(path, "read") else Path(path)
+        with np.load(source, allow_pickle=False) as archive:
             metric = Metric(str(archive["metric"]))
             names = [str(n) for n in archive["names"]]
             means = archive["means"]

@@ -76,6 +76,12 @@ class StreamError(ReproError):
     out-of-order chunks, resume from a corrupt checkpoint, ...)."""
 
 
+class FleetError(ReproError):
+    """The fleet gateway was misused (unknown tenant, malformed chunk
+    payload, out-of-order ingest, eviction without a state directory,
+    protocol violations on the wire)."""
+
+
 class PerfError(ReproError):
     """The parallel capture/extraction engine was misconfigured (bad job
     count, unparseable ``REPRO_JOBS``, unbatchable synthesis request)."""

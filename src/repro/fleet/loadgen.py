@@ -1,0 +1,461 @@
+"""Deterministic fleet load generator.
+
+Simulates N vehicles streaming against one gateway: every tenant gets
+its own deterministic :class:`~repro.stream.chunks.LiveSource` (seeded
+``seed + 1000 + index``), a share of the tenants speak the WebSocket
+protocol and the rest REST keep-alive, and every chunk round-trip is
+timed client-side, so the report's p50/p99 verdict latencies measure
+the full wire-to-verdict path.
+
+One model is trained once (client-side, on a thread executor) and
+uploaded to every tenant — fleet benchmarks measure the gateway, not N
+redundant training runs.
+
+The optional rehydration check registers two extra tenants fed the
+identical chunk sequence; one is forcibly evicted halfway.  The run
+fails the check unless both verdict sequences are byte-identical, which
+pins the supervisor's core guarantee under the same load the benchmark
+reports.
+
+Everything is deterministic for a given config: seeds drive the
+simulated traffic, the WebSocket nonces and masks derive from the
+tenant index, and latency quantiles are the only machine-dependent
+numbers in the report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core.model import VProfileModel
+from repro.core.pipeline import PipelineConfig, VProfilePipeline
+from repro.errors import FleetError
+from repro.fleet.protocol import (
+    OP_CLOSE,
+    OP_TEXT,
+    client_ws_connect,
+    encode_ws_frame,
+    http_json,
+    read_ws_frame,
+)
+from repro.fleet.tenant import builtin_vehicle, encode_chunk, model_to_b64
+from repro.obs.clock import monotonic
+from repro.stream.chunks import SampleChunk
+from repro.vehicles.dataset import capture_session
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load-generator run.
+
+    Attributes
+    ----------
+    tenants:
+        Simulated vehicles streaming concurrently.
+    duration_s:
+        Simulated bus time streamed per tenant.
+    vehicle / sample_rate:
+        Built-in vehicle every tenant registers as; the default halves
+        sterling's capture rate to 2 MS/s, the setting the streaming
+        test-suite standardises on.
+    chunk_samples:
+        Digitizer chunk size each tenant sends.
+    seed:
+        Base seed; tenant ``i`` streams traffic seeded ``seed+1000+i``.
+    train_duration_s:
+        Length of the one shared training capture.
+    margin:
+        Detection margin every tenant registers with.
+    ws_fraction:
+        Fraction of tenants using the WebSocket path (the rest REST).
+    check_rehydration:
+        Run the evict/rehydrate byte-identical verdict check.
+    """
+
+    tenants: int = 8
+    duration_s: float = 0.25
+    vehicle: str = "sterling"
+    sample_rate: float | None = 2_000_000.0
+    chunk_samples: int = 32768
+    seed: int = 0
+    train_duration_s: float = 4.0
+    margin: float = 5.0
+    ws_fraction: float = 0.5
+    check_rehydration: bool = True
+
+
+@dataclass
+class _TenantResult:
+    tenant: str
+    transport: str
+    chunks: int = 0
+    frames: int = 0
+    anomalies: int = 0
+    latencies: list[float] | None = None
+    verdicts: list[dict[str, Any]] | None = None
+
+
+def train_shared_model(config: LoadgenConfig) -> VProfileModel:
+    """Train the one model every simulated vehicle uploads."""
+    vehicle = builtin_vehicle(config.vehicle, config.sample_rate)
+    session = capture_session(
+        vehicle, config.train_duration_s, seed=config.seed
+    )
+    pipeline = VProfilePipeline(
+        PipelineConfig(margin=config.margin, sa_clusters=vehicle.sa_clusters)
+    )
+    pipeline.train(session.traces)
+    return pipeline.model
+
+
+def _chunk_iter(config: LoadgenConfig, index: int) -> Iterator[SampleChunk]:
+    from repro.stream.chunks import LiveSource
+
+    vehicle = builtin_vehicle(config.vehicle, config.sample_rate)
+    return LiveSource(
+        vehicle,
+        config.duration_s,
+        config.chunk_samples,
+        seed=config.seed + 1000 + index,
+    ).chunks()
+
+
+def _mask_for(tenant: str, seq: int) -> bytes:
+    return hashlib.sha256(f"mask-{tenant}-{seq}".encode()).digest()[:4]
+
+
+async def _register(
+    host: str,
+    port: int,
+    tenant: str,
+    model_b64: str,
+    config: LoadgenConfig,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        status, body = await http_json(
+            reader,
+            writer,
+            "POST",
+            "/tenants",
+            {
+                "tenant": tenant,
+                "vehicle": config.vehicle,
+                "sample_rate": config.sample_rate,
+                "margin": config.margin,
+                "model_b64": model_b64,
+            },
+        )
+        if status != 200:
+            raise FleetError(f"register {tenant!r} failed ({status}): {body}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def _tally(
+    result: _TenantResult, verdicts: list[dict[str, Any]], elapsed: float
+) -> None:
+    result.chunks += 1
+    result.frames += len(verdicts)
+    result.anomalies += sum(v["verdict"] == "anomaly" for v in verdicts)
+    if result.latencies is not None:
+        result.latencies.append(elapsed)
+    if result.verdicts is not None:
+        result.verdicts.extend(verdicts)
+
+
+async def _drive_tenant(
+    host: str,
+    port: int,
+    tenant: str,
+    index: int,
+    config: LoadgenConfig,
+    executor: ThreadPoolExecutor,
+    use_ws: bool,
+) -> _TenantResult:
+    """Stream one tenant's whole session over one persistent connection.
+
+    Each tenant alternates chunk synthesis (on the client executor, so
+    the event loop stays free) with one timed wire round-trip — the
+    shape of a real vehicle's steady send/ack loop.
+    """
+    result = _TenantResult(
+        tenant=tenant,
+        transport="ws" if use_ws else "rest",
+        latencies=[],
+    )
+    loop = asyncio.get_running_loop()
+    iterator = await loop.run_in_executor(
+        executor, lambda: _chunk_iter(config, index)
+    )
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if use_ws:
+            await client_ws_connect(
+                reader, writer, f"/tenants/{tenant}/stream", key_seed=index
+            )
+        seq = 0
+        while True:
+            chunk = await loop.run_in_executor(
+                executor, lambda: next(iterator, None)
+            )
+            if chunk is None:
+                break
+            if use_ws:
+                frame = json.dumps(
+                    {"type": "chunk", **encode_chunk(chunk)}, sort_keys=True
+                ).encode("utf-8")
+                started = monotonic()
+                writer.write(
+                    encode_ws_frame(
+                        frame, opcode=OP_TEXT, mask_key=_mask_for(tenant, seq)
+                    )
+                )
+                await writer.drain()
+                opcode, payload = await read_ws_frame(reader)
+                elapsed = monotonic() - started
+                if opcode == OP_CLOSE:
+                    raise FleetError(f"gateway closed {tenant!r} mid-stream")
+                reply = json.loads(payload.decode("utf-8"))
+                if reply.get("type") != "verdicts":
+                    raise FleetError(f"tenant {tenant!r}: {reply}")
+                _tally(result, reply["verdicts"], elapsed)
+            else:
+                started = monotonic()
+                status, body = await http_json(
+                    reader,
+                    writer,
+                    "POST",
+                    f"/tenants/{tenant}/ingest",
+                    encode_chunk(chunk),
+                )
+                elapsed = monotonic() - started
+                if status != 200:
+                    raise FleetError(
+                        f"ingest {tenant!r} failed ({status}): {body}"
+                    )
+                _tally(result, body["verdicts"], elapsed)
+            seq += 1
+        if use_ws:
+            writer.write(
+                encode_ws_frame(
+                    b"", opcode=OP_CLOSE, mask_key=_mask_for(tenant, -1)
+                )
+            )
+            await writer.drain()
+            await read_ws_frame(reader)  # close echo
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    return result
+
+
+async def _rehydration_check(
+    host: str,
+    port: int,
+    model_b64: str,
+    config: LoadgenConfig,
+    executor: ThreadPoolExecutor,
+) -> dict[str, Any]:
+    """Two tenants, same traffic; one evicted halfway.  Verdicts must match."""
+    loop = asyncio.get_running_loop()
+    index = config.tenants + 1  # seed outside the fleet's range
+    chunks = await loop.run_in_executor(
+        executor, lambda: list(_chunk_iter(config, index))
+    )
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        sequences: dict[str, list[dict[str, Any]]] = {}
+        for name in ("loadgen-ctrl", "loadgen-evictee"):
+            status, body = await http_json(
+                reader,
+                writer,
+                "POST",
+                "/tenants",
+                {
+                    "tenant": name,
+                    "vehicle": config.vehicle,
+                    "sample_rate": config.sample_rate,
+                    "margin": config.margin,
+                    "model_b64": model_b64,
+                },
+            )
+            if status != 200:
+                raise FleetError(f"register {name!r} failed ({status}): {body}")
+            collected: list[dict[str, Any]] = []
+            halfway = len(chunks) // 2
+            for position, chunk in enumerate(chunks):
+                if name == "loadgen-evictee" and position == halfway:
+                    status, body = await http_json(
+                        reader, writer, "POST", f"/tenants/{name}/evict"
+                    )
+                    if status != 200:
+                        raise FleetError(f"evict failed ({status}): {body}")
+                status, body = await http_json(
+                    reader,
+                    writer,
+                    "POST",
+                    f"/tenants/{name}/ingest",
+                    encode_chunk(chunk),
+                )
+                if status != 200:
+                    raise FleetError(
+                        f"ingest {name!r} failed ({status}): {body}"
+                    )
+                collected.extend(body["verdicts"])
+            sequences[name] = collected
+        control = json.dumps(sequences["loadgen-ctrl"], sort_keys=True)
+        evicted = json.dumps(sequences["loadgen-evictee"], sort_keys=True)
+        for name in ("loadgen-ctrl", "loadgen-evictee"):
+            await http_json(reader, writer, "DELETE", f"/tenants/{name}")
+        return {
+            "identical": control == evicted,
+            "verdicts": len(sequences["loadgen-ctrl"]),
+        }
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _run(host: str, port: int, config: LoadgenConfig) -> dict[str, Any]:
+    if config.tenants < 1:
+        raise FleetError(f"need at least one tenant, got {config.tenants}")
+    executor = ThreadPoolExecutor(
+        max_workers=min(8, config.tenants),
+        thread_name_prefix="vprofile-loadgen",
+    )
+    try:
+        loop = asyncio.get_running_loop()
+        model = await loop.run_in_executor(
+            executor, lambda: train_shared_model(config)
+        )
+        model_b64 = await loop.run_in_executor(
+            executor, lambda: model_to_b64(model)
+        )
+
+        tenants = [f"loadgen-{i}" for i in range(config.tenants)]
+        for name in tenants:
+            await _register(host, port, name, model_b64, config)
+
+        ws_cutoff = int(round(config.ws_fraction * config.tenants))
+        started = monotonic()
+        results = await asyncio.gather(
+            *(
+                _drive_tenant(
+                    host, port, name, i, config, executor, use_ws=i < ws_cutoff
+                )
+                for i, name in enumerate(tenants)
+            )
+        )
+        elapsed = monotonic() - started
+
+        rehydration = None
+        if config.check_rehydration:
+            rehydration = await _rehydration_check(
+                host, port, model_b64, config, executor
+            )
+
+        latencies = np.array(
+            [l for r in results for l in (r.latencies or [])], dtype=float
+        )
+        frames = sum(r.frames for r in results)
+        chunks = sum(r.chunks for r in results)
+        cores = os.cpu_count() or 1
+        report: dict[str, Any] = {
+            "tenants": config.tenants,
+            "ws_tenants": ws_cutoff,
+            "rest_tenants": config.tenants - ws_cutoff,
+            "duration_s": config.duration_s,
+            "chunk_samples": config.chunk_samples,
+            "seed": config.seed,
+            "elapsed_s": float(elapsed),
+            "chunks": chunks,
+            "frames": frames,
+            "anomalies": sum(r.anomalies for r in results),
+            "frames_per_s": float(frames / elapsed) if elapsed > 0 else 0.0,
+            "chunks_per_s": float(chunks / elapsed) if elapsed > 0 else 0.0,
+            "cores": cores,
+            "tenants_per_core": float(config.tenants / cores),
+            "latency": {
+                "count": int(latencies.size),
+                "p50_ms": float(np.percentile(latencies, 50) * 1e3)
+                if latencies.size
+                else None,
+                "p99_ms": float(np.percentile(latencies, 99) * 1e3)
+                if latencies.size
+                else None,
+                "mean_ms": float(latencies.mean() * 1e3)
+                if latencies.size
+                else None,
+                "max_ms": float(latencies.max() * 1e3)
+                if latencies.size
+                else None,
+            },
+            "rehydration": rehydration,
+        }
+        return report
+    finally:
+        executor.shutdown(wait=True)
+
+
+def run_loadgen(host: str, port: int, config: LoadgenConfig) -> dict[str, Any]:
+    """Drive a full load-generator run against ``host:port``; blocking."""
+    return asyncio.run(_run(host, port, config))
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of :func:`run_loadgen` output."""
+    lines = [
+        "fleet gateway load test",
+        f"  tenants:     {report['tenants']} "
+        f"({report['ws_tenants']} ws, {report['rest_tenants']} rest), "
+        f"{report['tenants_per_core']:.1f} per core "
+        f"({report['cores']} cores)",
+        f"  traffic:     {report['duration_s']:g}s x "
+        f"{report['chunk_samples']} samples/chunk, seed {report['seed']}",
+        f"  streamed:    {report['chunks']} chunks, {report['frames']} frames "
+        f"({report['anomalies']} anomalies) in {report['elapsed_s']:.2f}s",
+        f"  throughput:  {report['frames_per_s']:.0f} frames/s aggregate",
+    ]
+    latency = report["latency"]
+    if latency["count"]:
+        lines.append(
+            f"  latency:     p50 {latency['p50_ms']:.2f} ms, "
+            f"p99 {latency['p99_ms']:.2f} ms, "
+            f"max {latency['max_ms']:.2f} ms "
+            f"({latency['count']} chunk round-trips)"
+        )
+    rehydration = report.get("rehydration")
+    if rehydration is not None:
+        verdict = "byte-identical" if rehydration["identical"] else "DIVERGED"
+        lines.append(
+            f"  rehydration: {verdict} across eviction "
+            f"({rehydration['verdicts']} verdicts compared)"
+        )
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "LoadgenConfig",
+    "format_report",
+    "run_loadgen",
+    "train_shared_model",
+]

@@ -64,6 +64,9 @@ class LintConfig:
         tests legitimately assert exact expected floats.
     concurrency_paths:
         Paths whose lock-owning classes get the VPL30x treatment.
+    async_paths:
+        Paths whose ``async def`` bodies are checked for blocking calls
+        (VPL303) — the event-loop code of the fleet gateway.
     lock_attribute_hints:
         Substrings identifying lock-like ``self`` attributes
         (``_update_lock``, ``_idle`` condition, ...).
@@ -93,6 +96,7 @@ class LintConfig:
     )
     float_compare_paths: tuple[str, ...] = ("src/repro",)
     concurrency_paths: tuple[str, ...] = ("src/repro/stream",)
+    async_paths: tuple[str, ...] = ("src/repro/fleet",)
     lock_attribute_hints: tuple[str, ...] = ("lock", "cond", "idle", "mutex")
     metric_name_pattern: str = r"^vprofile_[a-z][a-z0-9_]*$"
     schema_version_file: str = "src/repro/perf/cache.py"
@@ -128,6 +132,7 @@ _LIST_FIELDS = {
     "clock-exempt": "clock_exempt",
     "float-compare-paths": "float_compare_paths",
     "concurrency-paths": "concurrency_paths",
+    "async-paths": "async_paths",
     "lock-attribute-hints": "lock_attribute_hints",
     "schema-watch": "schema_watch",
 }

@@ -15,6 +15,14 @@ profile every later verdict trusts.  The contract enforced here:
   ``with`` context.
 * VPL302 — no mutable default arguments anywhere: a shared list/dict/
   set default is cross-call (and cross-thread) shared state.
+* VPL303 — no blocking calls inside ``async def`` bodies under the
+  configured ``async-paths`` (the fleet gateway's event loop):
+  ``time.sleep``, synchronous file I/O (``open``, ``Path.read_text``
+  and friends, ``numpy.load``/``save``), and blocking queue
+  ``get``/``put``.  One stalled coroutine freezes every tenant on the
+  loop; blocking work belongs on the executor
+  (``loop.run_in_executor``).  Awaited calls are exempt — ``await
+  queue.get()`` is the asyncio queue, not the blocking one.
 """
 
 from __future__ import annotations
@@ -137,6 +145,84 @@ class UnlockedSharedMutation(Rule):
                 yield from visitor.findings
 
 
+#: Canonical dotted names of calls that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "numpy.load", "numpy.save",
+        "numpy.savez", "numpy.savez_compressed",
+        "subprocess.run", "subprocess.check_call", "subprocess.check_output",
+        "shutil.rmtree", "shutil.copytree", "shutil.copyfile",
+    }
+)
+
+#: ``pathlib.Path`` convenience methods that hit the filesystem.
+BLOCKING_PATH_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _async_body_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Call nodes executed on the event loop by ``func``'s own body.
+
+    Nested function definitions are skipped (their bodies run wherever
+    they are later called — typically the executor), and a call that is
+    directly awaited is skipped too (awaitables yield, they don't
+    block), though its *arguments* are still scanned.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            stack.extend(ast.iter_child_nodes(node.value))
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingCallInAsync(Rule):
+    code = "VPL303"
+    name = "blocking-call-in-async"
+    summary = "blocking call on the event loop inside an async def"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not matches_any(module.path, module.config.async_paths):
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(func):
+                complaint = self._blocking(module, call)
+                if complaint is not None:
+                    yield self.diagnostic(
+                        module,
+                        call,
+                        f"{complaint} blocks the event loop inside async "
+                        f"{func.name}(); push it through "
+                        "loop.run_in_executor instead",
+                    )
+
+    def _blocking(self, module: ModuleContext, call: ast.Call) -> str | None:
+        dotted = module.resolver.resolve_call(call)
+        if dotted in BLOCKING_CALLS:
+            return f"{dotted}()"
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            return "open()"
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in BLOCKING_PATH_METHODS:
+                return f".{attr}()"
+            if attr in ("get", "put"):
+                receiver = ast.unparse(call.func.value).lower()
+                if "queue" in receiver:
+                    return f"blocking queue .{attr}()"
+        return None
+
+
 @register
 class MutableDefaultArgument(Rule):
     code = "VPL302"
@@ -169,6 +255,9 @@ class MutableDefaultArgument(Rule):
 
 
 __all__ = [
+    "BLOCKING_CALLS",
+    "BLOCKING_PATH_METHODS",
+    "BlockingCallInAsync",
     "LOCK_CONSTRUCTORS",
     "MutableDefaultArgument",
     "SETUP_METHODS",

@@ -154,7 +154,11 @@ class MetricsServer:
                         request, 503, {"error": "no time-series store attached"}
                     )
                 else:
-                    last = _int_param(parse_qs(parsed.query), "last")
+                    try:
+                        last = _int_param(parse_qs(parsed.query), "last")
+                    except ObservabilityError as exc:
+                        self._respond_json(request, 400, {"error": str(exc)})
+                        return
                     self._respond_json(
                         request, 200, self.timeseries.to_payload(last=last)
                     )
@@ -196,13 +200,20 @@ class MetricsServer:
 
 
 def _int_param(query: dict[str, list[str]], name: str) -> int | None:
+    """Parse an optional integer query parameter.
+
+    A present-but-non-integer value is a client error (answered 400),
+    not silently the same as omitting the parameter.
+    """
     values = query.get(name)
     if not values:
         return None
     try:
         return int(values[0])
     except ValueError:
-        return None
+        raise ObservabilityError(
+            f"query parameter {name!r} must be an integer, got {values[0]!r}"
+        ) from None
 
 
 def parse_host_port(spec: str) -> tuple[str, int]:

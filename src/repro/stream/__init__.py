@@ -61,6 +61,7 @@ from repro.stream.workers import (
     QUEUE_DEPTH_METRIC,
     ShardedWorkerPool,
     StreamVerdict,
+    result_from_batch,
 )
 
 __all__ = [
@@ -93,4 +94,5 @@ __all__ = [
     "QUEUE_DEPTH_METRIC",
     "ShardedWorkerPool",
     "StreamVerdict",
+    "result_from_batch",
 ]

@@ -57,6 +57,47 @@ class StreamVerdict:
         return self.result.is_anomaly
 
 
+def result_from_batch(
+    detection: BatchDetection, row: int, sa: int, margin: float
+) -> DetectionResult:
+    """Rebuild the single-message :class:`DetectionResult` shape.
+
+    Mirrors ``Detector._classify``'s reason precedence so a verdict from
+    any batched consumer (the sharded worker pool here, the fleet
+    gateway's per-tenant engines) is indistinguishable from one produced
+    by ``VProfilePipeline.process``.
+    """
+    expected = int(detection.expected_cluster[row])
+    if expected < 0:
+        return DetectionResult(
+            verdict=Verdict.ANOMALY,
+            reason=AnomalyReason.UNKNOWN_SA,
+            source_address=sa,
+            expected_cluster=None,
+            predicted_cluster=None,
+            min_distance=None,
+            slack=None,
+        )
+    predicted = int(detection.predicted_cluster[row])
+    min_distance = float(detection.min_distance[row])
+    slack = float(detection.slack[row])
+    if predicted != expected:
+        reason: AnomalyReason | None = AnomalyReason.CLUSTER_MISMATCH
+    elif slack > margin:
+        reason = AnomalyReason.DISTANCE_EXCEEDED
+    else:
+        reason = None
+    return DetectionResult(
+        verdict=Verdict.ANOMALY if reason else Verdict.OK,
+        reason=reason,
+        source_address=sa,
+        expected_cluster=expected,
+        predicted_cluster=predicted,
+        min_distance=min_distance,
+        slack=slack,
+    )
+
+
 class ShardedWorkerPool:
     """N classification workers behind N bounded shard queues.
 
@@ -251,38 +292,4 @@ class ShardedWorkerPool:
     def _result_from_batch(
         self, detection: BatchDetection, row: int, sa: int
     ) -> DetectionResult:
-        """Rebuild the single-message :class:`DetectionResult` shape.
-
-        Mirrors ``Detector._classify``'s reason precedence so a verdict
-        from the batched worker path is indistinguishable from one
-        produced by ``VProfilePipeline.process``.
-        """
-        expected = int(detection.expected_cluster[row])
-        if expected < 0:
-            return DetectionResult(
-                verdict=Verdict.ANOMALY,
-                reason=AnomalyReason.UNKNOWN_SA,
-                source_address=sa,
-                expected_cluster=None,
-                predicted_cluster=None,
-                min_distance=None,
-                slack=None,
-            )
-        predicted = int(detection.predicted_cluster[row])
-        min_distance = float(detection.min_distance[row])
-        slack = float(detection.slack[row])
-        if predicted != expected:
-            reason: AnomalyReason | None = AnomalyReason.CLUSTER_MISMATCH
-        elif slack > self.detector.margin:
-            reason = AnomalyReason.DISTANCE_EXCEEDED
-        else:
-            reason = None
-        return DetectionResult(
-            verdict=Verdict.ANOMALY if reason else Verdict.OK,
-            reason=reason,
-            source_address=sa,
-            expected_cluster=expected,
-            predicted_cluster=predicted,
-            min_distance=min_distance,
-            slack=slack,
-        )
+        return result_from_batch(detection, row, sa, self.detector.margin)

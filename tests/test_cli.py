@@ -1,5 +1,7 @@
 """Command-line interface workflows."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -277,3 +279,28 @@ class TestErrorPaths:
         bad.write_text("{not json")
         assert main(["stats", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFleet:
+    def test_fleet_bench_smoke(self, capsys):
+        assert main([
+            "fleet", "bench",
+            "--tenants", "2", "--duration", "0.05",
+            "--chunk-samples", "16384", "--train-duration", "2",
+            "--seed", "5", "--no-rehydration-check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet gateway load test" in out
+        assert "throughput:" in out
+
+    def test_fleet_bench_json_output(self, capsys):
+        assert main([
+            "fleet", "bench", "--json",
+            "--tenants", "1", "--duration", "0.05",
+            "--chunk-samples", "16384", "--train-duration", "2",
+            "--ws-fraction", "0", "--no-rehydration-check",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tenants"] == 1
+        assert report["chunks"] > 0
+        assert report["rehydration"] is None

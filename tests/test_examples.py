@@ -23,6 +23,7 @@ EXAMPLE_NAMES = [
     "vehicle_twin",
     "bus_off_dos",
     "streaming_detection",
+    "fleet_gateway",
 ]
 
 

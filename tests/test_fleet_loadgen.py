@@ -1,0 +1,55 @@
+"""The deterministic load generator, driven against an in-process gateway."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.gateway import GatewayConfig, GatewayThread
+from repro.fleet.loadgen import LoadgenConfig, format_report, run_loadgen
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def loadgen_report(tmp_path_factory):
+    state = tmp_path_factory.mktemp("fleet-loadgen") / "state"
+    config = LoadgenConfig(
+        tenants=3,
+        duration_s=0.1,
+        chunk_samples=16384,
+        seed=7,
+        train_duration_s=2.0,
+        ws_fraction=0.5,
+    )
+    with GatewayThread(
+        GatewayConfig(state_dir=state, max_resident=2), MetricsRegistry()
+    ) as server:
+        yield run_loadgen(server.host, server.port, config)
+
+
+class TestLoadgen:
+    def test_report_shape(self, loadgen_report):
+        report = loadgen_report
+        assert report["tenants"] == 3
+        assert report["ws_tenants"] + report["rest_tenants"] == 3
+        assert report["chunks"] > 0
+        assert report["frames"] > 0
+        assert report["frames_per_s"] > 0
+        assert report["latency"]["count"] == report["chunks"]
+        assert report["latency"]["p99_ms"] >= report["latency"]["p50_ms"]
+        assert report["tenants_per_core"] > 0
+
+    def test_rehydration_check_is_byte_identical(self, loadgen_report):
+        rehydration = loadgen_report["rehydration"]
+        assert rehydration is not None
+        assert rehydration["identical"] is True
+        assert rehydration["verdicts"] > 0
+
+    def test_format_report_is_human_readable(self, loadgen_report):
+        text = format_report(loadgen_report)
+        assert text.startswith("fleet gateway load test")
+        assert "rehydration: byte-identical" in text
+        assert "p99" in text
+        assert text.endswith("\n")
+
+    def test_rejects_zero_tenants(self):
+        with pytest.raises(FleetError, match="at least one tenant"):
+            run_loadgen("127.0.0.1", 1, LoadgenConfig(tenants=0))

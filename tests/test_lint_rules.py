@@ -274,6 +274,80 @@ def test_vpl301_recognises_injected_lock_by_hint():
 
 
 # ----------------------------------------------------------------------
+# VPL303 — blocking calls inside async defs (fleet event loop)
+# ----------------------------------------------------------------------
+FLEET_PATH = "src/repro/fleet/fake.py"
+
+
+def test_vpl303_fires_on_time_sleep():
+    assert codes("""
+        import time
+        async def handler():
+            time.sleep(0.1)
+    """, path=FLEET_PATH) == ["VPL303"]
+
+
+def test_vpl303_fires_on_open_and_path_io():
+    assert codes("""
+        async def handler(path):
+            open(path).read()
+            path.read_text()
+    """, path=FLEET_PATH) == ["VPL303", "VPL303"]
+
+
+def test_vpl303_fires_on_blocking_queue_get():
+    assert codes("""
+        async def handler(queue):
+            return queue.get(timeout=1.0)
+    """, path=FLEET_PATH) == ["VPL303"]
+
+
+def test_vpl303_clean_on_awaited_queue_get():
+    # `await queue.get()` is the asyncio queue yielding, not blocking.
+    assert codes("""
+        async def handler(queue):
+            return await queue.get()
+    """, path=FLEET_PATH) == []
+
+
+def test_vpl303_clean_inside_nested_def():
+    # Nested defs run wherever they're called — here, on the executor.
+    assert codes("""
+        import numpy as np
+        async def handler(loop, executor, path):
+            def work():
+                return np.load(path)
+            return await loop.run_in_executor(executor, work)
+    """, path=FLEET_PATH) == []
+
+
+def test_vpl303_scans_arguments_of_awaited_calls():
+    # The await exempts the awaited call, not blocking work nested in
+    # its argument list.
+    assert codes("""
+        import time
+        async def handler(send):
+            await send(time.sleep(1))
+    """, path=FLEET_PATH) == ["VPL303"]
+
+
+def test_vpl303_scoped_to_async_paths():
+    assert codes("""
+        import time
+        async def handler():
+            time.sleep(0.1)
+    """, path="src/repro/stream/fake.py") == []
+
+
+def test_vpl303_clean_on_sync_def():
+    assert codes("""
+        import time
+        def handler():
+            time.sleep(0.1)
+    """, path=FLEET_PATH) == []
+
+
+# ----------------------------------------------------------------------
 # VPL302 — mutable default arguments
 # ----------------------------------------------------------------------
 def test_vpl302_fires_on_list_dict_set_defaults():

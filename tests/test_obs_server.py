@@ -88,6 +88,14 @@ class TestEndpoints:
         payload = json.loads(body)
         assert [p["ts"] for p in payload["fine"]] == [2.0]
 
+    def test_timeseries_non_integer_last_is_400(self, full_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(full_server.url + "/timeseries?last=abc")
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert "'last'" in payload["error"]
+        assert "'abc'" in payload["error"]
+
     def test_unknown_route_is_404_with_directory(self, full_server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             fetch(full_server.url + "/nope")
@@ -98,6 +106,17 @@ class TestEndpoints:
     def test_url_reflects_ephemeral_port(self, full_server):
         assert full_server.port != 0
         assert full_server.url == f"http://127.0.0.1:{full_server.port}"
+
+    def test_port_zero_binds_distinct_ephemeral_ports(self, registry):
+        """Two port-0 servers coexist: each gets its own OS-chosen port,
+        reachable at the URL built from the bound address."""
+        with MetricsServer(registry) as first, MetricsServer(registry) as second:
+            assert first.port != 0 and second.port != 0
+            assert first.port != second.port
+            for server in (first, second):
+                status, _, body = fetch(server.url + "/metrics")
+                assert status == 200
+                assert b"vprofile_messages_total" in body
 
 
 class TestDegradedModes:

@@ -9,6 +9,9 @@ random chunkings all land on the same cut points.
 
 from __future__ import annotations
 
+import json
+import tempfile
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -17,6 +20,8 @@ from hypothesis import strategies as st
 from repro.acquisition.segmentation import assemble_stream, segment_capture
 from repro.acquisition.trace import VoltageTrace
 from repro.core.edge_extraction import extract_many
+from repro.core.model import VProfileModel
+from repro.fleet import CaptureParams, TenantEngine
 from repro.stream import ReplaySource, SampleChunk, StreamingExtractor
 
 
@@ -121,6 +126,73 @@ def test_random_irregular_chunking_matches_batch(short_stream, cuts):
     reference = _batch_reference(short_stream)
     messages = _stream_messages(short_stream, sizes)
     _assert_equivalent(messages, reference)
+
+
+# ----------------------------------------------------------------------
+# Fleet eviction equivalence: an evicted-then-rehydrated tenant engine
+# reproduces the uninterrupted verdict sequence byte-for-byte.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet_chunks(short_stream):
+    return list(ReplaySource(short_stream, 4096).chunks())
+
+
+def _fresh_engine(stream_vehicle, stream_model_file):
+    path, _extraction = stream_model_file
+    return TenantEngine(
+        "prop",
+        vehicle="sterling",
+        model=VProfileModel.load(path),
+        params=CaptureParams.for_vehicle(stream_vehicle),
+        margin=5.0,
+        online_update=True,
+    )
+
+
+def _verdict_bytes(verdicts):
+    return json.dumps(verdicts, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted_verdicts(stream_vehicle, stream_model_file, fleet_chunks):
+    engine = _fresh_engine(stream_vehicle, stream_model_file)
+    verdicts = []
+    for chunk in fleet_chunks:
+        verdicts.extend(engine.process_chunk(chunk))
+    assert verdicts, "reference run must produce verdicts"
+    return _verdict_bytes(verdicts)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    evict_after=st.sets(
+        st.integers(min_value=-1, max_value=13), min_size=1, max_size=4
+    )
+)
+def test_eviction_is_invisible_in_the_verdict_stream(
+    stream_vehicle, stream_model_file, fleet_chunks,
+    uninterrupted_verdicts, evict_after,
+):
+    """Property: evicting (checkpoint + rehydrate) at any set of chunk
+    boundaries — including before the first chunk (-1) — leaves the
+    verdict sequence byte-identical to the uninterrupted run, online
+    profile updates included."""
+    engine = _fresh_engine(stream_vehicle, stream_model_file)
+    verdicts = []
+    with tempfile.TemporaryDirectory() as spill:
+        if -1 in evict_after:
+            engine.checkpoint(spill)
+            engine = TenantEngine.rehydrate(spill)
+        for index, chunk in enumerate(fleet_chunks):
+            verdicts.extend(engine.process_chunk(chunk))
+            if index in evict_after:
+                engine.checkpoint(spill)
+                engine = TenantEngine.rehydrate(spill)
+    assert _verdict_bytes(verdicts) == uninterrupted_verdicts
 
 
 def test_state_roundtrip_at_every_boundary(short_stream):
