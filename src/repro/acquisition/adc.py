@@ -61,8 +61,15 @@ class AdcConfig:
     def quantize(self, volts: np.ndarray) -> np.ndarray:
         """Convert a voltage vector to offset-binary counts (clipping)."""
         volts = np.asarray(volts, dtype=float)
-        codes = np.rint((volts - self.v_min) / self.volts_per_count)
-        return np.clip(codes, 0, self.full_scale_counts).astype(np.int32)
+        # Same op sequence as rint((v - v_min) / lsb) then clip, but the
+        # subtraction's fresh buffer is reused for every later step — the
+        # engine quantizes megasample blocks, where the extra (G, S)
+        # temporaries are measurable.
+        codes = volts - self.v_min
+        codes /= self.volts_per_count
+        np.rint(codes, out=codes)
+        np.clip(codes, 0, self.full_scale_counts, out=codes)
+        return codes.astype(np.int32)
 
     def to_volts(self, counts: np.ndarray) -> np.ndarray:
         """Convert counts back to volts (code centre)."""

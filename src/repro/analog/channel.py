@@ -90,13 +90,32 @@ class ChannelNoise:
 
         Returns ``(baselines, gains, noise_rows)``, byte-identical to
         calling :meth:`sample_message_offsets` then :meth:`sample_noise`
-        per message, but cheap: ``normal(0, s, k)`` consumes a generator
-        exactly like ``s * standard_normal(k)``, so each message's draws
-        collapse into a single ``standard_normal`` block that is scaled
-        matrix-wide, and the AR(1) recursion runs as one row-wise
-        ``lfilter`` over a zero-padded matrix (the filter is causal, so
-        padding beyond a row's length never leaks into its first
-        ``lengths[i]`` samples).
+        per message.  Row ``i`` is a length-``lengths[i]`` view into the
+        matrix :meth:`sample_message_matrix` builds — copy before
+        mutating.
+        """
+        baselines, gains, noise = self.sample_message_matrix(lengths, rngs)
+        return baselines, gains, [
+            noise[i, :n] for i, n in enumerate(lengths)
+        ]
+
+    def sample_message_matrix(
+        self,
+        lengths: "list[int]",
+        rngs: "list[np.random.Generator]",
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Offsets plus one ``(G, max(lengths))`` noise matrix.
+
+        The first ``lengths[i]`` entries of row ``i`` are byte-identical
+        to :meth:`sample_noise` for that generator; entries beyond are
+        scratch (zero padding, or the AR recursion's decay tail) and
+        must be ignored.  Cheap because ``normal(0, s, k)`` consumes a
+        generator exactly like ``s * standard_normal(k)``, so each
+        message's draws collapse into a single ``standard_normal`` block
+        that is scaled matrix-wide, and the AR(1) recursion runs as one
+        row-wise ``lfilter`` over the zero-padded matrix (the filter is
+        causal, so padding beyond a row's length never leaks into its
+        first ``lengths[i]`` samples).
         """
         if len(lengths) != len(rngs):
             raise WaveformError(
@@ -153,24 +172,23 @@ class ChannelNoise:
             # as sample_noise does for each message.
             innovations[:, 0] = self.ar_sigma_v * ar_seeds
             ar = lfilter([1.0], [1.0, -self.ar_coeff], innovations, axis=1)
-        rows: list[np.ndarray] = []
-        for i, n in enumerate(lengths):
-            if white is not None and ar is not None:
-                rows.append(white[i, :n] + ar[i, :n])
-            elif white is not None:
-                rows.append(white[i, :n].copy())
-            elif ar is not None:
-                rows.append(ar[i, :n].copy() if n else np.zeros(0))
-            else:
-                rows.append(np.zeros(n))
-        return baselines, gains, rows
+        if white is not None and ar is not None:
+            white += ar
+            noise = white
+        elif white is not None:
+            noise = white
+        elif ar is not None:
+            noise = ar
+        else:
+            noise = np.zeros((n_rows, s_max))
+        return baselines, gains, noise
 
     def _sample_equal_length_batch(
         self,
         n: int,
         rngs: "list[np.random.Generator]",
-    ) -> "tuple[np.ndarray, np.ndarray, list[np.ndarray]]":
-        """Equal-length fast path for :meth:`sample_message_batch`.
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Equal-length fast path for :meth:`sample_message_matrix`.
 
         The engine groups captures by wire length, so every row draws
         the same number of variates: each generator fills one contiguous
@@ -217,10 +235,13 @@ class ChannelNoise:
             innovations *= self.ar_sigma_v * np.sqrt(1.0 - self.ar_coeff**2)
             innovations[:, 0] = self.ar_sigma_v * ar_seeds
             ar = lfilter([1.0], [1.0, -self.ar_coeff], innovations, axis=1)
-            noise = ar if noise is None else noise + ar
+            if noise is None:
+                noise = ar
+            else:
+                noise += ar  # in-place: same ufunc, same bytes, no copy
         if noise is None:
             noise = np.zeros((n_rows, n))
-        return baselines, gains, list(noise)
+        return baselines, gains, noise
 
 
 #: Noise of a bench-grade digitizer chain on a quiet bus.

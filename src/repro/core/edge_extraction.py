@@ -23,6 +23,8 @@ Two Chapter 5 enhancements live here as options:
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_right
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
 
@@ -34,6 +36,28 @@ from repro.acquisition.adc import AdcConfig
 from repro.acquisition.trace import VoltageTrace
 from repro.errors import ExtractionError
 from repro.obs.spans import stage_timer
+
+#: Environment variable selecting the bit-walker implementation:
+#: ``vector`` (default, numpy edge-index walker) or ``scalar`` (the
+#: original per-sample reference oracle).  Both produce byte-identical
+#: edge sets — the switch exists so the scalar walker stays available as
+#: the equivalence oracle for property tests and for debugging.
+EXTRACT_IMPL_ENV_VAR = "REPRO_EXTRACT_IMPL"
+
+#: Valid values for :data:`EXTRACT_IMPL_ENV_VAR` / the ``impl`` argument.
+EXTRACT_IMPLS = ("vector", "scalar")
+
+
+def resolve_extract_impl(impl: str | None = None) -> str:
+    """Effective walker implementation: explicit arg, else env, else vector."""
+    if impl is None:
+        impl = os.environ.get(EXTRACT_IMPL_ENV_VAR) or "vector"
+    impl = impl.strip().lower()
+    if impl not in EXTRACT_IMPLS:
+        raise ExtractionError(
+            f"unknown extraction impl {impl!r}; expected one of {EXTRACT_IMPLS}"
+        )
+    return impl
 
 #: Logical bit positions in an extended frame (SOF = bit 0, stuff bits
 #: excluded): the J1939 SA occupies bits 24-31 and bit 33 is the first
@@ -202,11 +226,19 @@ def get_bit_value(sample: float, threshold: float) -> int:
     return 0 if sample >= threshold else 1
 
 
-def extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> ExtractedEdgeSet:
+def extract_edge_set(
+    trace: VoltageTrace,
+    config: ExtractionConfig,
+    *,
+    impl: str | None = None,
+) -> ExtractedEdgeSet:
     """Run Algorithm 1 on one trace.
 
     Observability: times into ``vprofile_stage_seconds{stage="extract"}``
     when a metrics registry is enabled (no-op otherwise).
+
+    ``impl`` selects the bit-walker (``vector``/``scalar``, both
+    byte-identical); ``None`` defers to ``REPRO_EXTRACT_IMPL``.
 
     Raises
     ------
@@ -215,7 +247,9 @@ def extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> Extracted
         is encountered.
     """
     with stage_timer("extract"):
-        return _extract_edge_set(trace, config)
+        if resolve_extract_impl(impl) == "scalar":
+            return _extract_edge_set(trace, config)
+        return _extract_edge_set_vector(trace, config)
 
 
 def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> ExtractedEdgeSet:
@@ -299,40 +333,497 @@ def _extract_edge_set(trace: VoltageTrace, config: ExtractionConfig) -> Extracte
     )
 
 
+def _extract_edge_set_vector(
+    trace: VoltageTrace, config: ExtractionConfig
+) -> ExtractedEdgeSet:
+    """Edge-index walker: byte-identical to :func:`_extract_edge_set`.
+
+    The scalar walker touches the trace one sample at a time — a
+    per-sample backward scan at every observed edge and three per-sample
+    forward scans per edge window.  This implementation thresholds the
+    whole trace once, locates every polarity change with one
+    ``flatnonzero`` pass, and replaces all sample scans with O(log E)
+    lookups into that edge index array.  The bit walk itself (run
+    lengths, stuff-bit bookkeeping, SA decoding) is unchanged: each bit
+    centre samples the same thresholded value the scalar walker would,
+    and re-centering lands on the same crossing (the start of the
+    polarity run containing the sampled index, clamped to the scalar
+    scan's ``floor`` guard).
+    """
+    samples = np.asarray(trace.counts, dtype=float)
+    n_values = samples.size
+    threshold = config.threshold
+    bit_width = config.bit_width
+    half_bit = bit_width / 2.0
+    id_last_bit = config.frame_format.id_last_bit
+    first_stable_bit = config.frame_format.first_stable_bit
+
+    above_arr = samples >= threshold
+    if not above_arr.any():
+        raise ExtractionError("no start-of-frame found (trace never dominant)")
+    sof = int(above_arr.argmax())
+    # bytes indexing returns small ints at ~list speed without the O(n)
+    # float boxing of tolist(); edges[k] is the first sample of the k-th
+    # polarity run (exactly where the scalar backward scan stops).
+    above = above_arr.tobytes()
+    edges = (np.flatnonzero(above_arr[:-1] != above_arr[1:]) + 1).tolist()
+
+    pos = sof + half_bit
+    index = int(round(pos))
+    if index < 0 or index >= n_values:
+        raise ExtractionError(f"bit walk ran off the trace at sample {index}")
+    bit_values: list[int] = [0 if above[index] else 1]
+    if bit_values[0] != 0:
+        raise ExtractionError("sample at SOF centre is not dominant")
+
+    prev_bit = 0
+    run_length = 1
+    bit_count = 0
+    source_address: int | None = None
+    extraction_start: float | None = None
+
+    while pos + bit_width < n_values:
+        pos += bit_width
+        index = int(round(pos))
+        if index >= n_values:
+            raise ExtractionError(f"bit walk ran off the trace at sample {index}")
+        bit = 0 if above[index] else 1
+        is_stuff = False
+        if bit != prev_bit:
+            # Re-centre on the observed edge: the start of the polarity
+            # run containing `index`, clamped to the scalar scan's floor.
+            floor = max(0, int(round(pos - bit_width)))
+            k = bisect_right(edges, index)
+            run_start = edges[k - 1] if k else 0
+            pos = float(max(run_start, floor)) + half_bit
+            if run_length == 5:
+                is_stuff = True
+            run_length = 1
+            prev_bit = bit
+        else:
+            run_length += 1
+            if run_length == 6:
+                raise ExtractionError(
+                    f"stuff violation near sample {int(pos)}: six identical bits"
+                )
+        if is_stuff:
+            continue
+        bit_values.append(bit)
+        bit_count += 1
+        if bit_count == id_last_bit:
+            source_address = _decode_identity(bit_values, config.frame_format)
+        elif bit_count == first_stable_bit:
+            extraction_start = pos
+            break
+
+    if source_address is None or extraction_start is None:
+        raise ExtractionError(
+            f"trace ended after {bit_count} logical bits; need "
+            f"{config.frame_format.first_stable_bit} plus an edge set"
+        )
+
+    windows = []
+    start = extraction_start
+    for k in range(config.n_edge_sets):
+        windows.append(
+            _extract_window_pair_vector(samples, above, edges, start, config)
+        )
+        start = extraction_start + (k + 1) * config.edge_set_spacing
+    vector = np.mean(windows, axis=0) if len(windows) > 1 else windows[0]
+
+    return ExtractedEdgeSet(
+        source_address=source_address,
+        vector=np.asarray(vector, dtype=float),
+        metadata=dict(trace.metadata),
+    )
+
+
+#: Target padded working-set size (samples + run tables) of one columnar
+#: extraction block; the row count per block is derived from the longest
+#: trace so short traces amortise per-op numpy dispatch over more rows.
+_COLUMNAR_BLOCK_BUDGET = 8_000_000  # elements, ~64 MB of float64
+_COLUMNAR_BLOCK_MIN = 256
+_COLUMNAR_BLOCK_MAX = 4096
+
+# Error codes carried per-row through the columnar walker; formatted into
+# the exact scalar-walker message strings by _format_columnar_error.
+_ERR_NO_SOF = 1
+_ERR_SOF_NOT_DOMINANT = 2
+_ERR_RAN_OFF = 3
+_ERR_STUFF = 4
+_ERR_ENDED = 5
+_ERR_EDGE_SEARCH = 6
+_ERR_WINDOW = 7
+
+
+def extract_edge_sets_batch(
+    traces: Sequence[VoltageTrace], config: ExtractionConfig
+) -> list[ExtractedEdgeSet | ExtractionError]:
+    """Columnar Algorithm 1: walk every trace of a batch in lockstep.
+
+    Returns one outcome per input trace, in order: the extracted edge set,
+    or the exact :class:`ExtractionError` the scalar walker would have
+    raised for that trace.  All traces advance one wire bit per loop
+    iteration as numpy row vectors (position, run length, bit count,
+    decoded identity), so the Python-level loop runs ~45 times per *batch*
+    instead of ~45 times per *message*.  Rows that finish or fail are
+    frozen by masks; outputs are byte-identical to the scalar walker.
+    """
+    if not traces:
+        return []
+    longest = max(np.asarray(t.counts).size for t in traces)
+    block_rows = max(
+        _COLUMNAR_BLOCK_MIN,
+        min(_COLUMNAR_BLOCK_MAX, _COLUMNAR_BLOCK_BUDGET // max(1, longest)),
+    )
+    out: list[ExtractedEdgeSet | ExtractionError] = []
+    for lo in range(0, len(traces), block_rows):
+        block = list(traces[lo : lo + block_rows])
+        with stage_timer("extract"):
+            out.extend(_extract_columnar_block(block, config))
+    return out
+
+
+def _extract_columnar_block(
+    traces: list[VoltageTrace], config: ExtractionConfig
+) -> list[ExtractedEdgeSet | ExtractionError]:
+    n_rows = len(traces)
+    counts = [np.asarray(t.counts) for t in traces]
+    lengths = np.array([c.size for c in counts], dtype=np.int64)
+    s_max = int(lengths.max()) if n_rows else 0
+    first_stable = config.frame_format.first_stable_bit
+    if s_max == 0:
+        return [
+            ExtractionError("no start-of-frame found (trace never dominant)")
+            for _ in traces
+        ]
+
+    # Padding is -inf: it thresholds to recessive for any finite
+    # threshold, so no separate validity mask is needed, and the padding
+    # boundary of a dominant-ending trace shows up as a polarity change —
+    # the window scans fail there exactly like the scalar walker's
+    # off-the-end checks, because positions >= length always fail.
+    if int(lengths.min()) == s_max:
+        # Equal-length block (the engine's common case): no padding to
+        # write, so one stacked conversion replaces the per-row fills.
+        samples = np.stack(counts).astype(np.float64)
+    else:
+        samples = np.full((n_rows, s_max), -np.inf)
+        for g, row in enumerate(counts):
+            samples[g, : row.size] = row
+
+    threshold = config.threshold
+    bit_width = config.bit_width
+    half_bit = bit_width / 2.0
+    id_first = config.frame_format.id_first_bit
+    id_last = config.frame_format.id_last_bit
+
+    cols = np.arange(s_max, dtype=np.int32)
+    above = samples >= threshold
+    # change[g, i]: a polarity run starts at sample i (i >= 1).
+    change = np.zeros((n_rows, s_max), dtype=bool)
+    if s_max > 1:
+        change[:, 1:] = above[:, 1:] != above[:, :-1]
+    # run_start[g, i]: first sample of the polarity run containing i —
+    # exactly where the scalar backward scan stops (before its floor clamp).
+    run_start = np.where(change, cols[None, :], np.int32(0))
+    np.maximum.accumulate(run_start, axis=1, out=run_start)
+    # next_change[g, i]: smallest change index >= i, or `big`.  Replaces
+    # the scalar forward sample scans: polarity runs alternate, so the
+    # first change after a wrong-polarity position starts the wanted
+    # run.  The suffix-min runs over a contiguous reversed copy —
+    # accumulating through a negative-stride view hits the slow path.
+    big = s_max + 1
+    rev = np.flip(np.where(change, cols[None, :], np.int32(big)), axis=1).copy()
+    np.minimum.accumulate(rev, axis=1, out=rev)
+    next_change = np.flip(rev, axis=1).copy()
+
+    rows = np.arange(n_rows)
+    flat_base = rows.astype(np.int64) * s_max
+    above_flat = above.reshape(-1)
+    run_start_flat = run_start.reshape(-1)
+    err = np.zeros(n_rows, dtype=np.int8)
+    e1 = np.zeros(n_rows, dtype=np.int64)
+    e2 = np.zeros(n_rows, dtype=np.int64)
+
+    # --- SOF ---------------------------------------------------------
+    sof = above.argmax(axis=1)
+    has_sof = above_flat.take(flat_base + sof)
+    err[~has_sof] = _ERR_NO_SOF
+    pos = sof.astype(np.float64) + half_bit
+    index = np.rint(pos).astype(np.int64)
+    oob = has_sof & ((index < 0) | (index >= lengths))
+    err[oob] = _ERR_RAN_OFF
+    e1[oob] = index[oob]
+    ok = has_sof & ~oob
+    idx_safe = np.minimum(index, s_max - 1)
+    np.maximum(idx_safe, 0, out=idx_safe)
+    recessive_sof = ok & ~above_flat.take(flat_base + idx_safe)
+    err[recessive_sof] = _ERR_SOF_NOT_DOMINANT
+    active = ok & ~recessive_sof
+
+    # --- bit walk ----------------------------------------------------
+    # prev_bit is the *thresholded polarity* (True = recessive), matching
+    # the scalar walker's 0/1 bits through the invert in `bit`.
+    prev_bit = np.zeros(n_rows, dtype=bool)
+    run_length = np.ones(n_rows, dtype=np.int64)
+    bit_count = np.zeros(n_rows, dtype=np.int64)
+    identity = np.zeros(n_rows, dtype=np.int64)
+    ext_start = np.zeros(n_rows, dtype=np.float64)
+    done = np.zeros(n_rows, dtype=bool)
+
+    while True:
+        advanced = pos + bit_width
+        ended = active & ~(advanced < lengths)
+        if ended.any():
+            err[ended] = _ERR_ENDED
+            e1[ended] = bit_count[ended]
+            active &= ~ended
+        if not active.any():
+            break
+        pos = np.where(active, advanced, pos)
+        index = np.rint(pos).astype(np.int64)
+        ran_off = active & (index >= lengths)
+        if ran_off.any():
+            err[ran_off] = _ERR_RAN_OFF
+            e1[ran_off] = index[ran_off]
+            active &= ~ran_off
+        np.minimum(index, s_max - 1, out=index)
+        flat = flat_base + index
+        # bit: True = recessive (decodes as 1), False = dominant.
+        bit = ~above_flat.take(flat)
+        changed = active & (bit != prev_bit)
+
+        # Changed rows re-centre: run start clamped to the scalar floor.
+        if changed.any():
+            floor = np.rint(pos - bit_width).astype(np.int64)
+            np.maximum(floor, 0, out=floor)
+            crossing = np.maximum(run_start_flat.take(flat), floor)
+            pos = np.where(changed, crossing + half_bit, pos)
+        is_stuff = changed & (run_length == 5)
+        same = active ^ changed          # changed is a subset of active
+        run_length += same               # bool adds 1 where polarity held
+        run_length[changed] = 1
+        # Inactive rows are never read again, so a global rebind is safe
+        # and active-same rows already satisfy prev_bit == bit.
+        prev_bit = bit
+        violation = same & (run_length == 6)
+        if violation.any():
+            err[violation] = _ERR_STUFF
+            e1[violation] = pos[violation].astype(np.int64)
+            active &= ~violation
+
+        append = active & ~is_stuff
+        bit_count += append
+        in_id = append & (bit_count >= id_first) & (bit_count <= id_last)
+        if in_id.any():
+            identity[in_id] = identity[in_id] * 2 + bit[in_id]
+        finished = append & (bit_count == first_stable)
+        if finished.any():
+            ext_start[finished] = pos[finished]
+            done |= finished
+            active &= ~finished
+
+    # --- edge windows ------------------------------------------------
+    samples_flat = samples.reshape(-1)
+    next_change_flat = next_change.reshape(-1)
+
+    def _advance(p: np.ndarray, want_above: bool) -> tuple[np.ndarray, np.ndarray]:
+        """First index >= p of the wanted polarity, per row (or `big`).
+
+        If ``p`` already matches it is returned unchanged; otherwise the
+        run containing ``p`` has the wrong polarity, and because runs
+        alternate the first change strictly after ``p`` starts the
+        wanted run.  Any answer at or past the row's real length fails —
+        the scalar scans would have run off the trace there.
+        """
+        p_safe = np.minimum(p, s_max - 1)
+        np.maximum(p_safe, 0, out=p_safe)
+        direct = (p < lengths) & (above_flat.take(flat_base + p_safe) == want_above)
+        after = np.minimum(p + 1, s_max - 1)
+        np.maximum(after, 0, out=after)
+        nxt = np.where(p + 1 < s_max, next_change_flat.take(flat_base + after), big)
+        new_p = np.where(direct, p, nxt)
+        return new_p, new_p >= lengths
+
+    prefix, suffix = config.prefix_len, config.suffix_len
+    window_offsets = np.arange(-prefix, suffix, dtype=np.int64)
+    ok_window = done.copy()
+    window_sets: list[np.ndarray] = []
+    for k in range(config.n_edge_sets):
+        p = np.rint(ext_start + k * config.edge_set_spacing).astype(np.int64)
+        p, fail = _advance(p, True)                      # reach dominant
+        bad = ok_window & fail
+        err[bad] = _ERR_EDGE_SEARCH
+        ok_window &= ~fail
+        p, fail = _advance(p, False)                     # falling crossing
+        bad = ok_window & fail
+        err[bad] = _ERR_EDGE_SEARCH
+        ok_window &= ~fail
+        lo_f = p - prefix
+        hi_f = p + suffix
+        bad = ok_window & ((lo_f < 0) | (hi_f > lengths))
+        err[bad] = _ERR_WINDOW
+        e1[bad] = lo_f[bad]
+        e2[bad] = hi_f[bad]
+        ok_window &= ~bad
+        gather = flat_base[:, None] + np.clip(
+            p[:, None] + window_offsets[None, :], 0, s_max - 1
+        )
+        falling = samples_flat.take(gather)
+        p = np.rint(p + half_bit).astype(np.int64)
+        p, fail = _advance(p, True)                      # rising crossing
+        bad = ok_window & fail
+        err[bad] = _ERR_EDGE_SEARCH
+        ok_window &= ~fail
+        lo_r = p - prefix
+        hi_r = p + suffix
+        bad = ok_window & ((lo_r < 0) | (hi_r > lengths))
+        err[bad] = _ERR_WINDOW
+        e1[bad] = lo_r[bad]
+        e2[bad] = hi_r[bad]
+        ok_window &= ~bad
+        gather = flat_base[:, None] + np.clip(
+            p[:, None] + window_offsets[None, :], 0, s_max - 1
+        )
+        rising = samples_flat.take(gather)
+        window_sets.append(np.concatenate([falling, rising], axis=1))
+
+    if config.n_edge_sets > 1:
+        # Axis-0 reduce over the stacked sets adds the slabs in the same
+        # sequential order as the scalar walker's np.mean over (k, W).
+        vectors = np.mean(np.stack(window_sets, axis=0), axis=0)
+    else:
+        vectors = window_sets[0]
+
+    out: list[ExtractedEdgeSet | ExtractionError] = []
+    for g, trace in enumerate(traces):
+        if err[g]:
+            out.append(
+                ExtractionError(
+                    _format_columnar_error(
+                        int(err[g]), int(e1[g]), int(e2[g]),
+                        int(lengths[g]), first_stable,
+                    )
+                )
+            )
+        else:
+            out.append(
+                ExtractedEdgeSet(
+                    source_address=int(identity[g]),
+                    vector=vectors[g].copy(),
+                    metadata=dict(trace.metadata),
+                )
+            )
+    return out
+
+
+def _format_columnar_error(
+    code: int, a: int, b: int, n: int, first_stable: int
+) -> str:
+    """The exact scalar-walker message for a columnar per-row error code."""
+    if code == _ERR_NO_SOF:
+        return "no start-of-frame found (trace never dominant)"
+    if code == _ERR_SOF_NOT_DOMINANT:
+        return "sample at SOF centre is not dominant"
+    if code == _ERR_RAN_OFF:
+        return f"bit walk ran off the trace at sample {a}"
+    if code == _ERR_STUFF:
+        return f"stuff violation near sample {a}: six identical bits"
+    if code == _ERR_ENDED:
+        return (
+            f"trace ended after {a} logical bits; need "
+            f"{first_stable} plus an edge set"
+        )
+    if code == _ERR_EDGE_SEARCH:
+        return "edge search ran off the end of the trace"
+    return f"edge window [{a}, {b}) exceeds the trace ({n} samples)"
+
+
 def extract_many(
     traces: Sequence[VoltageTrace],
     config: ExtractionConfig | None = None,
     *,
     skip_failures: bool = False,
+    index_base: int = 0,
+    impl: str | None = None,
 ) -> list[ExtractedEdgeSet]:
     """Extract edge sets from many traces.
 
     A single config derived from the first trace is reused when none is
     given.  With ``skip_failures`` unextractable traces are dropped
     (useful for noisy scenario sweeps); otherwise the first failure
-    raises.
+    raises, annotated with the failing message's index (offset by
+    ``index_base`` so parallel chunks report run-global positions) and
+    its sample offset in the capture.
     """
-    if not traces:
-        return []
-    if config is None:
-        config = ExtractionConfig.for_trace(traces[0])
-    results: list[ExtractedEdgeSet] = []
-    skipped = 0
-    for trace in traces:
-        try:
-            results.append(extract_edge_set(trace, config))
-        except ExtractionError:
-            if not skip_failures:
-                raise
-            skipped += 1
+    results, skipped = extract_many_indexed(
+        traces,
+        config,
+        skip_failures=skip_failures,
+        index_base=index_base,
+        impl=impl,
+    )
     if skipped:
         from repro.obs import get_registry
 
         get_registry().counter(
             "vprofile_extraction_skipped_total",
             help="Traces dropped by extract_many(skip_failures=True)",
-        ).inc(skipped)
+        ).inc(len(skipped))
     return results
+
+
+def extract_many_indexed(
+    traces: Sequence[VoltageTrace],
+    config: ExtractionConfig | None = None,
+    *,
+    skip_failures: bool = False,
+    index_base: int = 0,
+    impl: str | None = None,
+) -> tuple[list[ExtractedEdgeSet], list[tuple[int, str]]]:
+    """:func:`extract_many` plus the skip ledger, without counting.
+
+    Returns ``(results, skipped)`` where ``skipped`` lists
+    ``(global_message_index, reason)`` for every dropped trace.  Worker
+    processes use this instead of :func:`extract_many` so skip counts
+    survive the process boundary: the parent folds the ledgers into the
+    ``vprofile_extraction_skipped_total`` counter exactly once.
+    """
+    if not traces:
+        return [], []
+    if config is None:
+        config = ExtractionConfig.for_trace(traces[0])
+    impl = resolve_extract_impl(impl)
+    results: list[ExtractedEdgeSet] = []
+    skipped: list[tuple[int, str]] = []
+    if impl == "vector" and len(traces) > 1:
+        for offset, outcome in enumerate(extract_edge_sets_batch(traces, config)):
+            if isinstance(outcome, ExtractionError):
+                if not skip_failures:
+                    trace = traces[offset]
+                    raise ExtractionError(
+                        f"message {index_base + offset} "
+                        f"(sample offset "
+                        f"{int(round(trace.start_s * trace.sample_rate))})"
+                        f": {outcome}"
+                    ) from outcome
+                skipped.append((index_base + offset, str(outcome)))
+            else:
+                results.append(outcome)
+        return results, skipped
+    for offset, trace in enumerate(traces):
+        try:
+            results.append(extract_edge_set(trace, config, impl=impl))
+        except ExtractionError as exc:
+            if not skip_failures:
+                raise ExtractionError(
+                    f"message {index_base + offset} "
+                    f"(sample offset {int(round(trace.start_s * trace.sample_rate))})"
+                    f": {exc}"
+                ) from exc
+            skipped.append((index_base + offset, str(exc)))
+    return results, skipped
 
 
 def cluster_threshold(trace: VoltageTrace) -> float:
@@ -433,6 +924,50 @@ def _extract_window_pair(
         pos += 1
     if pos >= n:
         raise ExtractionError("edge search ran off the end of the trace")
+    rising = _window(samples, pos, config)
+    return np.concatenate([falling, rising])
+
+
+def _advance_to_polarity(
+    above: bytes, edges: list[int], pos: int, want_above: bool
+) -> int:
+    """First index ``>= pos`` whose thresholded polarity is ``want_above``.
+
+    Replays the scalar walker's forward sample scan over the edge index:
+    if ``pos`` already matches it is returned unchanged, otherwise the
+    next polarity run of the wanted sign starts at one of the following
+    edges (runs alternate, so at most two are inspected).  Raises the
+    scan's off-the-end error when no such sample exists.
+    """
+    n = len(above)
+    if pos < n and bool(above[pos]) == want_above:
+        return pos
+    k = bisect_right(edges, pos)
+    while k < len(edges):
+        edge = edges[k]
+        if bool(above[edge]) == want_above:
+            return edge
+        k += 1
+    raise ExtractionError("edge search ran off the end of the trace")
+
+
+def _extract_window_pair_vector(
+    samples: np.ndarray,
+    above: bytes,
+    edges: list[int],
+    start: float,
+    config: ExtractionConfig,
+) -> np.ndarray:
+    """Edge-index form of :func:`_extract_window_pair` (byte-identical)."""
+    n = samples.size
+    pos = int(round(start))
+    if pos >= n:
+        raise ExtractionError("edge search ran off the end of the trace")
+    pos = _advance_to_polarity(above, edges, pos, True)    # reach dominant
+    pos = _advance_to_polarity(above, edges, pos, False)   # falling crossing
+    falling = _window(samples, pos, config)
+    pos = int(round(pos + config.bit_width / 2.0))
+    pos = _advance_to_polarity(above, edges, pos, True)    # rising crossing
     rising = _window(samples, pos, config)
     return np.concatenate([falling, rising])
 

@@ -67,6 +67,9 @@ class LintConfig:
     async_paths:
         Paths whose ``async def`` bodies are checked for blocking calls
         (VPL303) — the event-loop code of the fleet gateway.
+    shm_paths:
+        Paths where VPL304 audits ``SharedMemory`` lifecycles — the
+        zero-copy hand-off code in ``repro.perf``.
     lock_attribute_hints:
         Substrings identifying lock-like ``self`` attributes
         (``_update_lock``, ``_idle`` condition, ...).
@@ -97,6 +100,7 @@ class LintConfig:
     float_compare_paths: tuple[str, ...] = ("src/repro",)
     concurrency_paths: tuple[str, ...] = ("src/repro/stream",)
     async_paths: tuple[str, ...] = ("src/repro/fleet",)
+    shm_paths: tuple[str, ...] = ("src/repro/perf",)
     lock_attribute_hints: tuple[str, ...] = ("lock", "cond", "idle", "mutex")
     metric_name_pattern: str = r"^vprofile_[a-z][a-z0-9_]*$"
     schema_version_file: str = "src/repro/perf/cache.py"
@@ -133,6 +137,7 @@ _LIST_FIELDS = {
     "float-compare-paths": "float_compare_paths",
     "concurrency-paths": "concurrency_paths",
     "async-paths": "async_paths",
+    "shm-paths": "shm_paths",
     "lock-attribute-hints": "lock_attribute_hints",
     "schema-watch": "schema_watch",
 }

@@ -23,6 +23,14 @@ profile every later verdict trusts.  The contract enforced here:
   loop; blocking work belongs on the executor
   (``loop.run_in_executor``).  Awaited calls are exempt — ``await
   queue.get()`` is the asyncio queue, not the blocking one.
+* VPL304 — every ``multiprocessing.shared_memory.SharedMemory`` created
+  under the configured ``shm-paths`` (the zero-copy hand-off in
+  ``repro.perf``) must have a cleanup owner on all paths: a ``finally``
+  that closes it, the ``pack_arrays`` shape (close+unlink in an
+  exception handler *plus* a fall-through close), or ownership handed
+  to a managing object (stored on ``self``, as ``SharedArena`` does).
+  A leaked mapping pins kernel pages in ``/dev/shm`` for the life of
+  the process — invisible in tests, fatal on a fleet gateway.
 """
 
 from __future__ import annotations
@@ -254,12 +262,148 @@ class MutableDefaultArgument(Rule):
                     )
 
 
+#: Canonical constructor of a kernel-backed shared segment.
+SHARED_MEMORY_CONSTRUCTOR = "multiprocessing.shared_memory.SharedMemory"
+
+
+def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes of ``func``'s own body, nested function defs excluded.
+
+    A nested def has its own frame and is scanned on its own walk; a
+    segment created there is that function's responsibility.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _close_contexts(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+) -> set[str]:
+    """Where ``<name>.close()`` runs: any of ``finally``/``except``/``normal``."""
+    contexts: set[str] = set()
+
+    def visit(node: ast.AST, ctx: str) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "close"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            contexts.add(ctx)
+        if isinstance(node, ast.Try):
+            for child in [*node.body, *node.orelse]:
+                visit(child, ctx)
+            for handler in node.handlers:
+                for child in handler.body:
+                    visit(child, "except")
+            for child in node.finalbody:
+                visit(child, "finally")
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, ctx)
+
+    for stmt in func.body:
+        visit(stmt, "normal")
+    return contexts
+
+
+def _ownership_transferred(
+    func: ast.FunctionDef | ast.AsyncFunctionDef, name: str
+) -> bool:
+    """Whether ``name`` is stored on ``self`` (a managing object owns it)."""
+    for node in _own_nodes(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Name) and node.value.id == name):
+            continue
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)) and _is_self_attribute(target):
+                return True
+    return False
+
+
+@register
+class LeakedSharedMemory(Rule):
+    code = "VPL304"
+    name = "leaked-shared-memory"
+    summary = "SharedMemory segment without a cleanup owner on every path"
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        if not matches_any(module.path, module.config.shm_paths):
+            return
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(module, func)
+
+    def _check_function(
+        self, module: ModuleContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        creations = [
+            node
+            for node in _own_nodes(func)
+            if isinstance(node, ast.Call)
+            and module.resolver.resolve_call(node) == SHARED_MEMORY_CONSTRUCTOR
+        ]
+        if not creations:
+            return
+        named: list[tuple[str, ast.Call]] = []
+        owned: set[int] = set()
+        for node in _own_nodes(func):
+            if isinstance(node, ast.Assign) and node.value in creations:
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    named.append((node.targets[0].id, node.value))
+                    owned.add(id(node.value))
+                elif all(
+                    isinstance(t, (ast.Attribute, ast.Subscript)) and _is_self_attribute(t)
+                    for t in node.targets
+                ):
+                    owned.add(id(node.value))  # the owning object's lifecycle
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if item.context_expr in creations:
+                        owned.add(id(item.context_expr))
+        for call in creations:
+            if id(call) not in owned:
+                yield self.diagnostic(
+                    module,
+                    call,
+                    "SharedMemory segment handle is discarded at creation; "
+                    "bind it to a name and close/unlink it on every path",
+                )
+        for name, call in named:
+            contexts = _close_contexts(func, name)
+            if "finally" in contexts:
+                continue  # closed no matter how the function exits
+            if "except" in contexts and "normal" in contexts:
+                continue  # pack_arrays shape: error path + fall-through
+            if _ownership_transferred(func, name):
+                continue  # a managing object (SharedArena) closes it
+            yield self.diagnostic(
+                module,
+                call,
+                f"shared segment {name!r} is not closed on every path: close "
+                "it in a finally (or close+unlink in an exception handler "
+                "plus the fall-through), or hand ownership to the arena",
+            )
+
+
 __all__ = [
     "BLOCKING_CALLS",
     "BLOCKING_PATH_METHODS",
     "BlockingCallInAsync",
     "LOCK_CONSTRUCTORS",
+    "LeakedSharedMemory",
     "MutableDefaultArgument",
     "SETUP_METHODS",
+    "SHARED_MEMORY_CONSTRUCTOR",
     "UnlockedSharedMutation",
 ]

@@ -24,7 +24,10 @@ of how messages are grouped into batches or worker chunks.
 
 from __future__ import annotations
 
-from repro.perf.batch import synthesize_waveform_batch
+from repro.perf.batch import (
+    synthesize_waveform_batch,
+    synthesize_waveform_matrix,
+)
 from repro.perf.cache import (
     CACHE_SCHEMA_VERSION,
     CaptureCache,
@@ -47,6 +50,7 @@ from repro.perf.parallel import (
 
 __all__ = [
     "synthesize_waveform_batch",
+    "synthesize_waveform_matrix",
     "CaptureCache",
     "CACHE_SCHEMA_VERSION",
     "capture_cache_key",

@@ -35,15 +35,47 @@ def synthesize_waveform_batch(
     env: Environment = NOMINAL_ENVIRONMENT,
     noise: ChannelNoise | None = None,
     rngs: Sequence[np.random.Generator],
+    wire_lengths: Sequence[int] | None = None,
 ) -> list[np.ndarray]:
-    """Render ``G`` messages of identical length in one vectorized pass.
+    """Render ``G`` messages in one vectorized pass, sliced into rows.
+
+    Thin wrapper over :func:`synthesize_waveform_matrix`.  Rows are
+    views into the shared ``(G, S_max)`` render buffer — callers must
+    copy before mutating (the engine only reads/quantizes them).
+    """
+    volts, n_samples = synthesize_waveform_matrix(
+        wire_matrix,
+        transceiver,
+        config,
+        env=env,
+        noise=noise,
+        rngs=rngs,
+        wire_lengths=wire_lengths,
+    )
+    return [volts[i, : int(n_samples[i])] for i in range(volts.shape[0])]
+
+
+def synthesize_waveform_matrix(
+    wire_matrix: np.ndarray,
+    transceiver: TransceiverParams,
+    config: SynthesisConfig,
+    *,
+    env: Environment = NOMINAL_ENVIRONMENT,
+    noise: ChannelNoise | None = None,
+    rngs: Sequence[np.random.Generator],
+    wire_lengths: Sequence[int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Render ``G`` messages into one padded ``(G, S_max)`` matrix.
 
     Parameters
     ----------
     wire_matrix:
         ``(G, n_wire)`` stuffed wire bits, one message per row (0 =
-        dominant, 1 = recessive, starting at SOF).  All rows must share
-        one length; group heterogeneous captures by length first.
+        dominant, 1 = recessive, starting at SOF).  Without
+        ``wire_lengths`` every row uses all ``n_wire`` bits; with it,
+        row ``i`` uses its first ``wire_lengths[i]`` bits and the rest
+        is padding — mixed-length traffic renders as one pad-batched
+        matrix.
     transceiver:
         Fingerprint of the transmitting ECU (shared by the whole group).
     config / env / noise:
@@ -52,11 +84,22 @@ def synthesize_waveform_batch(
         One independent generator per message.  Each generator sees
         exactly the draws the serial path would make: the sampling
         phase, then the per-message offsets, then the sample noise.
+    wire_lengths:
+        Per-row wire-bit counts for pad-batched mixed-length groups.
+        Padding is forced recessive, which makes a padded row's bit
+        sequence ``[prefix 1s, wire, pad 1s, suffix 1s]`` agree with the
+        serial row ``[prefix 1s, wire, suffix 1s]`` on every bit index
+        the row actually samples — so outputs stay byte-identical.
 
     Returns
     -------
-    list of ``G`` float vectors, byte-identical to calling
-    ``synthesize_waveform(row, ...)`` with the matching generator.
+    ``(volts, n_samples)``: row ``i`` of the ``(G, S_max)`` matrix holds
+    the message's ``n_samples[i]`` samples — byte-identical to calling
+    ``synthesize_waveform(row[:length], ...)`` with the matching
+    generator — followed by scratch columns.  Callers applying a further
+    *elementwise* stage (the engine's ADC quantisation) can run it on
+    the whole matrix, scratch included, and slice afterwards, skipping a
+    concatenate/split round-trip without changing a byte of any row.
     """
     wire = np.asarray(wire_matrix, dtype=np.int8)
     if wire.ndim != 2:
@@ -68,8 +111,34 @@ def synthesize_waveform_batch(
         raise PerfError(
             f"need one rng per message: {n_messages} messages, {len(rngs)} rngs"
         )
+    lengths: np.ndarray | None = None
+    if wire_lengths is not None:
+        lengths = np.asarray(wire_lengths, dtype=np.int64)
+        if lengths.shape != (n_messages,):
+            raise PerfError(
+                f"need one wire length per message: {n_messages} messages, "
+                f"{lengths.size} lengths"
+            )
+        if lengths.min() < 1 or lengths.max() > wire.shape[1]:
+            raise PerfError(
+                f"wire lengths must be in [1, {wire.shape[1]}], got "
+                f"[{lengths.min()}, {lengths.max()}]"
+            )
     if config.max_frame_bits is not None:
         wire = wire[:, : config.max_frame_bits]
+        if lengths is not None:
+            lengths = np.minimum(lengths, config.max_frame_bits)
+    if lengths is not None:
+        if int(lengths.min()) == wire.shape[1]:
+            lengths = None  # all rows full width: plain equal-length batch
+        else:
+            # Force padding recessive so the pad region is
+            # indistinguishable from the idle suffix.
+            wire = np.where(
+                np.arange(wire.shape[1])[None, :] < lengths[:, None],
+                wire,
+                np.int8(1),
+            )
 
     # Per-message draws, replaying the serial path's order per generator:
     # the phase, then (when noise is modelled) the fused offsets + noise
@@ -82,13 +151,20 @@ def synthesize_waveform_batch(
         # would, without the range-scaling call overhead.
         phases[i] = rng.random()
     spb = config.samples_per_bit
-    n_bits = config.idle_prefix_bits + wire.shape[1] + config.idle_suffix_bits
+    if lengths is None:
+        n_bits = np.full(
+            n_messages,
+            config.idle_prefix_bits + wire.shape[1] + config.idle_suffix_bits,
+            dtype=np.int64,
+        )
+    else:
+        n_bits = config.idle_prefix_bits + lengths + config.idle_suffix_bits
     n_samples = np.floor(n_bits * spb - phases).astype(np.int64)
     baselines = np.zeros(n_messages)
     gains = np.ones(n_messages)
-    noise_rows: list[np.ndarray] | None = None
+    noise_matrix: np.ndarray | None = None
     if noise is not None:
-        baselines, gains, noise_rows = noise.sample_message_batch(
+        baselines, gains, noise_matrix = noise.sample_message_matrix(
             n_samples.tolist(), list(rngs)
         )
 
@@ -117,29 +193,44 @@ def synthesize_waveform_batch(
     # elementwise, so the first n_samples[i] entries of row i match the
     # serial render exactly and the tail is sliced off at the end.
     positions = np.arange(s_max)[None, :] + phases[:, None]
-    bit_index = np.floor(positions / spb).astype(np.int64)
-    bit_index = np.clip(bit_index, 0, n_bits - 1)
-    # Reuse `positions` as the dt buffer — same arithmetic, fewer (G, S)
-    # temporaries.
-    positions -= bit_index * spb
+    # positions are non-negative by construction, so only the upper clip
+    # (scratch tail columns of short rows) is needed.  floor lands in the
+    # division's own buffer — one fewer (G, S) temporary.
+    scaled = positions / spb
+    np.floor(scaled, out=scaled)
+    bit_index = scaled.astype(np.int64)
+    np.minimum(bit_index, (n_bits - 1)[:, None], out=bit_index)
+    # Reuse `positions` as the dt buffer and `scaled` as the product
+    # buffer — same arithmetic, fewer (G, S) temporaries.
+    np.multiply(bit_index, spb, out=scaled)
+    positions -= scaled
     positions /= config.sample_rate
     dt = positions
 
-    # One gather serves as both the sampled level and the volts output
-    # (astype copies, so mutating volts leaves sampled_levels intact);
-    # the rising/falling tests run on the small (G, n_bits) matrices
-    # before gathering instead of on the (G, S) sample grid after.
-    sampled_levels = np.take_along_axis(levels, bit_index, axis=1)
-    volts = sampled_levels.astype(float)
-    # One int8 gather encodes both edge kinds: 1 = rising, 2 = falling.
+    # One flat index serves every gather (ravel is a view on C-ordered
+    # matrices, and take is cheaper than re-deriving fancy indices per
+    # take_along_axis call).  The levels gather doubles as the volts
+    # output: step_response writes below read disjoint mask positions,
+    # so aliasing is safe and saves a full (G, S) copy.  bit_index is
+    # dead after this point, so the flat index lands in its buffer.
+    np.add(
+        bit_index,
+        np.arange(n_messages, dtype=np.int64)[:, None] * levels.shape[1],
+        out=bit_index,
+    )
+    flat_bit = bit_index
+    sampled_levels = levels.ravel().take(flat_bit)
+    volts = sampled_levels
+    # One int8 gather encodes both edge kinds: 1 = rising, 2 = falling;
+    # the has-edge tests run on the small (G, n_bits) matrix before
+    # gathering instead of on the (G, S) sample grid after.
     edge_kind = np.where(is_transition, np.where(bits == 0, np.int8(1), np.int8(2)), np.int8(0))
-    sampled_kind = np.take_along_axis(edge_kind, bit_index, axis=1)
-    rising = sampled_kind == 1
-    falling = sampled_kind == 2
-    if np.any(rising) or np.any(falling):
-        sampled_prev = np.take_along_axis(prev_levels, bit_index, axis=1)
-        for mask, dyn in ((rising, rise_dyn), (falling, fall_dyn)):
-            if np.any(mask):
+    sampled_kind = edge_kind.ravel().take(flat_bit)
+    if edge_kind.any():
+        sampled_prev = prev_levels.ravel().take(flat_bit)
+        for kind, dyn in ((np.int8(1), rise_dyn), (np.int8(2), fall_dyn)):
+            if (edge_kind == kind).any():
+                mask = sampled_kind == kind
                 volts[mask] = step_response(
                     dt[mask],
                     sampled_prev[mask],
@@ -148,12 +239,7 @@ def synthesize_waveform_batch(
                 )
 
     volts += baselines[:, None]
+    if noise_matrix is not None:
+        volts[:, : noise_matrix.shape[1]] += noise_matrix
 
-    out: list[np.ndarray] = []
-    if noise_rows is not None:
-        for i in range(n_messages):
-            out.append(volts[i, : int(n_samples[i])] + noise_rows[i])
-    else:
-        for i in range(n_messages):
-            out.append(volts[i, : int(n_samples[i])].copy())
-    return out
+    return volts, n_samples

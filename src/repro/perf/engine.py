@@ -1,11 +1,13 @@
 """Capture→extraction engine entry points.
 
 Ties the batched renderer (:mod:`repro.perf.batch`), the deterministic
-fan-out (:mod:`repro.perf.parallel`) and the capture cache
-(:mod:`repro.perf.cache`) into the library's dataset workflow:
+fan-out (:mod:`repro.perf.parallel`), the zero-copy hand-off
+(:mod:`repro.perf.shm`) and the capture cache (:mod:`repro.perf.cache`)
+into the library's dataset workflow:
 
 * :func:`render_transmissions` — turn a scheduled transmission list
-  into voltage traces, batched per sender and fanned out over workers;
+  into voltage traces, pad-batched per sender and fanned out over
+  workers;
 * :func:`capture_session_engine` — the engine-backed equivalent of
   :func:`repro.vehicles.dataset.capture_session`, with optional
   content-addressed caching;
@@ -14,19 +16,33 @@ fan-out (:mod:`repro.perf.parallel`) and the capture cache
 * :func:`capture_and_extract` — fused capture + extraction in a single
   worker pass (one IPC round per chunk instead of two).
 
+The hot path is zero-copy end to end: the parent ships each worker a
+small padded wire-bit matrix, the worker renders and quantizes its
+whole chunk, writes the counts into a shared-memory segment and returns
+only a :class:`~repro.perf.shm.ShmChunk` descriptor (plus the extracted
+edge vectors when fused).  The parent reassembles
+:class:`~repro.acquisition.trace.VoltageTrace` objects as views into
+the shared pages and attaches the ground-truth metadata itself — frame
+objects never cross the process boundary twice.
+
 Every message draws from its own ``SeedSequence`` child (see
 :mod:`repro.perf.parallel`), so traces are byte-identical across
-``jobs`` values, batched vs unbatched rendering, and cache hit vs miss.
-Note this per-message seeding scheme is deliberately *different* from
-the legacy ``capture_session`` path, which threads one sequential
-generator through all messages and stays the default for existing
-seed-pinned results; pass ``jobs=`` to opt into the engine.
+``jobs`` values, pad-batched vs unbatched rendering, shared-memory vs
+pickled hand-off, and cache hit vs miss.  Note this per-message seeding
+scheme is deliberately *different* from the legacy ``capture_session``
+path, which threads one sequential generator through all messages and
+stays the default for existing seed-pinned results; pass ``jobs=`` to
+opt into the engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import math
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -39,10 +55,12 @@ from repro.core.edge_extraction import (
     ExtractedEdgeSet,
     ExtractionConfig,
     extract_many,
+    extract_many_indexed,
+    resolve_extract_impl,
 )
 from repro.errors import DatasetError
 from repro.obs import get_registry
-from repro.perf.batch import synthesize_waveform_batch
+from repro.perf.batch import synthesize_waveform_matrix
 from repro.perf.cache import CaptureCache, capture_cache_key
 from repro.perf.parallel import (
     chunk_slices,
@@ -50,83 +68,152 @@ from repro.perf.parallel import (
     resolve_jobs,
     rngs_for_slice,
 )
+from repro.perf.shm import get_arena, pack_arrays, resolve_shm
 from repro.vehicles.dataset import CaptureSession
 from repro.vehicles.profiles import DEFAULT_TRUNCATE_BITS, VehicleConfig
 
+#: Transmission-plan memo hits (VPL401: metric names stay literal).
+PLAN_MEMO_HITS_METRIC = "vprofile_perf_plan_memo_hits_total"
 
-@dataclass(frozen=True)
+_SKIPPED_METRIC = "vprofile_extraction_skipped_total"
+_SKIPPED_HELP = "Traces dropped by extract_many(skip_failures=True)"
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _effective_workers(jobs: int) -> int:
+    """Worker processes to fan out to for a requested ``jobs``.
+
+    ``jobs`` is a ceiling, not a demand: CPU-bound workers beyond the
+    machine's usable CPU count only add context-switch thrash to the
+    hot path, so the engine never oversubscribes.  Results are
+    byte-identical either way — seeding is per message, not per worker.
+    """
+    return max(1, min(jobs, _usable_cpus()))
+
+
+@dataclass(frozen=True, eq=False)
 class _RenderChunk:
-    """Picklable unit of work: render messages ``lo .. lo+len(messages)``."""
+    """Picklable unit of work: render messages ``lo .. lo+n``.
+
+    The batch path ships only the padded wire matrix plus per-row
+    lengths/senders/starts — frames stay in the parent, which attaches
+    metadata after the hand-off.  The unbatched reference path ships the
+    frames themselves and renders one message at a time.
+    """
 
     vehicle: VehicleConfig
     env: Environment
     truncate_bits: int | None
     seed: int
     lo: int
+    # batch payload
+    wire: np.ndarray | None  # (n, W) int8, padded recessive
+    wire_lengths: tuple[int, ...]
+    starts: tuple[float, ...]
+    senders: tuple[str, ...]
+    # unbatched payload
     messages: tuple[tuple[str, CanFrame, float], ...]  # (sender, frame, start_s)
     batch: bool
     extract: bool
     extraction: ExtractionConfig | None
+    extract_impl: str | None
     skip_failures: bool
+    use_shm: bool
 
 
-def _render_chunk(
-    task: _RenderChunk,
-) -> tuple[list[VoltageTrace], list[ExtractedEdgeSet] | None]:
+#: Worker→parent result: (kind, payload, edges, skip ledger) where kind
+#: selects the payload shape — "shm" carries a ShmChunk descriptor,
+#: "rows" pickled counts arrays, "traces" full VoltageTrace objects.
+_ChunkResult = tuple[
+    str, Any, list[ExtractedEdgeSet] | None, list[tuple[int, str]]
+]
+
+
+def _render_chunk(task: _RenderChunk) -> _ChunkResult:
     chain = task.vehicle.capture_chain(task.truncate_bits)
     transceivers = {ecu.name: ecu.transceiver for ecu in task.vehicle.ecus}
-    n = len(task.messages)
-    rngs = rngs_for_slice(task.seed, task.lo, task.lo + n)
-    traces: list[VoltageTrace] = [None] * n  # type: ignore[list-item]
     if task.batch:
-        wires = [
-            np.asarray(frame.stuffed_bits(), dtype=np.int8)
-            for _, frame, _ in task.messages
-        ]
-        groups: dict[tuple[str, int], list[int]] = {}
-        for j, (sender, _, _) in enumerate(task.messages):
-            groups.setdefault((sender, wires[j].size), []).append(j)
-        for (sender, _), indices in groups.items():
-            transceiver = transceivers[sender]
-            rows = synthesize_waveform_batch(
-                np.stack([wires[j] for j in indices]),
-                transceiver,
+        assert task.wire is not None
+        n = task.wire.shape[0]
+        rngs = rngs_for_slice(task.seed, task.lo, task.lo + n)
+        counts_rows: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+        groups: dict[str, list[int]] = {}
+        for j, sender in enumerate(task.senders):
+            groups.setdefault(sender, []).append(j)
+        for sender, indices in groups.items():
+            volts, n_samples = synthesize_waveform_matrix(
+                task.wire[indices],
+                transceivers[sender],
                 chain.synthesis,
                 env=task.env,
                 noise=chain.noise,
                 rngs=[rngs[j] for j in indices],
+                wire_lengths=[task.wire_lengths[j] for j in indices],
             )
-            if len({row.size for row in rows}) == 1:
-                # One elementwise quantize over the whole group is
-                # byte-identical to quantizing row by row.
-                counts_rows = list(chain.adc.quantize(np.stack(rows)))
-            else:
-                counts_rows = [chain.adc.quantize(volts) for volts in rows]
-            for j, counts in zip(indices, counts_rows):
-                _, frame, start_s = task.messages[j]
-                traces[j] = VoltageTrace(
-                    counts=counts,
-                    sample_rate=chain.synthesis.sample_rate,
-                    resolution_bits=chain.adc.resolution_bits,
-                    bitrate=chain.synthesis.bitrate,
-                    start_s=start_s,
-                    metadata={"sender": transceiver.name, "frame": frame},
-                )
+            # Quantization is elementwise (rint → clip → astype), so one
+            # pass over the group's whole render buffer — scratch columns
+            # included — is byte-identical to quantizing row by row, and
+            # skips a concatenate/split round-trip.
+            group_counts = chain.adc.quantize(volts)
+            for i, j in enumerate(indices):
+                counts_rows[j] = group_counts[i, : int(n_samples[i])]
+        # Inline chunks (task.messages present) have the frames at hand
+        # and skip the descriptor round entirely; cross-process chunks
+        # leave metadata empty — the parent grafts it on after hand-off.
+        traces = [
+            VoltageTrace(
+                counts=counts_rows[j],
+                sample_rate=chain.synthesis.sample_rate,
+                resolution_bits=chain.adc.resolution_bits,
+                bitrate=chain.synthesis.bitrate,
+                start_s=task.starts[j],
+                metadata=(
+                    {
+                        "sender": transceivers[task.senders[j]].name,
+                        "frame": task.messages[j][1],
+                    }
+                    if task.messages
+                    else {}
+                ),
+            )
+            for j in range(n)
+        ]
     else:
-        for j, (sender, frame, start_s) in enumerate(task.messages):
-            traces[j] = chain.capture_frame(
+        rngs = rngs_for_slice(
+            task.seed, task.lo, task.lo + len(task.messages)
+        )
+        traces = [
+            chain.capture_frame(
                 frame,
                 transceivers[sender],
                 env=task.env,
                 rng=rngs[j],
                 start_s=start_s,
             )
+            for j, (sender, frame, start_s) in enumerate(task.messages)
+        ]
     edges: list[ExtractedEdgeSet] | None = None
+    ledger: list[tuple[int, str]] = []
     if task.extract:
-        edges = extract_many(
-            traces, task.extraction, skip_failures=task.skip_failures
+        edges, ledger = extract_many_indexed(
+            traces,
+            task.extraction,
+            skip_failures=task.skip_failures,
+            index_base=task.lo,
+            impl=task.extract_impl,
         )
-    return traces, edges
+    if not task.batch or task.messages:
+        return "traces", traces, edges, ledger
+    if task.use_shm:
+        return "shm", pack_arrays(counts_rows), edges, ledger
+    return "rows", counts_rows, edges, ledger
 
 
 def _run_engine(
@@ -141,11 +228,38 @@ def _run_engine(
     extract: bool,
     extraction: ExtractionConfig | None,
     skip_failures: bool,
+    shm: bool | None = None,
 ) -> tuple[list[VoltageTrace], list[ExtractedEdgeSet] | None]:
     messages = tuple(messages)
     if not messages:
         return [], [] if extract else None
-    n_jobs = resolve_jobs(jobs)
+    n_workers = _effective_workers(resolve_jobs(jobs))
+    inline = n_workers == 1
+    # Inline chunks need no hand-off; shared memory engages only when
+    # results actually cross a process boundary.
+    use_shm = batch and not inline and resolve_shm(shm)
+    # Resolve the walker implementation here, in the parent: persistent
+    # pool workers inherit the environment of their fork, so reading
+    # REPRO_EXTRACT_IMPL worker-side would go stale after the first run.
+    extract_impl = resolve_extract_impl() if extract else None
+    wire_matrix: np.ndarray | None = None
+    wire_lengths: tuple[int, ...] = ()
+    if batch:
+        wires = [frame.stuffed_bits() for _, frame, _ in messages]
+        wire_lengths = tuple(len(w) for w in wires)
+        wire_matrix = np.ones(
+            (len(messages), max(wire_lengths)), dtype=np.int8
+        )
+        for j, w in enumerate(wires):
+            # bytes() packs the 0/1 ints at C speed; the row assignment
+            # is then a memcpy instead of 100+ PyObject conversions.
+            wire_matrix[j, : len(w)] = np.frombuffer(bytes(w), dtype=np.uint8)
+    # One chunk per worker: big chunks amortise the per-chunk numpy setup
+    # (and give the columnar extractor wide blocks); the persistent pool
+    # keeps dispatch latency negligible.
+    slices = chunk_slices(
+        len(messages), n_workers, chunk_size=math.ceil(len(messages) / n_workers)
+    )
     tasks = [
         _RenderChunk(
             vehicle=vehicle,
@@ -153,28 +267,93 @@ def _run_engine(
             truncate_bits=truncate_bits,
             seed=seed,
             lo=lo,
-            messages=messages[lo:hi],
+            wire=wire_matrix[lo:hi] if wire_matrix is not None else None,
+            wire_lengths=wire_lengths[lo:hi],
+            starts=tuple(start_s for _, _, start_s in messages[lo:hi]),
+            senders=tuple(sender for sender, _, _ in messages[lo:hi]),
+            # Cross-process batch chunks ship only the wire matrix;
+            # inline (and unbatched) chunks keep the frames at hand.
+            messages=messages[lo:hi] if (inline or not batch) else (),
             batch=batch,
             extract=extract,
             extraction=extraction,
+            extract_impl=extract_impl,
             skip_failures=skip_failures,
+            use_shm=use_shm,
         )
-        for lo, hi in chunk_slices(len(messages), n_jobs)
+        for lo, hi in slices
     ]
-    chunked = parallel_map(_render_chunk, tasks, jobs=n_jobs, chunk_size=1)
-    traces = [trace for chunk_traces, _ in chunked for trace in chunk_traces]
-    edges: list[ExtractedEdgeSet] | None = None
-    if extract:
-        edges = [edge for _, chunk_edges in chunked for edge in chunk_edges or []]
-        if skip_failures and n_jobs > 1 and len(edges) < len(traces):
-            # In-worker counters die with the worker; recover the drop
-            # count from the length difference.  (With jobs=1 the chunks
-            # run inline and extract_many already counted.)
-            get_registry().counter(
-                "vprofile_extraction_skipped_total",
-                help="Traces dropped by extract_many(skip_failures=True)",
-            ).inc(len(traces) - len(edges))
+    chunked = parallel_map(_render_chunk, tasks, jobs=n_workers, chunk_size=1)
+
+    chain = vehicle.capture_chain(truncate_bits)
+    transceiver_names = {
+        ecu.name: ecu.transceiver.name for ecu in vehicle.ecus
+    }
+    traces: list[VoltageTrace] = []
+    edges: list[ExtractedEdgeSet] | None = [] if extract else None
+    n_skipped = 0
+    for task, (kind, payload, chunk_edges, ledger) in zip(tasks, chunked):
+        if kind == "traces":
+            chunk_traces = payload
+        else:
+            counts_rows = (
+                get_arena().attach(payload) if kind == "shm" else payload
+            )
+            chunk_traces = []
+            for j, counts in enumerate(counts_rows):
+                sender, frame, start_s = messages[task.lo + j]
+                chunk_traces.append(
+                    VoltageTrace(
+                        counts=counts,
+                        sample_rate=chain.synthesis.sample_rate,
+                        resolution_bits=chain.adc.resolution_bits,
+                        bitrate=chain.synthesis.bitrate,
+                        start_s=start_s,
+                        metadata={
+                            "sender": transceiver_names[sender],
+                            "frame": frame,
+                        },
+                    )
+                )
+        traces.extend(chunk_traces)
+        if not extract:
+            continue
+        assert edges is not None
+        if kind == "traces":
+            edges.extend(chunk_edges or [])
+        else:
+            # Worker-side traces carried empty metadata; graft the
+            # ground truth back on, skipping dropped messages.
+            dropped = {index for index, _ in ledger}
+            kept = [
+                g
+                for g in range(task.lo, task.lo + len(chunk_traces))
+                if g not in dropped
+            ]
+            for edge, g in zip(chunk_edges or [], kept):
+                edges.append(replace(edge, metadata=dict(traces[g].metadata)))
+        n_skipped += len(ledger)
+    if extract and n_skipped:
+        # Ledgers survive the process boundary, unlike in-worker
+        # counters; fold them into the metric exactly once.
+        get_registry().counter(_SKIPPED_METRIC, help=_SKIPPED_HELP).inc(
+            n_skipped
+        )
     return traces, edges
+
+
+#: Transmission planning is deterministic in (vehicle, duration, seed),
+#: so repeated captures of the same run — benchmark sweeps over ``jobs``,
+#: cache-miss/hit pairs — reuse the schedule instead of re-arbitrating.
+_PLAN_MEMO_MAX = 8
+_PLAN_MEMO: OrderedDict[str, list[BusTransmission]] = OrderedDict()
+_PLAN_LOCK = threading.Lock()
+
+
+def clear_plan_memo() -> None:
+    """Drop all memoised transmission schedules (tests)."""
+    with _PLAN_LOCK:
+        _PLAN_MEMO.clear()
 
 
 def plan_transmissions(
@@ -184,10 +363,30 @@ def plan_transmissions(
 
     Identical to the planning half of
     :func:`repro.vehicles.dataset.capture_session`: traffic generation
-    and arbitration are cheap and deterministic, so they stay serial.
+    and arbitration are deterministic, so the schedule is memoised on
+    ``(vehicle, duration, seed)`` — environment and truncation never
+    influence planning — and a fresh list is returned per call.
     """
     if duration_s <= 0:
         raise DatasetError(f"duration must be positive, got {duration_s}")
+    # The cache key digests the vehicle profile canonically; pinning the
+    # env/truncation axes to constants leaves exactly the planning inputs.
+    key = capture_cache_key(
+        vehicle,
+        duration_s=duration_s,
+        env=NOMINAL_ENVIRONMENT,
+        seed=seed,
+        truncate_bits=None,
+    )
+    with _PLAN_LOCK:
+        memoised = _PLAN_MEMO.get(key)
+        if memoised is not None:
+            _PLAN_MEMO.move_to_end(key)
+            get_registry().counter(
+                PLAN_MEMO_HITS_METRIC,
+                help="Transmission schedules served from the plan memo",
+            ).inc()
+            return list(memoised)
     generator = TrafficGenerator(
         schedules=[
             (ecu.name, schedule)
@@ -197,7 +396,13 @@ def plan_transmissions(
         seed=seed,
     )
     bus = CanBus(bitrate=vehicle.bitrate)
-    return bus.schedule(generator.frames_until(duration_s))
+    plan = bus.schedule(generator.frames_until(duration_s))
+    with _PLAN_LOCK:
+        _PLAN_MEMO[key] = list(plan)
+        _PLAN_MEMO.move_to_end(key)
+        while len(_PLAN_MEMO) > _PLAN_MEMO_MAX:
+            _PLAN_MEMO.popitem(last=False)
+    return plan
 
 
 def render_transmissions(
@@ -209,6 +414,7 @@ def render_transmissions(
     truncate_bits: int | None = DEFAULT_TRUNCATE_BITS,
     jobs: int | None = None,
     batch: bool = True,
+    shm: bool | None = None,
 ) -> list[VoltageTrace]:
     """Render scheduled transmissions to voltage traces, in bus order."""
     traces, _ = _run_engine(
@@ -222,6 +428,7 @@ def render_transmissions(
         extract=False,
         extraction=None,
         skip_failures=False,
+        shm=shm,
     )
     return traces
 
@@ -236,13 +443,15 @@ def capture_session_engine(
     jobs: int | None = None,
     batch: bool = True,
     cache: CaptureCache | None = None,
+    shm: bool | None = None,
 ) -> CaptureSession:
-    """Engine-backed capture: batched, parallel, optionally cached.
+    """Engine-backed capture: pad-batched, parallel, optionally cached.
 
     The cache key covers everything the output depends on (vehicle
     profile, environment, duration, seed, truncation, schema version)
-    and deliberately *excludes* ``jobs``/``batch`` — those change only
-    how the work is scheduled, never the bytes produced.
+    and deliberately *excludes* ``jobs``/``batch``/``shm`` — those
+    change only how the work is scheduled and shipped, never the bytes
+    produced.
     """
     key = None
     if cache is not None:
@@ -265,6 +474,7 @@ def capture_session_engine(
         truncate_bits=truncate_bits,
         jobs=jobs,
         batch=batch,
+        shm=shm,
     )
     if cache is not None and key is not None:
         cache.put(key, traces)
@@ -272,10 +482,18 @@ def capture_session_engine(
 
 
 def _extract_chunk(
-    payload: tuple[tuple[VoltageTrace, ...], ExtractionConfig | None, bool],
-) -> list[ExtractedEdgeSet]:
-    traces, config, skip_failures = payload
-    return extract_many(list(traces), config, skip_failures=skip_failures)
+    payload: tuple[
+        tuple[VoltageTrace, ...], ExtractionConfig | None, bool, int, str
+    ],
+) -> tuple[list[ExtractedEdgeSet], list[tuple[int, str]]]:
+    traces, config, skip_failures, lo, impl = payload
+    return extract_many_indexed(
+        list(traces),
+        config,
+        skip_failures=skip_failures,
+        index_base=lo,
+        impl=impl,
+    )
 
 
 def extract_many_parallel(
@@ -289,27 +507,31 @@ def extract_many_parallel(
 
     Extraction is deterministic, so chunked fan-out plus in-order
     reassembly returns exactly what serial
-    :func:`~repro.core.edge_extraction.extract_many` would.
+    :func:`~repro.core.edge_extraction.extract_many` would — including
+    the failing message's run-global index in any raised
+    :class:`~repro.errors.ExtractionError` and the skip count folded
+    into ``vprofile_extraction_skipped_total``.
     """
     traces = list(traces)
     if not traces:
         return []
     if config is None:
         config = ExtractionConfig.for_trace(traces[0])
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs == 1:
+    n_workers = _effective_workers(resolve_jobs(jobs))
+    if n_workers == 1:
         return extract_many(traces, config, skip_failures=skip_failures)
+    impl = resolve_extract_impl()  # parent-side: see _run_engine
     payloads = [
-        (tuple(traces[lo:hi]), config, skip_failures)
-        for lo, hi in chunk_slices(len(traces), n_jobs)
+        (tuple(traces[lo:hi]), config, skip_failures, lo, impl)
+        for lo, hi in chunk_slices(len(traces), n_workers)
     ]
-    chunked = parallel_map(_extract_chunk, payloads, jobs=n_jobs, chunk_size=1)
-    results = [edge for chunk in chunked for edge in chunk]
-    if skip_failures and len(results) < len(traces):
-        get_registry().counter(
-            "vprofile_extraction_skipped_total",
-            help="Traces dropped by extract_many(skip_failures=True)",
-        ).inc(len(traces) - len(results))
+    chunked = parallel_map(_extract_chunk, payloads, jobs=n_workers, chunk_size=1)
+    results = [edge for chunk, _ in chunked for edge in chunk]
+    n_skipped = sum(len(ledger) for _, ledger in chunked)
+    if n_skipped:
+        get_registry().counter(_SKIPPED_METRIC, help=_SKIPPED_HELP).inc(
+            n_skipped
+        )
     return results
 
 
@@ -325,6 +547,7 @@ def capture_and_extract(
     batch: bool = True,
     cache: CaptureCache | None = None,
     skip_failures: bool = False,
+    shm: bool | None = None,
 ) -> tuple[CaptureSession, list[ExtractedEdgeSet]]:
     """Capture a session and extract its edge sets in one fused pass.
 
@@ -361,6 +584,7 @@ def capture_and_extract(
         extract=True,
         extraction=extraction,
         skip_failures=skip_failures,
+        shm=shm,
     )
     if cache is not None:
         cache.put(key, traces)
@@ -369,6 +593,8 @@ def capture_and_extract(
 
 
 __all__ = [
+    "PLAN_MEMO_HITS_METRIC",
+    "clear_plan_memo",
     "plan_transmissions",
     "render_transmissions",
     "capture_session_engine",

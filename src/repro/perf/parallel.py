@@ -15,9 +15,12 @@ flag; an explicit flag always wins.
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from functools import lru_cache
 from typing import Any, Callable, Iterable
 
 import numpy as np
@@ -51,6 +54,7 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return int(jobs)
 
 
+@lru_cache(maxsize=1 << 16)
 def message_seed(seed: int, index: int) -> np.random.SeedSequence:
     """The :class:`~numpy.random.SeedSequence` owned by message ``index``.
 
@@ -60,6 +64,12 @@ def message_seed(seed: int, index: int) -> np.random.SeedSequence:
     equivalence is why the hand-forged child below is waived from
     VPL202 — random access to message ``index`` must not spawn (and
     throw away) ``index`` siblings first.
+
+    The cache is sound because :class:`~numpy.random.SeedSequence` is
+    immutable and ``generate_state`` is pure — every ``default_rng``
+    built from the shared instance sees the same entropy pool.  Repeat
+    captures of one run seed (golden re-renders, cache-miss/hit pairs)
+    skip the per-message entropy hashing entirely.
     """
     return np.random.SeedSequence(entropy=seed, spawn_key=(index,))  # vpl: ignore[VPL202]
 
@@ -87,6 +97,46 @@ def chunk_slices(n_items: int, jobs: int, chunk_size: int | None = None) -> list
     return [(lo, min(lo + chunk_size, n_items)) for lo in range(0, n_items, chunk_size)]
 
 
+# Pools are warm state, not per-call scaffolding: forking workers costs
+# tens of milliseconds, which would dwarf a zero-copy hand-off.  One
+# executor per worker count lives for the process (or until
+# shutdown_pools()), guarded by a lock for thread-safe laziness.
+_POOL_LOCK = threading.Lock()
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The persistent executor for ``workers`` processes (lazily forked)."""
+    if workers < 1:
+        raise PerfError(f"workers must be >= 1, got {workers}")
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _POOLS[workers] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every persistent pool (tests, or to reclaim workers)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)
+
+
+def _drop_pool(pool: ProcessPoolExecutor) -> None:
+    with _POOL_LOCK:
+        for workers, known in list(_POOLS.items()):
+            if known is pool:
+                del _POOLS[workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def parallel_map(
     func: Callable[[Any], Any],
     items: Iterable[Any],
@@ -97,11 +147,11 @@ def parallel_map(
     """``[func(x) for x in items]`` fanned out over worker processes.
 
     ``func`` must be a module-level (picklable) callable.  Items are
-    grouped into contiguous chunks, dispatched to a
-    :class:`~concurrent.futures.ProcessPoolExecutor`, and reassembled in
-    submission order, so the result is exactly the serial list.  With
-    ``jobs=1`` (or a single item) everything runs inline — no pool, no
-    pickling.
+    grouped into contiguous chunks, dispatched to a persistent
+    :class:`~concurrent.futures.ProcessPoolExecutor` (workers stay warm
+    across calls), and reassembled in submission order, so the result is
+    exactly the serial list.  With ``jobs=1`` (or a single item)
+    everything runs inline — no pool, no pickling.
     """
     items = list(items)
     jobs = resolve_jobs(jobs)
@@ -109,7 +159,14 @@ def parallel_map(
         return [func(item) for item in items]
     slices = chunk_slices(len(items), jobs, chunk_size)
     payloads = [(func, items[lo:hi]) for lo, hi in slices]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+    pool = get_pool(min(jobs, len(payloads)))
+    try:
+        chunked = list(pool.map(_apply_chunk, payloads))
+    except BrokenExecutor:
+        # A dead worker poisons the whole executor; retire it and retry
+        # once on a fresh pool before giving up.
+        _drop_pool(pool)
+        pool = get_pool(min(jobs, len(payloads)))
         chunked = list(pool.map(_apply_chunk, payloads))
     return [result for chunk in chunked for result in chunk]
 
@@ -128,6 +185,8 @@ __all__ = [
     "message_seed",
     "spawn_seeds",
     "chunk_slices",
+    "get_pool",
+    "shutdown_pools",
     "parallel_map",
     "rngs_for_slice",
 ]

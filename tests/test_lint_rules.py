@@ -348,6 +348,102 @@ def test_vpl303_clean_on_sync_def():
 
 
 # ----------------------------------------------------------------------
+# VPL304 — SharedMemory lifecycle in the zero-copy hand-off
+# ----------------------------------------------------------------------
+PERF_PATH = "src/repro/perf/fake.py"
+
+
+def test_vpl304_fires_without_any_cleanup():
+    assert codes("""
+        from multiprocessing import shared_memory
+
+        def pack(total):
+            segment = shared_memory.SharedMemory(create=True, size=total)
+            return segment.name
+    """, path=PERF_PATH) == ["VPL304"]
+
+
+def test_vpl304_fires_on_discarded_handle():
+    assert codes("""
+        from multiprocessing.shared_memory import SharedMemory
+
+        def peek(name):
+            return SharedMemory(name=name).buf[0]
+    """, path=PERF_PATH) == ["VPL304"]
+
+
+def test_vpl304_fires_on_error_path_close_without_fallthrough():
+    # Closing only in the handler leaks the segment on success.
+    assert codes("""
+        from multiprocessing import shared_memory
+
+        def pack(total):
+            segment = shared_memory.SharedMemory(create=True, size=total)
+            try:
+                fill(segment)
+            except BaseException:
+                segment.close()
+                segment.unlink()
+                raise
+            return segment.name
+    """, path=PERF_PATH) == ["VPL304"]
+
+
+def test_vpl304_clean_with_close_in_finally():
+    assert codes("""
+        from multiprocessing import shared_memory
+
+        def pack(total):
+            segment = shared_memory.SharedMemory(create=True, size=total)
+            try:
+                fill(segment)
+            finally:
+                segment.close()
+    """, path=PERF_PATH) == []
+
+
+def test_vpl304_clean_on_pack_arrays_shape():
+    # Error-path close+unlink+raise plus the fall-through close.
+    assert codes("""
+        from multiprocessing import shared_memory
+
+        def pack(total):
+            segment = shared_memory.SharedMemory(create=True, size=total)
+            try:
+                fill(segment)
+            except BaseException:
+                segment.close()
+                segment.unlink()
+                raise
+            segment.close()
+            return segment.name
+    """, path=PERF_PATH) == []
+
+
+def test_vpl304_clean_on_ownership_transfer_to_self():
+    # The arena pattern: the managing object closes it later.
+    assert codes("""
+        from multiprocessing import shared_memory
+
+        class Arena:
+            def attach(self, name):
+                segment = shared_memory.SharedMemory(name=name)
+                self._segments[name] = segment
+                return segment.buf
+    """, path=PERF_PATH) == []
+
+
+def test_vpl304_scoped_to_shm_paths():
+    assert codes("""
+        from multiprocessing import shared_memory
+
+        def pack(total):
+            segment = shared_memory.SharedMemory(create=True, size=total)
+            return segment.name
+    """, path="src/repro/stream/fake.py") == []
+
+
+# ----------------------------------------------------------------------
 # VPL302 — mutable default arguments
 # ----------------------------------------------------------------------
 def test_vpl302_fires_on_list_dict_set_defaults():

@@ -9,7 +9,7 @@ from repro.analog.channel import NOISY_CHANNEL, QUIET_CHANNEL
 from repro.analog.transceiver import EdgeDynamics
 from repro.analog.waveform import SynthesisConfig, step_response, synthesize_waveform
 from repro.errors import PerfError
-from repro.perf.batch import synthesize_waveform_batch
+from repro.perf.batch import synthesize_waveform_batch, synthesize_waveform_matrix
 from repro.perf.parallel import message_seed
 
 
@@ -121,6 +121,74 @@ class TestBatchedSynthesis:
             noise=QUIET_CHANNEL, rng=_batch_rngs(3, 1)[0],
         )
         assert np.array_equal(volts, expected)
+
+    @pytest.mark.parametrize("noise", [None, NOISY_CHANNEL])
+    def test_mixed_lengths_pad_batched_matches_serial(self, noise):
+        """Pad-batching: rows of different wire lengths render in one
+        matrix, each byte-identical to the serial render of its own
+        (unpadded) bit sequence."""
+        from repro.vehicles.profiles import vehicle_a
+
+        transceiver = vehicle_a().ecus[0].transceiver
+        config = SynthesisConfig(sample_rate=2_000_000.0, max_frame_bits=80)
+        lengths = [40, 64, 52, 64, 33]
+        bit_rng = np.random.default_rng(21)
+        wire = bit_rng.integers(0, 2, size=(5, 64)).astype(np.int8)
+        wire[:, 0] = 0  # SOF is dominant
+        batched = synthesize_waveform_batch(
+            wire, transceiver, config, noise=noise,
+            rngs=_batch_rngs(17, 5), wire_lengths=lengths,
+        )
+        serial_rngs = _batch_rngs(17, 5)
+        for row, n, volts, rng in zip(wire, lengths, batched, serial_rngs):
+            expected = synthesize_waveform(
+                row[:n], transceiver, config, noise=noise, rng=rng
+            )
+            assert np.array_equal(volts, expected)
+
+    def test_matrix_rows_are_batch_rows(self):
+        """The matrix variant is the batch minus the final slicing."""
+        from repro.vehicles.profiles import vehicle_a
+
+        transceiver = vehicle_a().ecus[0].transceiver
+        config = SynthesisConfig(sample_rate=2_000_000.0, max_frame_bits=80)
+        lengths = [48, 64, 36]
+        wire = np.random.default_rng(2).integers(0, 2, size=(3, 64)).astype(np.int8)
+        wire[:, 0] = 0
+        volts, n_samples = synthesize_waveform_matrix(
+            wire, transceiver, config, noise=QUIET_CHANNEL,
+            rngs=_batch_rngs(9, 3), wire_lengths=lengths,
+        )
+        rows = synthesize_waveform_batch(
+            wire, transceiver, config, noise=QUIET_CHANNEL,
+            rngs=_batch_rngs(9, 3), wire_lengths=lengths,
+        )
+        assert volts.shape == (3, int(n_samples.max()))
+        for i, row in enumerate(rows):
+            assert row.size == int(n_samples[i])
+            assert np.array_equal(volts[i, : row.size], row)
+
+    def test_rejects_bad_wire_lengths(self):
+        from repro.vehicles.profiles import sterling_acterra
+
+        transceiver = sterling_acterra().ecus[0].transceiver
+        config = SynthesisConfig(sample_rate=2_000_000.0)
+        wire = np.zeros((2, 8), dtype=np.int8)
+        with pytest.raises(PerfError):
+            synthesize_waveform_batch(
+                wire, transceiver, config,
+                rngs=_batch_rngs(0, 2), wire_lengths=[8],
+            )
+        with pytest.raises(PerfError):
+            synthesize_waveform_batch(
+                wire, transceiver, config,
+                rngs=_batch_rngs(0, 2), wire_lengths=[8, 9],
+            )
+        with pytest.raises(PerfError):
+            synthesize_waveform_batch(
+                wire, transceiver, config,
+                rngs=_batch_rngs(0, 2), wire_lengths=[0, 8],
+            )
 
     def test_rejects_bad_shapes(self):
         from repro.vehicles.profiles import sterling_acterra

@@ -7,7 +7,9 @@ the traces, the edge-set vectors, or the detector's verdict sequence.
 
 from __future__ import annotations
 
+import dataclasses
 import tempfile
+from unittest import mock
 
 import numpy as np
 import pytest
@@ -15,10 +17,13 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.detection import Detector
+from repro.core.edge_extraction import ExtractionConfig, extract_many
 from repro.core.model import VProfileModel
 from repro.core.pipeline import PipelineConfig, VProfilePipeline
+from repro.errors import ExtractionError
+from repro.perf import engine as engine_mod
 from repro.perf.cache import CaptureCache
-from repro.perf.engine import capture_and_extract
+from repro.perf.engine import capture_and_extract, extract_many_parallel
 
 DURATION_S = 0.6
 
@@ -73,6 +78,50 @@ class TestEngineProperties:
         _assert_equivalent(trained_detector, serial, fanned)
 
     @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        jobs=st.integers(min_value=2, max_value=4),
+    )
+    def test_shm_and_pipe_handoff_are_identical(
+        self, stream_vehicle, trained_detector, seed, jobs
+    ):
+        """How chunk bytes travel back never changes them.
+
+        The CPU-affinity cap would collapse multi-job runs to the
+        inline path on small CI boxes, so it is lifted for the test —
+        both runs must actually cross the worker boundary.  Varying
+        ``jobs`` also varies the chunking, exercising descriptor
+        reassembly at several chunk shapes.
+        """
+        with mock.patch.object(engine_mod, "_usable_cpus", return_value=4):
+            shared = capture_and_extract(
+                stream_vehicle, DURATION_S, seed=seed, jobs=jobs, shm=True
+            )
+            piped = capture_and_extract(
+                stream_vehicle, DURATION_S, seed=seed, jobs=jobs, shm=False
+            )
+        _assert_equivalent(trained_detector, shared, piped)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_vector_and_scalar_extraction_are_identical(
+        self, stream_vehicle, trained_detector, seed
+    ):
+        session, _ = capture_and_extract(
+            stream_vehicle, DURATION_S, seed=seed, jobs=1
+        )
+        config = ExtractionConfig.for_trace(session.traces[0])
+        vector = extract_many(session.traces, config, impl="vector")
+        scalar = extract_many(session.traces, config, impl="scalar")
+        assert len(vector) == len(scalar)
+        for a, b in zip(vector, scalar):
+            assert a.source_address == b.source_address
+            assert np.array_equal(a.vector, b.vector)
+        assert _verdicts(trained_detector, vector) == _verdicts(
+            trained_detector, scalar
+        )
+
+    @SETTINGS
     @given(seed=st.integers(min_value=0, max_value=10_000))
     def test_cache_hit_is_identical_to_fresh(
         self, stream_vehicle, trained_detector, seed
@@ -90,6 +139,52 @@ class TestEngineProperties:
             )
         _assert_equivalent(trained_detector, fresh, miss)
         _assert_equivalent(trained_detector, fresh, hit)
+
+
+class TestExtractionParity:
+    """Serial and parallel extraction agree on failures, not just bytes."""
+
+    @pytest.fixture()
+    def corrupted_traces(self, stream_train_session):
+        traces = list(stream_train_session.traces[:24])
+        bad = dataclasses.replace(traces[13], counts=traces[13].counts[:8])
+        traces[13] = bad
+        return traces
+
+    def test_error_context_matches_serial(self, corrupted_traces):
+        """Workers must report the run-global message index and sample
+        offset, exactly as the serial walker would."""
+        config = ExtractionConfig.for_trace(corrupted_traces[0])
+        with pytest.raises(ExtractionError) as serial_exc:
+            extract_many(corrupted_traces, config)
+        with mock.patch.object(engine_mod, "_usable_cpus", return_value=4):
+            with pytest.raises(ExtractionError) as parallel_exc:
+                extract_many_parallel(corrupted_traces, config, jobs=3)
+        assert str(parallel_exc.value) == str(serial_exc.value)
+        assert "message 13" in str(parallel_exc.value)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 3])
+    def test_skip_counting_matches_serial(self, corrupted_traces, jobs):
+        """The skip ledger survives the process boundary: the metric is
+        folded exactly once per dropped trace, at any job count."""
+        import repro.obs as obs
+
+        config = ExtractionConfig.for_trace(corrupted_traces[0])
+        serial_registry = obs.MetricsRegistry()
+        with obs.use_registry(serial_registry):
+            serial = extract_many(corrupted_traces, config, skip_failures=True)
+        fanned_registry = obs.MetricsRegistry()
+        with obs.use_registry(fanned_registry):
+            with mock.patch.object(engine_mod, "_usable_cpus", return_value=4):
+                fanned = extract_many_parallel(
+                    corrupted_traces, config, jobs=jobs, skip_failures=True
+                )
+        assert len(fanned) == len(serial) == len(corrupted_traces) - 1
+        for a, b in zip(serial, fanned):
+            assert np.array_equal(a.vector, b.vector)
+        name = "vprofile_extraction_skipped_total"
+        assert serial_registry.get(name).value == 1
+        assert fanned_registry.get(name).value == 1
 
 
 def test_model_trained_on_engine_capture_is_job_invariant(stream_vehicle):
