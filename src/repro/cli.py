@@ -536,6 +536,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--select", args.select]
     if args.lint_ignore:
         argv += ["--ignore", args.lint_ignore]
+    if args.lint_format != "text":
+        argv += ["--format", args.lint_format]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.stats:
+        argv.append("--stats")
+    if args.baseline:
+        argv.append("--baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
     if args.list_rules:
         argv.append("--list-rules")
     if args.update_schema_lock:
@@ -733,6 +745,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated codes/prefixes to run")
     lint.add_argument("--ignore", dest="lint_ignore", metavar="CODES",
                       help="comma-separated codes/prefixes to skip")
+    lint.add_argument("--format", dest="lint_format",
+                      choices=("text", "sarif"), default="text",
+                      help="report format (sarif: SARIF 2.1.0 on stdout)")
+    lint.add_argument("--jobs", type=int, metavar="N", default=None,
+                      help="analyze modules on N threads "
+                           "(default: $REPRO_LINT_JOBS or 1)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="skip the incremental analysis cache")
+    lint.add_argument("--stats", action="store_true",
+                      help="print analyzed/restored/parse counters")
+    lint.add_argument("--baseline", action="store_true",
+                      help="waive findings recorded in the baseline file")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="re-record the baseline from current findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print every registered rule and exit")
     lint.add_argument("--update-schema-lock", action="store_true",

@@ -19,6 +19,9 @@ waivers use ``# vpl: ignore[VPL104]`` comments, repo-wide scoping lives
 in ``[tool.repro-lint]`` in pyproject.toml.
 """
 
+from repro.lint.baseline import Baseline
+from repro.lint.cache import AnalysisCache
+from repro.lint.callgraph import CallGraph
 from repro.lint.config import (
     LintConfig,
     LintConfigError,
@@ -27,14 +30,37 @@ from repro.lint.config import (
 )
 from repro.lint.diagnostics import Diagnostic, format_report
 from repro.lint.fingerprint import schema_fingerprint, update_lock
-from repro.lint.rules import ModuleContext, Rule, all_rules, iter_rules, register
-from repro.lint.runner import collect_files, lint_paths, lint_source
+from repro.lint.project import Project
+from repro.lint.rules import (
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    iter_rules,
+    register,
+)
+from repro.lint.runner import (
+    LintResult,
+    collect_files,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.lint.sarif import render_sarif
 
 __all__ = [
+    "AnalysisCache",
+    "Baseline",
+    "CallGraph",
     "Diagnostic",
     "LintConfig",
     "LintConfigError",
+    "LintResult",
     "ModuleContext",
+    "Project",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "collect_files",
@@ -45,6 +71,8 @@ __all__ = [
     "lint_source",
     "load_config",
     "register",
+    "render_sarif",
+    "run_lint",
     "schema_fingerprint",
     "update_lock",
 ]

@@ -1,0 +1,120 @@
+"""Checked-in baseline: adopt new rules without a big-bang cleanup.
+
+A baseline entry waives one *specific pre-existing finding* —
+identified by ``(path, code, message)``, deliberately not by line
+number, so unrelated edits above a finding do not break the waiver.
+Identical findings in one file are counted: a baseline recording two
+occurrences waives at most two, and a third (new) occurrence still
+fails the build.
+
+``repro lint --update-baseline`` records the current findings;
+``repro lint --baseline`` (the CI mode) reports only findings absent
+from the record.  Waived findings are not invisible — the text report
+prints a waived-count summary and the SARIF output carries them with a
+``suppressions`` entry — and entries whose finding has been fixed are
+listed as stale so the baseline ratchets monotonically toward empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+
+def _key(diagnostic: Diagnostic) -> tuple[str, str, str]:
+    return (diagnostic.path, diagnostic.code, diagnostic.message)
+
+
+@dataclass
+class BaselineResult:
+    """Split of a lint run against the baseline."""
+
+    new: list[Diagnostic] = field(default_factory=list)
+    waived: list[Diagnostic] = field(default_factory=list)
+    #: Baseline entries with no matching finding anymore (fixed).
+    stale: list[tuple[str, str, str]] = field(default_factory=list)
+
+
+class Baseline:
+    """The waived-findings record (a multiset of finding keys)."""
+
+    def __init__(self, counts: Optional[dict[tuple[str, str, str], int]] = None):
+        self.counts = counts or {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Sequence[Diagnostic]) -> "Baseline":
+        counts: dict[tuple[str, str, str], int] = {}
+        for diagnostic in diagnostics:
+            key = _key(diagnostic)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, root: Path, config: LintConfig) -> Optional["Baseline"]:
+        """The checked-in baseline, or ``None`` when absent/corrupt."""
+        path = Path(root) / config.baseline
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("version") != BASELINE_VERSION:
+            return None
+        counts: dict[tuple[str, str, str], int] = {}
+        for entry in payload.get("findings", []):
+            try:
+                key = (entry["path"], entry["code"], entry["message"])
+                count = int(entry.get("count", 1))
+            except (KeyError, TypeError, ValueError):
+                continue
+            counts[key] = counts.get(key, 0) + max(count, 1)
+        return cls(counts)
+
+    def save(self, root: Path, config: LintConfig) -> Path:
+        path = Path(root) / config.baseline
+        findings = [
+            {"path": p, "code": c, "message": m, "count": n}
+            for (p, c, m), n in sorted(self.counts.items())
+        ]
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Waived pre-existing lint findings; regenerate with "
+                "`python -m repro.lint --update-baseline`. New findings "
+                "never land here silently — fix them or waive inline."
+            ),
+            "findings": findings,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    def apply(self, diagnostics: Sequence[Diagnostic]) -> BaselineResult:
+        """Partition findings into new vs waived; surface stale entries."""
+        remaining = dict(self.counts)
+        result = BaselineResult()
+        for diagnostic in diagnostics:  # sorted order: earliest lines waive
+            key = _key(diagnostic)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.waived.append(diagnostic)
+            else:
+                result.new.append(diagnostic)
+        result.stale = sorted(
+            key for key, count in remaining.items() if count > 0
+        )
+        return result
+
+
+__all__ = ["Baseline", "BaselineResult", "BASELINE_VERSION"]

@@ -1,0 +1,150 @@
+"""Incremental analysis cache: warm lint runs parse nothing.
+
+The cacheable unit is one module's *analysis record*: its summary (the
+whole-program facts in :mod:`repro.lint.dataflow` shape) plus the
+already-filtered module-local diagnostics.  Both are pure functions of
+the module's bytes and the checker configuration, so the cache key is
+``(source sha256, analysis version, config digest, registered rules)``
+— edit a file and only that file re-analyzes; bump the lint version or
+touch the config and the whole cache misses.
+
+Project rules are *never* cached: their verdicts depend on other
+modules (the lockset of a helper's callers, the schema lock on disk),
+so they recompute every pass — cheaply, because they read summaries,
+not trees.
+
+One JSON file per project root (``<cache_dir>/analysis.json``), written
+atomically; a corrupt or foreign-version file is treated as empty, so
+the cache can always be deleted or ignored without changing results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+
+#: Bump on any change to rule logic, summary shape, or diagnostics —
+#: invalidates every cached analysis record.
+ANALYSIS_VERSION = 1
+
+_CACHE_FILE = "analysis.json"
+
+
+def _diag_to_wire(diagnostic: Diagnostic) -> list[Any]:
+    return [
+        diagnostic.line, diagnostic.col, diagnostic.code, diagnostic.message
+    ]
+
+
+def _diag_from_wire(path: str, wire: list[Any]) -> Diagnostic:
+    line, col, code, message = wire
+    return Diagnostic(
+        path=path, line=int(line), col=int(col),
+        code=str(code), message=str(message),
+    )
+
+
+class AnalysisCache:
+    """Sha-keyed store of per-module analysis records."""
+
+    def __init__(self, root: Path, config: LintConfig, rule_codes: tuple[str, ...]):
+        self.root = Path(root)
+        self.path = self.root / config.cache_dir / _CACHE_FILE
+        self.key = {
+            "version": ANALYSIS_VERSION,
+            "config": config.digest(),
+            "rules": list(rule_codes),
+        }
+        self._modules: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls, root: Path, config: LintConfig, rule_codes: tuple[str, ...]
+    ) -> "AnalysisCache":
+        cache = cls(root, config, rule_codes)
+        try:
+            payload = json.loads(cache.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) or payload.get("key") != cache.key:
+            cache._dirty = True  # stale global key: rewrite on save
+            return cache
+        modules = payload.get("modules")
+        if isinstance(modules, dict):
+            cache._modules = modules
+        return cache
+
+    # ------------------------------------------------------------------
+    def get(
+        self, path: str, sha: str
+    ) -> Optional[tuple[dict[str, Any], list[Diagnostic]]]:
+        """Cached ``(summary, module_diagnostics)`` for unchanged bytes."""
+        record = self._modules.get(path)
+        if record is None or record.get("sha") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        diagnostics = [
+            _diag_from_wire(path, wire) for wire in record.get("diagnostics", [])
+        ]
+        return record.get("summary") or {}, diagnostics
+
+    def put(
+        self,
+        path: str,
+        sha: str,
+        summary: dict[str, Any],
+        diagnostics: list[Diagnostic],
+    ) -> None:
+        self._modules[path] = {
+            "sha": sha,
+            "summary": summary,
+            "diagnostics": [_diag_to_wire(d) for d in diagnostics],
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop records for files no longer part of the lint run."""
+        dead = [path for path in self._modules if path not in live_paths]
+        for path in dead:
+            del self._modules[path]
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Atomic write (tmp + rename) so a crashed run never corrupts."""
+        if not self._dirty:
+            return
+        payload = {"key": self.key, "modules": self._modules}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(self.path.parent),
+            prefix=_CACHE_FILE,
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+            os.replace(handle.name, self.path)
+        except OSError:
+            try:  # best effort: a cache that cannot write is just cold
+                os.unlink(handle.name)
+            except OSError:
+                pass
+        self._dirty = False
+
+
+__all__ = ["ANALYSIS_VERSION", "AnalysisCache"]

@@ -1,30 +1,40 @@
 """Command-line front end: ``python -m repro.lint`` / ``repro lint``.
 
 Exit codes follow compiler conventions: 0 clean, 1 violations found,
-2 usage errors (unreadable paths, malformed config).
+2 usage errors (unreadable paths, malformed config).  With
+``--baseline`` only findings absent from the checked-in baseline fail
+the run; waived findings still surface (a summary line in text mode, a
+``suppressions`` entry in SARIF).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import IO, Optional, Sequence
 
 from repro.lint import fingerprint as fp
+from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfigError, load_config
 from repro.lint.diagnostics import format_report
 from repro.lint.rules import iter_rules
-from repro.lint.runner import lint_paths
+from repro.lint.runner import run_lint
+from repro.lint.sarif import render_sarif
 
 DEFAULT_PATHS = ("src", "tests")
+
+#: Environment override for ``--jobs`` (CI sets this fleet-wide).
+JOBS_ENV = "REPRO_LINT_JOBS"
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="AST-based invariant checker: determinism, seed "
-        "discipline, concurrency safety, observability hygiene (VPLxxx).",
+        description="Whole-program invariant checker: determinism, seed "
+        "provenance, concurrency safety, executor boundaries, "
+        "observability hygiene (VPLxxx).",
     )
     parser.add_argument(
         "paths",
@@ -49,6 +59,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated codes/prefixes to skip",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="report format (sarif emits a SARIF 2.1.0 log on stdout)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="analyze modules on N threads (default: $"
+        f"{JOBS_ENV} or 1); the shared parse pass makes this safe",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental analysis cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analyzed/restored/parse counters to stderr",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="waive findings recorded in the checked-in baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-record the baseline from the current findings and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
@@ -70,6 +114,18 @@ def _codes(raw: Optional[str]) -> tuple[str, ...]:
     if not raw:
         return ()
     return tuple(code.strip().upper() for code in raw.split(",") if code.strip())
+
+
+def _jobs(args: argparse.Namespace) -> Optional[int]:
+    if args.jobs is not None:
+        return args.jobs
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            return None
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None, *,
@@ -101,17 +157,76 @@ def main(argv: Optional[Sequence[str]] = None, *,
         return 0
 
     try:
-        diagnostics = lint_paths(args.paths, config, root=root)
+        result = run_lint(
+            args.paths,
+            config,
+            root=root,
+            jobs=_jobs(args),
+            use_cache=not args.no_cache,
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=err)
         return 2
 
-    if diagnostics:
-        print(format_report(diagnostics), file=out)
+    if args.stats:
+        print(
+            f"modules: {len(result.analyzed)} analyzed, "
+            f"{len(result.restored)} restored from cache; "
+            f"{result.parse_count} parsed",
+            file=err,
+        )
+
+    if args.update_baseline:
+        baseline = Baseline.from_diagnostics(result.diagnostics)
+        path = baseline.save(root, config)
+        print(
+            f"baseline updated -> {path} "
+            f"({len(result.diagnostics)} findings recorded)",
+            file=out,
+        )
+        return 0
+
+    new, waived, stale = result.diagnostics, [], []
+    if args.baseline:
+        baseline = Baseline.load(root, config)
+        if baseline is None:
+            print(
+                f"error: baseline {config.baseline} is missing or "
+                "unreadable; run --update-baseline first",
+                file=err,
+            )
+            return 2
+        split = baseline.apply(result.diagnostics)
+        new, waived, stale = split.new, split.waived, split.stale
+
+    if args.format == "sarif":
+        print(
+            render_sarif(
+                new,
+                iter_rules(),
+                waived=waived,
+                root_uri=root.resolve().as_uri() + "/",
+            ),
+            file=out,
+            end="",
+        )
+        return 1 if new else 0
+
+    if new:
+        print(format_report(new), file=out)
+    if waived:
+        print(f"{len(waived)} finding(s) waived by {config.baseline}", file=out)
+    for path_, code, _message in stale:
+        print(
+            f"stale baseline entry (fixed): {path_}: {code} — "
+            "run --update-baseline to shrink the record",
+            file=out,
+        )
+    if new:
         return 1
-    if not args.quiet:
+    if not args.quiet and not waived:
         print("all checks passed", file=out)
     return 0
 
 
-__all__ = ["DEFAULT_PATHS", "build_parser", "main"]
+__all__ = ["DEFAULT_PATHS", "JOBS_ENV", "build_parser", "main"]

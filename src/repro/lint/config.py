@@ -70,6 +70,30 @@ class LintConfig:
     shm_paths:
         Paths where VPL304 audits ``SharedMemory`` lifecycles — the
         zero-copy hand-off code in ``repro.perf``.
+    lockset_paths:
+        Paths whose lock-owning classes get the interprocedural VPL310
+        lockset analysis (an attribute written under a lock in one
+        method must not be touched without it in another, resolved
+        through the call graph).
+    executor_paths:
+        Paths where VPL320 audits process-executor boundaries.
+    taint_paths:
+        Paths where VPL210 traces seed provenance into synthesis sinks.
+    executor_factories:
+        Dotted call targets whose result is a process-pool executor
+        (``repro.perf.parallel.get_pool`` alongside the stdlib
+        constructor).
+    seed_factories:
+        Dotted call targets blessed as ``SeedSequence.spawn``
+        equivalents (the O(1) ``message_seed`` family).
+    seed_sinks:
+        Dotted targets (fnmatch patterns allowed) of synthesis /
+        extraction entry points whose generator arguments VPL210 audits.
+    baseline:
+        The checked-in baseline file waiving pre-existing findings
+        (``repro lint --baseline``).
+    cache_dir:
+        Directory of the incremental analysis cache, relative to root.
     lock_attribute_hints:
         Substrings identifying lock-like ``self`` attributes
         (``_update_lock``, ``_idle`` condition, ...).
@@ -101,6 +125,33 @@ class LintConfig:
     concurrency_paths: tuple[str, ...] = ("src/repro/stream",)
     async_paths: tuple[str, ...] = ("src/repro/fleet",)
     shm_paths: tuple[str, ...] = ("src/repro/perf",)
+    lockset_paths: tuple[str, ...] = (
+        "src/repro/stream",
+        "src/repro/fleet",
+        "src/repro/perf",
+        "src/repro/obs",
+    )
+    executor_paths: tuple[str, ...] = ("src/repro",)
+    taint_paths: tuple[str, ...] = ("src/repro",)
+    executor_factories: tuple[str, ...] = ("repro.perf.parallel.get_pool",)
+    seed_factories: tuple[str, ...] = (
+        "repro.perf.parallel.message_seed",
+        "repro.perf.parallel.spawn_seeds",
+        "repro.perf.parallel.rngs_for_slice",
+        "repro.perf.message_seed",
+        "repro.perf.spawn_seeds",
+        "repro.perf.rngs_for_slice",
+    )
+    seed_sinks: tuple[str, ...] = (
+        "repro.analog.waveform.synthesize_waveform",
+        "repro.perf.batch.synthesize_waveform_batch",
+        "repro.perf.batch.synthesize_waveform_matrix",
+        "repro.analog.synthesize_waveform",
+        "repro.perf.synthesize_waveform_batch",
+        "repro.perf.synthesize_waveform_matrix",
+    )
+    baseline: str = "lint-baseline.json"
+    cache_dir: str = ".repro_lint_cache"
     lock_attribute_hints: tuple[str, ...] = ("lock", "cond", "idle", "mutex")
     metric_name_pattern: str = r"^vprofile_[a-z][a-z0-9_]*$"
     schema_version_file: str = "src/repro/perf/cache.py"
@@ -114,6 +165,23 @@ class LintConfig:
     schema_lock: str = "src/repro/lint/capture_schema.json"
 
     # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Stable hash of every knob — part of the analysis cache key."""
+        import hashlib
+        import json
+        from dataclasses import fields
+
+        payload = {
+            f.name: (
+                dict(getattr(self, f.name))
+                if isinstance(getattr(self, f.name), Mapping)
+                else getattr(self, f.name)
+            )
+            for f in fields(self)
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=list)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def is_excluded(self, path: str) -> bool:
         return matches_any(path, self.exclude)
 
@@ -138,6 +206,12 @@ _LIST_FIELDS = {
     "concurrency-paths": "concurrency_paths",
     "async-paths": "async_paths",
     "shm-paths": "shm_paths",
+    "lockset-paths": "lockset_paths",
+    "executor-paths": "executor_paths",
+    "taint-paths": "taint_paths",
+    "executor-factories": "executor_factories",
+    "seed-factories": "seed_factories",
+    "seed-sinks": "seed_sinks",
     "lock-attribute-hints": "lock_attribute_hints",
     "schema-watch": "schema_watch",
 }
@@ -146,6 +220,8 @@ _STR_FIELDS = {
     "schema-version-file": "schema_version_file",
     "schema-version-constant": "schema_version_constant",
     "schema-lock": "schema_lock",
+    "baseline": "baseline",
+    "cache-dir": "cache_dir",
 }
 
 

@@ -1,0 +1,636 @@
+"""Per-module analysis summaries: the currency of whole-program rules.
+
+Interprocedural analysis over raw ASTs would force every lint run to
+hold every tree in memory and would make incremental caching impossible
+(a cached module has no tree).  Instead, one walk per module distils the
+facts the cross-module rules need into a :class:`ModuleSummary` — a
+plain-JSON structure that round-trips through the on-disk cache:
+
+* every function/method with its parameters and async-ness;
+* every call site, with its best-effort resolved target, the set of
+  *sync* locks held at the call, whether it is awaited, and the
+  provenance of any randomness-carrying or resource-carrying arguments;
+* every ``self`` attribute access in lock-owning classes, tagged with
+  the locks held (the VPL310 lockset substrate);
+* every ``await`` and blocking call with the locks held across it
+  (VPL311);
+* every executor-boundary dispatch with argument provenance (VPL320).
+
+Provenance is a deliberately small lattice computed by a single
+assignment pass per function — the checker never chases aliasing beyond
+straight-line ``name = <expr>`` bindings, so a tag is evidence, not
+proof, and the rules phrase their messages accordingly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.lint.config import LintConfig, matches_any
+from repro.lint.resolver import ImportResolver
+
+#: Methods allowed to touch self state before the object is shared.
+SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Constructors whose result makes a ``self`` attribute (or local) a lock.
+LOCK_CONSTRUCTORS = frozenset(
+    {
+        "threading.Lock", "threading.RLock", "threading.Condition",
+        "threading.Semaphore", "threading.BoundedSemaphore",
+        "multiprocessing.Lock", "multiprocessing.RLock",
+        "multiprocessing.Condition", "multiprocessing.Semaphore",
+    }
+)
+
+#: Canonical dotted names of calls that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "numpy.load", "numpy.save",
+        "numpy.savez", "numpy.savez_compressed",
+        "subprocess.run", "subprocess.check_call", "subprocess.check_output",
+        "shutil.rmtree", "shutil.copytree", "shutil.copyfile",
+    }
+)
+
+#: ``pathlib.Path`` convenience methods that hit the filesystem.
+BLOCKING_PATH_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Canonical constructor of a kernel-backed shared segment.
+SHARED_MEMORY_CONSTRUCTOR = "multiprocessing.shared_memory.SharedMemory"
+
+#: Constructors of process-pool executors (the pickling boundary).
+EXECUTOR_CONSTRUCTORS = frozenset({"concurrent.futures.ProcessPoolExecutor"})
+
+#: Provenance tags (the lattice the taint rules reason over).
+TAG_LOCK = "lock"
+TAG_FILE = "file"
+TAG_SHM = "shm"
+TAG_EXECUTOR = "executor"
+TAG_SS_RAW = "ss_raw"            # SeedSequence(...) built by hand
+TAG_SPAWNED = "spawned"          # .spawn() child / blessed seed factory
+TAG_GEN_SPAWNED = "gen_spawned"  # default_rng(<spawned>)
+TAG_GEN_GUARDED = "gen_guarded"  # the `if rng is None:` seeded fallback
+TAG_GEN_UNSPAWNED = "gen_unspawned"
+PARAM_PREFIX = "param:"          # injected rng/seed parameter
+
+
+def is_rng_param(name: str) -> bool:
+    return (
+        name == "rng" or name.endswith("_rng")
+        or name == "seed" or name.endswith("_seed")
+        or name == "seed_seq" or name.endswith("seed_sequence")
+    )
+
+
+def _attr_root(node: ast.AST) -> ast.AST:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def _is_self_attribute(node: ast.AST) -> bool:
+    root = _attr_root(node)
+    return isinstance(root, ast.Name) and root.id == "self"
+
+
+def _self_attr_name(node: ast.AST) -> Optional[str]:
+    """The first attribute off ``self`` (``self._buf[i]`` -> ``_buf``)."""
+    seen: list[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            seen.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and seen:
+        return seen[-1]
+    return None
+
+
+@dataclass
+class _Scope:
+    """Mutable walk state for one function body."""
+
+    qual: str
+    cls: Optional[str]
+    is_async: bool
+    params: list[str]
+    rng_params: list[str]
+    env: dict[str, str] = field(default_factory=dict)
+    guarded_calls: set[int] = field(default_factory=set)
+    record: dict[str, Any] = field(default_factory=dict)
+
+
+class SummaryExtractor:
+    """One walk of a module tree, producing the JSON-shaped summary."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        resolver: ImportResolver,
+        config: LintConfig,
+        path: str,
+        modname: str,
+    ):
+        self.tree = tree
+        self.resolver = resolver
+        self.config = config
+        self.path = path
+        self.modname = modname
+        self.module_locks: set[str] = set()
+        self.summary: dict[str, Any] = {
+            "path": path,
+            "module": modname,
+            "aliases": dict(resolver.aliases),
+            "stars": list(resolver.star_imports),
+            "constants": {},
+            "classes": {},
+            "functions": {},
+        }
+
+    # ------------------------------------------------------------------
+    def extract(self) -> dict[str, Any]:
+        for node in self.tree.body:
+            if isinstance(node, ast.Assign):
+                self._module_assign(node)
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(node, cls=None, prefix="")
+            elif isinstance(node, ast.ClassDef):
+                self._class(node)
+        return self.summary
+
+    def _module_assign(self, node: ast.Assign) -> None:
+        value = node.value
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Constant) and isinstance(value.value, int):
+                self.summary["constants"][target.id] = {"line": node.lineno}
+            if (
+                isinstance(value, ast.Call)
+                and self.resolver.resolve_call(value) in LOCK_CONSTRUCTORS
+            ):
+                self.module_locks.add(target.id)
+
+    # ------------------------------------------------------------------
+    def _class(self, cls: ast.ClassDef) -> None:
+        lock_attrs = self._lock_attributes(cls)
+        info: dict[str, Any] = {
+            "line": cls.lineno,
+            "lock_attrs": sorted(lock_attrs),
+            "methods": [
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ],
+        }
+        self.summary["classes"][cls.name] = info
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, cls=cls.name, prefix=f"{cls.name}.")
+
+    def _lock_attributes(self, cls: ast.ClassDef) -> set[str]:
+        owned: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if isinstance(value, ast.ListComp):
+                value = value.elt  # `[Lock() for _ in ...]` shard lists
+            if not isinstance(value, ast.Call):
+                continue
+            if self.resolver.resolve_call(value) not in LOCK_CONSTRUCTORS:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and _is_self_attribute(target):
+                    owned.add(target.attr)
+        return owned
+
+    # ------------------------------------------------------------------
+    def _function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        cls: Optional[str],
+        prefix: str,
+    ) -> None:
+        qual = f"{prefix}{func.name}"
+        args = func.args
+        params = [
+            a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        ]
+        scope = _Scope(
+            qual=qual,
+            cls=cls,
+            is_async=isinstance(func, ast.AsyncFunctionDef),
+            params=params,
+            rng_params=[p for p in params if is_rng_param(p)],
+        )
+        scope.record = {
+            "name": func.name,
+            "cls": cls,
+            "line": func.lineno,
+            "col": func.col_offset,
+            "is_async": scope.is_async,
+            "params": params,
+            "calls": [],
+            "attrs": [],
+            "awaits": [],
+            "blocking": [],
+            "submits": [],
+        }
+        self.summary["functions"][qual] = scope.record
+        self._collect_guards(func, scope)
+        self._bind_assignments(func, scope)
+        for stmt in func.body:
+            self._visit(stmt, scope, locks=(), awaited=False)
+        # Nested defs get their own summaries (their bodies run in their
+        # own frames — often on an executor, never under our locks).
+        for node in self._own_nodes(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(node, cls=cls, prefix=f"{qual}.<locals>.")
+
+    @staticmethod
+    def _own_nodes(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[ast.AST]:
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _collect_guards(self, func: ast.AST, scope: _Scope) -> None:
+        """Calls under ``if <rng-param> is None:`` — the blessed fallback."""
+        params = set(scope.rng_params)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.If):
+                continue
+            test = node.test
+            if (
+                isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id in params
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.Is)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+            ):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call):
+                        scope.guarded_calls.add(id(sub))
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def _bind_assignments(self, func: ast.AST, scope: _Scope) -> None:
+        """Straight-line ``name = <expr>`` tag propagation, source order."""
+        for node in self._own_nodes(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                tag = self._value_tag(node.value, scope)
+                if tag is not None:
+                    scope.env[node.targets[0].id] = tag
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                tag = self._value_tag(node.value, scope)
+                if tag is not None:
+                    scope.env[node.target.id] = tag
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if item.optional_vars is None or not isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        continue
+                    tag = self._value_tag(item.context_expr, scope)
+                    if tag is not None:
+                        scope.env[item.optional_vars.id] = tag
+
+    def _value_tag(self, node: ast.AST, scope: _Scope) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            if node.id in scope.env:
+                return scope.env[node.id]
+            if node.id in scope.rng_params:
+                return PARAM_PREFIX + node.id
+            if node.id in self.module_locks:
+                return TAG_LOCK
+            return None
+        if isinstance(node, (ast.Subscript, ast.Starred)):
+            return self._value_tag(node.value, scope)
+        if isinstance(node, ast.Attribute):
+            if _is_self_attribute(node):
+                cls_info = self.summary["classes"].get(scope.cls or "", {})
+                if node.attr in cls_info.get("lock_attrs", ()):
+                    return TAG_LOCK
+            return None
+        if isinstance(node, ast.Await):
+            return self._value_tag(node.value, scope)
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = self.resolver.resolve_call(node)
+        if dotted in LOCK_CONSTRUCTORS:
+            return TAG_LOCK
+        if dotted == SHARED_MEMORY_CONSTRUCTOR:
+            return TAG_SHM
+        if dotted in EXECUTOR_CONSTRUCTORS or (
+            dotted is not None and dotted in self.config.executor_factories
+        ):
+            return TAG_EXECUTOR
+        if dotted is not None and dotted in self.config.seed_factories:
+            return TAG_SPAWNED
+        if dotted == "numpy.random.SeedSequence":
+            return TAG_SS_RAW
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return TAG_FILE
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "open":
+            return TAG_FILE
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "spawn":
+            return TAG_SPAWNED
+        if dotted == "numpy.random.default_rng":
+            if id(node) in scope.guarded_calls:
+                return TAG_GEN_GUARDED
+            if not node.args:
+                return TAG_GEN_UNSPAWNED
+            seed_tag = self._value_tag(node.args[0], scope)
+            if seed_tag == TAG_SPAWNED:
+                return TAG_GEN_SPAWNED
+            if seed_tag is not None and seed_tag.startswith(PARAM_PREFIX):
+                return "gen_from_" + seed_tag
+            return TAG_GEN_UNSPAWNED
+        return None
+
+    # ------------------------------------------------------------------
+    # Walk
+    # ------------------------------------------------------------------
+    def _lock_name(self, expr: ast.AST, scope: _Scope) -> Optional[str]:
+        """The held-lock identity of a sync ``with`` context, if lock-ish."""
+        if isinstance(expr, ast.Call):  # `self._lock.acquire()` style
+            expr = expr.func
+            if isinstance(expr, ast.Attribute) and expr.attr == "acquire":
+                expr = expr.value
+        if isinstance(expr, ast.Attribute) and _is_self_attribute(expr):
+            cls_info = self.summary["classes"].get(scope.cls or "", {})
+            if expr.attr in cls_info.get("lock_attrs", ()):
+                return f"self.{expr.attr}"
+            hints = self.config.lock_attribute_hints
+            if any(hint in expr.attr.lower() for hint in hints):
+                return f"self.{expr.attr}"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.module_locks or scope.env.get(expr.id) == TAG_LOCK:
+                return expr.id
+            hints = self.config.lock_attribute_hints
+            if any(hint in expr.id.lower() for hint in hints):
+                return expr.id
+        return None
+
+    def _visit(
+        self,
+        node: ast.AST,
+        scope: _Scope,
+        *,
+        locks: tuple[str, ...],
+        awaited: bool,
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # separate frame; summarised on its own
+        if isinstance(node, ast.With):
+            held = list(locks)
+            for item in node.items:
+                name = self._lock_name(item.context_expr, scope)
+                if name is not None and name not in held:
+                    held.append(name)
+                self._visit(item.context_expr, scope, locks=locks, awaited=False)
+            for child in node.body:
+                self._visit(child, scope, locks=tuple(held), awaited=False)
+            return
+        if isinstance(node, ast.Await):
+            scope.record["awaits"].append(
+                {"line": node.lineno, "col": node.col_offset, "locks": list(locks)}
+            )
+            self._visit(node.value, scope, locks=locks, awaited=True)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, scope, locks=locks, awaited=awaited)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            self._attr_write(node, scope, locks=locks)
+        elif isinstance(node, ast.Attribute):
+            self._attr_read(node, scope, locks=locks)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, scope, locks=locks, awaited=False)
+
+    def _attr_write(
+        self, node: ast.Assign | ast.AugAssign, scope: _Scope, *,
+        locks: tuple[str, ...],
+    ) -> None:
+        if scope.cls is None:
+            return
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        kind = "augwrite" if isinstance(node, ast.AugAssign) else "write"
+        for target in targets:
+            attr = _self_attr_name(target)
+            if attr is None:
+                continue
+            scope.record["attrs"].append(
+                {
+                    "attr": attr,
+                    "kind": kind,
+                    "locks": list(locks),
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                }
+            )
+
+    def _attr_read(
+        self, node: ast.Attribute, scope: _Scope, *, locks: tuple[str, ...]
+    ) -> None:
+        if scope.cls is None or not isinstance(node.ctx, ast.Load):
+            return
+        # Record at the innermost `self.<attr>` node only — the chain
+        # `self._buf.get(k)` visits both the outer and inner Attribute
+        # and would otherwise double-report.
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        cls_info = self.summary["classes"].get(scope.cls, {})
+        if not cls_info.get("lock_attrs"):
+            return  # reads only matter where a locking contract exists
+        attr = node.attr
+        if attr in cls_info.get("lock_attrs", ()):
+            return
+        scope.record["attrs"].append(
+            {
+                "attr": attr,
+                "kind": "read",
+                "locks": list(locks),
+                "line": node.lineno,
+                "col": node.col_offset,
+            }
+        )
+
+    def _call(
+        self, node: ast.Call, scope: _Scope, *,
+        locks: tuple[str, ...], awaited: bool,
+    ) -> None:
+        dotted = self.resolver.resolve_call(node)
+        record: dict[str, Any] = {
+            "target": dotted,
+            "line": node.lineno,
+            "col": node.col_offset,
+            "locks": list(locks),
+            "awaited": awaited,
+        }
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            record["self_method"] = func.attr
+        elif isinstance(func, ast.Name):
+            record["local_name"] = func.id
+        rng_args = self._rng_args(node, scope)
+        if rng_args:
+            record["rng_args"] = rng_args
+        scope.record["calls"].append(record)
+
+        blocking = self._blocking_shape(node, dotted)
+        if blocking is not None and not awaited:
+            scope.record["blocking"].append(
+                {
+                    "what": blocking,
+                    "line": node.lineno,
+                    "col": node.col_offset,
+                    "locks": list(locks),
+                }
+            )
+        self._maybe_submit(node, scope, dotted)
+
+    def _rng_args(self, node: ast.Call, scope: _Scope) -> dict[str, str]:
+        """Provenance of randomness-carrying arguments, by position/kw."""
+        tracked = (
+            TAG_SS_RAW, TAG_SPAWNED, TAG_GEN_SPAWNED, TAG_GEN_GUARDED,
+            TAG_GEN_UNSPAWNED,
+        )
+        out: dict[str, str] = {}
+        for i, arg in enumerate(node.args):
+            tag = self._value_tag(arg, scope)
+            if tag is not None and (
+                tag in tracked
+                or tag.startswith(PARAM_PREFIX)
+                or tag.startswith("gen_from_" + PARAM_PREFIX)
+            ):
+                out[str(i)] = tag
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            tag = self._value_tag(kw.value, scope)
+            if tag is not None and (
+                tag in tracked
+                or tag.startswith(PARAM_PREFIX)
+                or tag.startswith("gen_from_" + PARAM_PREFIX)
+            ):
+                out[kw.arg] = tag
+        return out
+
+    def _blocking_shape(
+        self, call: ast.Call, dotted: Optional[str]
+    ) -> Optional[str]:
+        if dotted in BLOCKING_CALLS:
+            return f"{dotted}()"
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            return "open()"
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in BLOCKING_PATH_METHODS:
+                return f".{attr}()"
+            if attr in ("get", "put"):
+                receiver = ast.unparse(call.func.value).lower()
+                if "queue" in receiver:
+                    return f"blocking queue .{attr}()"
+        return None
+
+    def _maybe_submit(
+        self, node: ast.Call, scope: _Scope, dotted: Optional[str]
+    ) -> None:
+        """Record process-executor dispatches with argument provenance."""
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in ("submit", "map")):
+            return
+        receiver_tag = self._value_tag(func.value, scope)
+        if receiver_tag != TAG_EXECUTOR:
+            return
+        flagged = (TAG_LOCK, TAG_FILE, TAG_SHM)
+        args: list[dict[str, Any]] = []
+        # For `submit(fn, *args)` the callable itself is args[0]; for
+        # `map(fn, iterable)` likewise — every operand crosses the
+        # pickling boundary, so all are audited.
+        for i, arg in enumerate(node.args):
+            tag = self._value_tag(arg, scope)
+            if tag is None:
+                continue
+            if tag in flagged or tag.startswith("gen_"):
+                args.append(
+                    {
+                        "pos": i,
+                        "tag": tag if tag in flagged else "rng",
+                        "expr": ast.unparse(arg),
+                        "line": arg.lineno,
+                        "col": arg.col_offset,
+                    }
+                )
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            tag = self._value_tag(kw.value, scope)
+            if tag is None:
+                continue
+            if tag in flagged or tag.startswith("gen_"):
+                args.append(
+                    {
+                        "pos": kw.arg,
+                        "tag": tag if tag in flagged else "rng",
+                        "expr": ast.unparse(kw.value),
+                        "line": kw.value.lineno,
+                        "col": kw.value.col_offset,
+                    }
+                )
+        scope.record["submits"].append(
+            {
+                "line": node.lineno,
+                "col": node.col_offset,
+                "kind": func.attr,
+                "args": args,
+            }
+        )
+
+
+def extract_summary(
+    tree: ast.Module,
+    resolver: ImportResolver,
+    config: LintConfig,
+    path: str,
+    modname: str,
+) -> dict[str, Any]:
+    """The module's whole-program summary (JSON-shaped, cacheable)."""
+    return SummaryExtractor(tree, resolver, config, path, modname).extract()
+
+
+__all__ = [
+    "BLOCKING_CALLS",
+    "BLOCKING_PATH_METHODS",
+    "EXECUTOR_CONSTRUCTORS",
+    "LOCK_CONSTRUCTORS",
+    "PARAM_PREFIX",
+    "SETUP_METHODS",
+    "SHARED_MEMORY_CONSTRUCTOR",
+    "SummaryExtractor",
+    "extract_summary",
+    "is_rng_param",
+]

@@ -7,6 +7,14 @@ default_rng; default_rng()``.  :class:`ImportResolver` builds the alias
 table from a module's import statements and canonicalises attribute
 chains against it.  Names bound by assignment (``rng = ...``) resolve to
 ``None`` — the checker never guesses about local dataflow.
+
+When the resolver knows which module it is reading (the whole-program
+:class:`~repro.lint.project.Project` always tells it), relative imports
+resolve to absolute dotted paths: ``from .config import matches_any``
+inside ``repro.lint.rules.determinism`` becomes
+``repro.lint.config.matches_any``.  ``from x import *`` binds nothing
+directly — the starred modules are recorded in :attr:`star_imports` so
+project-level symbol lookup can fall back to them.
 """
 
 from __future__ import annotations
@@ -15,11 +23,42 @@ import ast
 from typing import Optional
 
 
+def _relative_base(module: Optional[str], level: int, is_package: bool) -> Optional[str]:
+    """The absolute package a ``level``-deep relative import anchors to.
+
+    Inside module ``a.b.c`` (a plain module in package ``a.b``),
+    ``from . import x`` (level 1) anchors at ``a.b`` and ``from .. import
+    x`` (level 2) at ``a``; a package ``__init__`` anchors one level
+    higher because the module *is* its package.
+    """
+    if module is None:
+        return None
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop > len(parts):
+        return None
+    if drop:
+        parts = parts[:-drop]
+    return ".".join(parts)
+
+
 class ImportResolver:
     """Alias table for one module, built from its import statements."""
 
-    def __init__(self, tree: ast.Module):
+    def __init__(
+        self,
+        tree: ast.Module,
+        module: Optional[str] = None,
+        *,
+        is_package: bool = False,
+    ):
+        self.module = module
         self.aliases: dict[str, str] = {}
+        #: Modules named by ``from x import *`` (absolute dotted paths).
+        self.star_imports: tuple[str, ...] = ()
+        stars: list[str] = []
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -28,11 +67,23 @@ class ImportResolver:
                     target = alias.name if alias.asname else alias.name.split(".")[0]
                     self.aliases[bound] = target
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative imports stay repo-internal
+                if node.level:
+                    base = _relative_base(module, node.level, is_package)
+                    if base is None:
+                        continue  # relative import without package context
+                    source = f"{base}.{node.module}" if node.module else base
+                    source = source.lstrip(".")
+                elif node.module is not None:
+                    source = node.module
+                else:  # pragma: no cover - `from import` is a syntax error
+                    continue
                 for alias in node.names:
+                    if alias.name == "*":
+                        stars.append(source)
+                        continue
                     bound = alias.asname or alias.name
-                    self.aliases[bound] = f"{node.module}.{alias.name}"
+                    self.aliases[bound] = f"{source}.{alias.name}"
+        self.star_imports = tuple(stars)
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted path of a Name/Attribute chain, if imported.

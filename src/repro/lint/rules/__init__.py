@@ -17,16 +17,20 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Mapping, Type
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, Mapping, Type
 
 from repro.lint.config import LintConfig
 from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import module_name
 from repro.lint.resolver import ImportResolver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.callgraph import CallGraph
 
 
 @dataclass
 class ModuleContext:
-    """Everything a rule may inspect about one source file.
+    """Everything a module-local rule may inspect about one source file.
 
     ``path`` is repo-relative POSIX (the unit config scopes match
     against); ``root`` is the absolute repo root for rules that need
@@ -43,8 +47,26 @@ class ModuleContext:
     @property
     def resolver(self) -> ImportResolver:
         if self._resolver is None:
-            self._resolver = ImportResolver(self.tree)
+            modname, is_package = module_name(self.path)
+            self._resolver = ImportResolver(
+                self.tree, modname, is_package=is_package
+            )
         return self._resolver
+
+
+@dataclass
+class ProjectContext:
+    """Everything a whole-program rule may inspect.
+
+    Built from per-module summaries (never raw trees), so project rules
+    run identically on a cold parse and on a warm cache restore.
+    """
+
+    config: LintConfig
+    root: str
+    #: path -> module summary (see :mod:`repro.lint.dataflow`).
+    summaries: Mapping[str, Mapping[str, Any]]
+    callgraph: "CallGraph"
 
 
 class Rule:
@@ -66,6 +88,29 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             code=self.code,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that sees the whole program, not one module.
+
+    Project rules run every lint pass over the (possibly cache-restored)
+    summaries; they are cheap by construction because the per-module
+    extraction already happened.  ``check`` is a no-op so a project rule
+    registered in the shared registry never double-reports.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, context: ProjectContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=path, line=line, col=col, code=self.code, message=message
         )
 
 
@@ -91,16 +136,37 @@ def iter_rules() -> Iterable[Rule]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def iter_module_rules() -> Iterable[Rule]:
+    """Rules that inspect one module at a time (cacheable per file)."""
+    return [rule for rule in iter_rules() if not isinstance(rule, ProjectRule)]
+
+
+def iter_project_rules() -> Iterable["ProjectRule"]:
+    """Rules that inspect the whole program (re-run every pass)."""
+    return [rule for rule in iter_rules() if isinstance(rule, ProjectRule)]
+
+
 # Importing the families populates the registry as a side effect.
-from repro.lint.rules import concurrency, determinism, hygiene, seeds  # noqa: E402
+from repro.lint.rules import (  # noqa: E402
+    concurrency,
+    determinism,
+    hygiene,
+    interprocedural,
+    seeds,
+)
 
 __all__ = [
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "concurrency",
     "determinism",
     "hygiene",
+    "interprocedural",
+    "iter_module_rules",
+    "iter_project_rules",
     "iter_rules",
     "register",
     "seeds",

@@ -39,21 +39,15 @@ import ast
 from typing import Iterator
 
 from repro.lint.config import matches_any
+from repro.lint.dataflow import (
+    BLOCKING_CALLS,
+    BLOCKING_PATH_METHODS,
+    LOCK_CONSTRUCTORS,
+    SETUP_METHODS,
+    SHARED_MEMORY_CONSTRUCTOR,
+)
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.rules import ModuleContext, Rule, register
-
-#: Methods allowed to touch self state before the object is shared.
-SETUP_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
-
-#: Constructors whose result makes a ``self`` attribute a lock.
-LOCK_CONSTRUCTORS = frozenset(
-    {
-        "threading.Lock", "threading.RLock", "threading.Condition",
-        "threading.Semaphore", "threading.BoundedSemaphore",
-        "multiprocessing.Lock", "multiprocessing.RLock",
-        "multiprocessing.Condition", "multiprocessing.Semaphore",
-    }
-)
 
 
 def _attr_root(node: ast.AST) -> ast.AST:
@@ -153,21 +147,6 @@ class UnlockedSharedMutation(Rule):
                 yield from visitor.findings
 
 
-#: Canonical dotted names of calls that block the calling thread.
-BLOCKING_CALLS = frozenset(
-    {
-        "time.sleep",
-        "numpy.load", "numpy.save",
-        "numpy.savez", "numpy.savez_compressed",
-        "subprocess.run", "subprocess.check_call", "subprocess.check_output",
-        "shutil.rmtree", "shutil.copytree", "shutil.copyfile",
-    }
-)
-
-#: ``pathlib.Path`` convenience methods that hit the filesystem.
-BLOCKING_PATH_METHODS = frozenset(
-    {"read_text", "write_text", "read_bytes", "write_bytes"}
-)
 
 
 def _async_body_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
@@ -262,8 +241,6 @@ class MutableDefaultArgument(Rule):
                     )
 
 
-#: Canonical constructor of a kernel-backed shared segment.
-SHARED_MEMORY_CONSTRUCTOR = "multiprocessing.shared_memory.SharedMemory"
 
 
 def _own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:

@@ -10,7 +10,9 @@
   key-construction functions in the watched files) is fingerprinted
   against ``capture_schema.json``; any drift without a
   ``CACHE_SCHEMA_VERSION`` bump is an invalidation bug waiting to serve
-  stale archives.
+  stale archives.  VPL402 is a *project* rule: its verdict depends on
+  files other than the anchoring module, so it must be recomputed every
+  pass and never served from the per-module analysis cache.
 """
 
 from __future__ import annotations
@@ -22,7 +24,13 @@ from typing import Iterator, Optional
 
 from repro.lint import fingerprint as fp
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.rules import ModuleContext, Rule, register
+from repro.lint.rules import (
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    register,
+)
 
 REGISTRY_FACTORIES = frozenset({"counter", "gauge", "histogram"})
 
@@ -76,33 +84,27 @@ class MetricNameLiteral(Rule):
 
 
 @register
-class CacheSchemaLock(Rule):
+class CacheSchemaLock(ProjectRule):
     code = "VPL402"
     name = "cache-schema-lock"
     summary = "cache key surface changed without a schema-version bump"
 
-    def _anchor(self, module: ModuleContext) -> ast.AST:
-        constant = module.config.schema_version_constant
-        for node in module.tree.body:
-            if isinstance(node, ast.Assign) and any(
-                isinstance(t, ast.Name) and t.id == constant
-                for t in node.targets
-            ):
-                return node
-        return module.tree
-
-    def check(self, module: ModuleContext) -> Iterator[Diagnostic]:
-        config = module.config
-        if module.path != config.schema_version_file:
-            return
-        root = Path(module.root)
-        anchor = self._anchor(module)
+    def check_project(self, context: ProjectContext) -> Iterator[Diagnostic]:
+        config = context.config
+        summary = context.summaries.get(config.schema_version_file)
+        if summary is None:
+            return  # the watched module is not part of this lint run
+        root = Path(context.root)
+        constant = summary.get("constants", {}).get(
+            config.schema_version_constant
+        )
+        line = constant["line"] if constant else 1
+        path = config.schema_version_file
         lock = fp.read_lock(root, config)
         refresh = "run `python -m repro.lint --update-schema-lock` to re-record"
         if lock is None:
-            yield self.diagnostic(
-                module,
-                anchor,
+            yield self.at(
+                path, line, 0,
                 f"schema lock {config.schema_lock} is missing or unreadable; "
                 f"{refresh}",
             )
@@ -111,23 +113,20 @@ class CacheSchemaLock(Rule):
         version = fp.current_schema_version(root, config)
         if current != lock.get("fingerprint"):
             if version == lock.get("schema_version"):
-                yield self.diagnostic(
-                    module,
-                    anchor,
+                yield self.at(
+                    path, line, 0,
                     "capture-cache key inputs changed but "
                     f"{config.schema_version_constant} did not; bump it so "
                     f"stale entries miss, then {refresh}",
                 )
             else:
-                yield self.diagnostic(
-                    module,
-                    anchor,
+                yield self.at(
+                    path, line, 0,
                     f"capture-cache key inputs changed; {refresh}",
                 )
         elif version != lock.get("schema_version"):
-            yield self.diagnostic(
-                module,
-                anchor,
+            yield self.at(
+                path, line, 0,
                 f"{config.schema_version_constant} ({version}) disagrees with "
                 f"the schema lock ({lock.get('schema_version')}); {refresh}",
             )

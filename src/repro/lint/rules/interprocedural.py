@@ -1,0 +1,371 @@
+"""Whole-program rules: lockset, async-lock, executor-boundary, taint.
+
+These rules run over the project's module summaries and call graph (one
+shared parse pass, cache-restorable) instead of a single module's AST —
+the bugs they target are exactly the ones a per-file checker cannot see:
+
+* **VPL310** — an attribute written under a lock in one method must not
+  be read or written without it in *another* method of the same class.
+  The historical ``workers.py`` lost-update race had this shape: the
+  Algorithm-4 tally was mutated under ``_update_lock`` in
+  ``_classify_batch`` but torn elsewhere.  A helper whose every project
+  call site already holds the guarding lock inherits it through the
+  call graph, so the rule generalises (not just duplicates) VPL301.
+* **VPL311** — a *sync* ``threading`` lock held across an ``await`` or
+  a (transitively) blocking call inside ``async def``.  The coroutine
+  suspends still holding the lock; the next task that tries to acquire
+  it blocks the event loop thread, freezing every tenant of the fleet
+  gateway at once.
+* **VPL320** — arguments crossing a ``ProcessPoolExecutor`` boundary
+  (``submit``/``map`` on a process pool) must not carry locks, open
+  file handles, ``SharedMemory`` segments, or live ``Generator`` state.
+  Locks/files arrive dead or unpicklable in the child; a pickled
+  generator forks its stream and silently diverges from the serial
+  trace.  Plain descriptors (``ShmChunk``, ``(seed, index)`` tuples)
+  are the blessed currency.
+* **VPL210** — every ``numpy.random.Generator`` reaching a synthesis /
+  extraction sink must trace back — through the call graph — to a
+  ``SeedSequence.spawn`` (or a configured spawn-equivalent factory such
+  as ``message_seed``).  A literal-seeded or hand-rooted generator at a
+  sink reuses one stream across messages and breaks the per-message
+  entropy tree that makes traces byte-identical across job counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional
+
+from fnmatch import fnmatch
+
+from repro.lint.callgraph import CallGraph, FunctionNode
+from repro.lint.dataflow import (
+    PARAM_PREFIX,
+    SETUP_METHODS,
+    TAG_GEN_GUARDED,
+    TAG_GEN_SPAWNED,
+    TAG_GEN_UNSPAWNED,
+    TAG_SPAWNED,
+    TAG_SS_RAW,
+)
+from repro.lint.config import matches_any
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import ProjectContext, ProjectRule, register
+
+
+@register
+class CrossMethodLockset(ProjectRule):
+    code = "VPL310"
+    name = "cross-method-lockset"
+    summary = "attribute guarded by a lock in one method, touched bare in another"
+
+    def check_project(self, context: ProjectContext) -> Iterator[Diagnostic]:
+        graph = context.callgraph
+        for path in sorted(context.summaries):
+            if not matches_any(path, context.config.lockset_paths):
+                continue
+            summary = context.summaries[path]
+            for cls_name in sorted(summary.get("classes", {})):
+                cls = summary["classes"][cls_name]
+                if not cls.get("lock_attrs"):
+                    continue
+                yield from self._check_class(
+                    graph, summary, path, cls_name
+                )
+
+    def _check_class(
+        self,
+        graph: CallGraph,
+        summary: Mapping[str, Any],
+        path: str,
+        cls_name: str,
+    ) -> Iterator[Diagnostic]:
+        module = summary["module"]
+        methods = {
+            qual: record
+            for qual, record in summary["functions"].items()
+            if record.get("cls") == cls_name
+        }
+        # 1. The guarded set: attr -> (locks it is written under, where).
+        guarded: dict[str, dict[str, Any]] = {}
+        for qual, record in methods.items():
+            if record["name"] in SETUP_METHODS:
+                continue
+            for access in record.get("attrs", ()):
+                if access["kind"] in ("write", "augwrite") and access["locks"]:
+                    entry = guarded.setdefault(
+                        access["attr"], {"locks": set(), "where": None}
+                    )
+                    entry["locks"].update(access["locks"])
+                    if entry["where"] is None:
+                        entry["where"] = (record["name"], access["line"])
+        if not guarded:
+            return
+        # 2. Methods that inherit the lock through their callers.
+        inherited: dict[frozenset[str], frozenset[str]] = {}
+        for attr in sorted(guarded):
+            locks = frozenset(guarded[attr]["locks"])
+            if locks not in inherited:
+                inherited[locks] = graph.methods_called_only_under(
+                    module, cls_name, locks
+                )
+        # 3. Any bare touch of a guarded attr in a non-setup method fires.
+        for qual in sorted(methods):
+            record = methods[qual]
+            if record["name"] in SETUP_METHODS:
+                continue
+            qualname = f"{module}.{qual}"
+            for access in record.get("attrs", ()):
+                attr = access["attr"]
+                if attr not in guarded:
+                    continue
+                locks = frozenset(guarded[attr]["locks"])
+                if set(access["locks"]) & locks:
+                    continue
+                if qualname in inherited[locks]:
+                    continue  # every call site already holds the lock
+                where_method, where_line = guarded[attr]["where"]
+                if where_method == record["name"] \
+                        and access["kind"] == "augwrite":
+                    # Same-method bare augmented writes are VPL301's
+                    # finding; keep the cross-method rule additive.
+                    continue
+                lock_names = " / ".join(sorted(locks))
+                yield self.at(
+                    path,
+                    access["line"],
+                    access["col"],
+                    f"self.{attr} is written under {lock_names} in "
+                    f"{cls_name}.{where_method}() (line {where_line}) but "
+                    f"{'written' if access['kind'] != 'read' else 'read'} "
+                    f"here without it; concurrent workers can tear or lose "
+                    "the update (lockset resolved through the call graph)",
+                )
+
+
+@register
+class LockAcrossAwait(ProjectRule):
+    code = "VPL311"
+    name = "lock-across-await"
+    summary = "sync lock held across an await or blocking call in async code"
+
+    def check_project(self, context: ProjectContext) -> Iterator[Diagnostic]:
+        graph = context.callgraph
+        may_block = graph.may_block()
+        for node in graph.iter_functions():
+            if not matches_any(node.path, context.config.async_paths):
+                continue
+            if not node.is_async:
+                continue
+            record = node.record
+            for awaited in record.get("awaits", ()):
+                if awaited["locks"]:
+                    held = " / ".join(sorted(awaited["locks"]))
+                    yield self.at(
+                        node.path,
+                        awaited["line"],
+                        awaited["col"],
+                        f"await while holding sync lock {held}: the "
+                        "coroutine suspends with the lock taken and the "
+                        "next acquirer blocks the event-loop thread; use "
+                        "asyncio.Lock (async with) or release before "
+                        "awaiting",
+                    )
+            for blocking in record.get("blocking", ()):
+                if blocking["locks"]:
+                    held = " / ".join(sorted(blocking["locks"]))
+                    yield self.at(
+                        node.path,
+                        blocking["line"],
+                        blocking["col"],
+                        f"{blocking['what']} while holding sync lock {held} "
+                        "inside an async def stalls the whole event loop; "
+                        "move the blocking work to the executor and drop "
+                        "the lock across it",
+                    )
+            for call in record.get("calls", ()):
+                if not call.get("locks") or call.get("awaited"):
+                    continue
+                callee = graph.resolve_call(node, call)
+                if callee is None or callee not in may_block:
+                    continue
+                if self._direct_block_line(record, call):
+                    continue  # already reported as a blocking record
+                held = " / ".join(sorted(call["locks"]))
+                yield self.at(
+                    node.path,
+                    call["line"],
+                    call["col"],
+                    f"call into {callee}() while holding sync lock {held}: "
+                    "the callee (transitively) makes a blocking call, "
+                    "stalling the event loop with the lock taken",
+                )
+
+    @staticmethod
+    def _direct_block_line(
+        record: Mapping[str, Any], call: Mapping[str, Any]
+    ) -> bool:
+        return any(
+            b["line"] == call["line"] and b["col"] == call["col"]
+            for b in record.get("blocking", ())
+        )
+
+
+@register
+class ExecutorBoundary(ProjectRule):
+    code = "VPL320"
+    name = "executor-boundary-safety"
+    summary = "lock/file/shm/RNG state crossing a process-executor boundary"
+
+    _EXPLAIN = {
+        "lock": "a lock pickles into an unrelated lock in the child — "
+        "it guards nothing across processes",
+        "file": "an open file handle cannot cross the process boundary; "
+        "pass the path and reopen in the worker",
+        "shm": "pass the ShmChunk descriptor (name/dtype/lengths), not "
+        "the SharedMemory handle — the child must attach and own its "
+        "mapping lifecycle",
+        "rng": "a pickled Generator forks its stream and diverges from "
+        "the serial trace; ship (seed, index) and rebuild via "
+        "message_seed/default_rng in the worker",
+    }
+
+    def check_project(self, context: ProjectContext) -> Iterator[Diagnostic]:
+        for node in context.callgraph.iter_functions():
+            if not matches_any(node.path, context.config.executor_paths):
+                continue
+            for submit in node.record.get("submits", ()):
+                for arg in submit.get("args", ()):
+                    explain = self._EXPLAIN[arg["tag"]]
+                    yield self.at(
+                        node.path,
+                        arg["line"],
+                        arg["col"],
+                        f"{arg['expr']!r} carries {arg['tag']} state into "
+                        f"ProcessPoolExecutor.{submit['kind']}(); {explain}",
+                    )
+
+
+@register
+class SeedProvenance(ProjectRule):
+    code = "VPL210"
+    name = "seed-provenance-taint"
+    summary = "generator reaching a synthesis sink without SeedSequence.spawn provenance"
+
+    #: Ancestry-walk depth bound (call chains deeper than this pass).
+    MAX_DEPTH = 12
+
+    def check_project(self, context: ProjectContext) -> Iterator[Diagnostic]:
+        graph = context.callgraph
+        sinks = context.config.seed_sinks
+        for node in graph.iter_functions():
+            if not matches_any(node.path, context.config.taint_paths):
+                continue
+            for call in node.record.get("calls", ()):
+                target = call.get("target")
+                if target is None or not self._is_sink(target, sinks):
+                    continue
+                for slot, tag in sorted(call.get("rng_args", {}).items()):
+                    yield from self._judge(
+                        graph, context, node, call, target, slot, tag, depth=0,
+                        visited=set(),
+                    )
+
+    @staticmethod
+    def _is_sink(target: str, sinks: tuple[str, ...]) -> bool:
+        return any(
+            fnmatch(target, pattern) if any(ch in pattern for ch in "*?[")
+            else target == pattern
+            for pattern in sinks
+        )
+
+    def _judge(
+        self,
+        graph: CallGraph,
+        context: ProjectContext,
+        node: FunctionNode,
+        call: Mapping[str, Any],
+        target: str,
+        slot: str,
+        tag: str,
+        *,
+        depth: int,
+        visited: set[tuple[str, str]],
+    ) -> Iterator[Diagnostic]:
+        if depth > self.MAX_DEPTH:
+            return
+        if tag in (TAG_GEN_SPAWNED, TAG_GEN_GUARDED, TAG_SPAWNED):
+            return
+        if tag in (TAG_GEN_UNSPAWNED, TAG_SS_RAW):
+            what = (
+                "a hand-rooted SeedSequence" if tag == TAG_SS_RAW
+                else "a generator with no SeedSequence.spawn provenance"
+            )
+            yield self.at(
+                node.path,
+                call["line"],
+                call["col"],
+                f"{what} flows into {target}(); every sink generator must "
+                "derive from the run seed's spawn tree (SeedSequence.spawn "
+                "or message_seed) so traces stay byte-identical across "
+                "job counts",
+            )
+            return
+        # Parameter provenance: walk every project caller and judge what
+        # they actually pass for this parameter.
+        param = self._param_of(tag)
+        if param is None:
+            return
+        key = (node.qualname, param)
+        if key in visited:
+            return
+        visited.add(key)
+        position = self._param_slot(node, param)
+        for caller, caller_call in graph.callers_of(node.qualname):
+            passed = self._arg_for(caller_call, position, param, node)
+            if passed is None:
+                continue  # untracked value (plain data) — not a generator
+            yield from self._judge(
+                graph, context, caller, caller_call, target, slot, passed,
+                depth=depth + 1, visited=visited,
+            )
+
+    @staticmethod
+    def _param_of(tag: str) -> Optional[str]:
+        if tag.startswith("gen_from_" + PARAM_PREFIX):
+            return tag[len("gen_from_" + PARAM_PREFIX):]
+        if tag.startswith(PARAM_PREFIX):
+            return tag[len(PARAM_PREFIX):]
+        return None
+
+    @staticmethod
+    def _param_slot(node: FunctionNode, param: str) -> Optional[int]:
+        params = node.record.get("params", [])
+        if param in params:
+            index = params.index(param)
+            # `self` does not occupy a call-site slot.
+            if params and params[0] in ("self", "cls"):
+                index -= 1
+            return index
+        return None
+
+    @staticmethod
+    def _arg_for(
+        call: Mapping[str, Any],
+        position: Optional[int],
+        param: str,
+        callee: FunctionNode,
+    ) -> Optional[str]:
+        rng_args = call.get("rng_args", {})
+        if param in rng_args:
+            return rng_args[param]
+        if position is not None and str(position) in rng_args:
+            return rng_args[str(position)]
+        return None
+
+
+__all__ = [
+    "CrossMethodLockset",
+    "ExecutorBoundary",
+    "LockAcrossAwait",
+    "SeedProvenance",
+]

@@ -1,50 +1,243 @@
-"""Drive the rules over files and trees; the checker's programmatic API.
+"""Drive the rules over a project; the checker's programmatic API.
+
+The run is two passes over one shared parse:
+
+1. **Per-module analysis** (cacheable, parallelisable): parse the file,
+   run every module-local rule, extract the whole-program summary.  The
+   incremental cache serves this pass wholesale for unchanged bytes —
+   a warm run parses *zero* files — and ``--jobs`` fans it out over a
+   thread pool for cold runs.
+2. **Project analysis** (always recomputed): build the call graph over
+   the summaries and run the interprocedural rules (lockset, async
+   locks, executor boundaries, seed provenance, schema lock).  Project
+   rules read summaries, never trees, so this pass is identical on a
+   cold parse and a warm cache restore — byte-identical diagnostics
+   either way.
 
 ``lint_source`` lints one in-memory module (the unit-test entry point);
-``lint_paths`` walks files and directories, applies the config's
-excludes, runs every enabled rule, and filters diagnostics through
-select/ignore scoping and inline suppressions.
+``lint_paths`` is the thin list-of-diagnostics wrapper around
+:func:`run_lint`, which returns the full :class:`LintResult` (cache and
+parse counters included) for the CLI and tests.
 """
 
 from __future__ import annotations
 
-import ast
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional, Sequence
 
+from repro.lint.cache import AnalysisCache
+from repro.lint.callgraph import CallGraph
 from repro.lint.config import LintConfig
+from repro.lint.dataflow import extract_summary
 from repro.lint.diagnostics import Diagnostic
-from repro.lint.rules import ModuleContext, Rule, iter_rules
-from repro.lint.suppressions import collect_suppressions, is_suppressed
+from repro.lint.project import Project, ProjectModule, collect_files
+from repro.lint.rules import (
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    iter_module_rules,
+    iter_project_rules,
+)
+from repro.lint.suppressions import is_suppressed
 
-#: Directory names never descended into.
-SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+@dataclass
+class LintResult:
+    """A lint run's verdict plus the counters tests and the CLI read."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Paths analyzed from source this run (cache misses + cacheless).
+    analyzed: list[str] = field(default_factory=list)
+    #: Paths served entirely from the incremental cache.
+    restored: list[str] = field(default_factory=list)
+    #: ``ast.parse`` invocations — the parse-once regression hook.
+    parse_count: int = 0
 
 
-def collect_files(paths: Iterable[str | Path], root: Path) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    found: set[Path] = set()
-    for entry in paths:
-        path = Path(entry)
-        if not path.is_absolute():
-            path = root / path
-        if path.is_dir():
-            for candidate in path.rglob("*.py"):
-                if not SKIP_DIRS.intersection(candidate.parts) \
-                        and "egg-info" not in str(candidate):
-                    found.add(candidate)
-        elif path.suffix == ".py":
-            found.add(path)
+def _syntax_diagnostic(module: ProjectModule) -> Diagnostic:
+    exc = module.syntax_error
+    assert exc is not None
+    return Diagnostic(
+        path=module.path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code="VPL000",
+        message=f"syntax error: {exc.msg}",
+    )
+
+
+def _filter(
+    diagnostics: Iterable[Diagnostic],
+    config: LintConfig,
+    project: Project,
+) -> list[Diagnostic]:
+    """Apply select/ignore scoping and inline suppressions."""
+    kept: list[Diagnostic] = []
+    for diagnostic in diagnostics:
+        if not config.code_enabled(diagnostic.code, diagnostic.path):
+            continue
+        module = project.modules.get(diagnostic.path)
+        if module is not None and is_suppressed(
+            module.suppressions, diagnostic.line, diagnostic.code
+        ):
+            continue
+        kept.append(diagnostic)
+    return kept
+
+
+def _analyze_module(
+    project: Project,
+    module: ProjectModule,
+    module_rules: Sequence[Rule],
+) -> tuple[Optional[dict[str, Any]], list[Diagnostic]]:
+    """Pass 1 for one module: parse, module rules, summary extraction."""
+    tree = project.parse_module(module)
+    if tree is None:
+        return None, [_syntax_diagnostic(module)]
+    context = ModuleContext(
+        path=module.path,
+        tree=tree,
+        source=module.source,
+        config=project.config,
+        root=str(project.root),
+        _resolver=module.resolver,
+    )
+    found: list[Diagnostic] = []
+    for rule in module_rules:
+        found.extend(rule.check(context))
+    assert module.resolver is not None
+    summary = extract_summary(
+        tree, module.resolver, project.config, module.path, module.modname
+    )
+    return summary, _filter(sorted(found), project.config, project)
+
+
+def analyze_project(
+    project: Project,
+    *,
+    rules: Optional[Iterable[Rule]] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[AnalysisCache] = None,
+) -> LintResult:
+    """Run both passes over a loaded project.
+
+    ``rules`` overrides the registry (tests injecting throwaway rules);
+    custom rule lists bypass the cache, whose key covers only the
+    registered catalogue.
+    """
+    config = project.config
+    if rules is not None:
+        rule_list = list(rules)
+        module_rules: Sequence[Rule] = [
+            rule for rule in rule_list if not isinstance(rule, ProjectRule)
+        ]
+        project_rules: Sequence[ProjectRule] = [
+            rule for rule in rule_list if isinstance(rule, ProjectRule)
+        ]
+        cache = None
+    else:
+        module_rules = list(iter_module_rules())
+        project_rules = list(iter_project_rules())
+
+    result = LintResult()
+    summaries: dict[str, dict[str, Any]] = {}
+    module_diags: dict[str, list[Diagnostic]] = {}
+
+    # ------------------------------------------------------------- pass 1
+    to_analyze: list[ProjectModule] = []
+    for module in project.sorted_modules():
+        cached = cache.get(module.path, module.sha) if cache else None
+        if cached is not None:
+            summary, diagnostics = cached
+            if summary:
+                summaries[module.path] = summary
+            module_diags[module.path] = diagnostics
+            result.restored.append(module.path)
         else:
-            raise FileNotFoundError(f"not a Python file or directory: {entry}")
-    return sorted(found)
+            to_analyze.append(module)
+
+    def run_one(module: ProjectModule) -> None:
+        summary, diagnostics = _analyze_module(project, module, module_rules)
+        if summary is not None:
+            summaries[module.path] = summary
+        module_diags[module.path] = diagnostics
+        if cache is not None and module.syntax_error is None \
+                and summary is not None:
+            cache.put(module.path, module.sha, summary, diagnostics)
+
+    workers = max(int(jobs or 1), 1)
+    if workers > 1 and len(to_analyze) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(run_one, to_analyze))
+    else:
+        for module in to_analyze:
+            run_one(module)
+    result.analyzed = [module.path for module in to_analyze]
+
+    # ------------------------------------------------------------- pass 2
+    if project_rules and summaries:
+        graph = CallGraph(summaries)
+        context = ProjectContext(
+            config=config,
+            root=str(project.root),
+            summaries=summaries,
+            callgraph=graph,
+        )
+        project_found: list[Diagnostic] = []
+        for rule in project_rules:
+            project_found.extend(rule.check_project(context))
+        for diagnostic in _filter(sorted(project_found), config, project):
+            module_diags.setdefault(diagnostic.path, []).append(diagnostic)
+
+    if cache is not None:
+        cache.prune(set(project.modules))
+        cache.save()
+
+    for path in sorted(module_diags):
+        result.diagnostics.extend(sorted(module_diags[path]))
+    result.diagnostics.sort()
+    result.parse_count = project.parse_count
+    return result
 
 
-def _relative(path: Path, root: Path) -> str:
-    try:
-        return path.resolve().relative_to(Path(root).resolve()).as_posix()
-    except ValueError:
-        return path.as_posix()
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def run_lint(
+    paths: Iterable[str | Path],
+    config: Optional[LintConfig] = None,
+    *,
+    root: str | Path = ".",
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
+) -> LintResult:
+    """Lint every Python file reachable from ``paths``."""
+    config = config or LintConfig()
+    project = Project.load(paths, config, root=root)
+    cache = None
+    if use_cache:
+        cache = AnalysisCache.load(
+            Path(root), config, tuple(sorted(all_rules()))
+        )
+    return analyze_project(project, jobs=jobs, cache=cache)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: Optional[LintConfig] = None,
+    *,
+    root: str | Path = ".",
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
+) -> list[Diagnostic]:
+    """Diagnostics-only wrapper around :func:`run_lint`."""
+    return run_lint(
+        paths, config, root=root, jobs=jobs, use_cache=use_cache
+    ).diagnostics
 
 
 def lint_source(
@@ -55,54 +248,22 @@ def lint_source(
     root: str | Path = ".",
     rules: Optional[Iterable[Rule]] = None,
 ) -> list[Diagnostic]:
-    """Lint one module given as text; ``path`` drives the path scoping."""
+    """Lint one module given as text; ``path`` drives the path scoping.
+
+    The module becomes a single-file project, so project rules that can
+    conclude from one module (the schema lock, intra-class locksets)
+    still run — cross-module evidence simply isn't there to find.
+    """
     config = config or LintConfig()
-    if config.is_excluded(path):
-        return []
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code="VPL000",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    module = ModuleContext(
-        path=path, tree=tree, source=source, config=config, root=str(root)
-    )
-    suppressions = collect_suppressions(source)
-    diagnostics: list[Diagnostic] = []
-    for rule in rules if rules is not None else iter_rules():
-        for diagnostic in rule.check(module):
-            if not config.code_enabled(diagnostic.code, path):
-                continue
-            if is_suppressed(suppressions, diagnostic.line, diagnostic.code):
-                continue
-            diagnostics.append(diagnostic)
-    return sorted(diagnostics)
+    project = Project.from_sources({path: source}, config, root=root)
+    return analyze_project(project, rules=rules).diagnostics
 
 
-def lint_paths(
-    paths: Iterable[str | Path],
-    config: Optional[LintConfig] = None,
-    *,
-    root: str | Path = ".",
-) -> list[Diagnostic]:
-    """Lint every Python file reachable from ``paths``."""
-    config = config or LintConfig()
-    root = Path(root)
-    diagnostics: list[Diagnostic] = []
-    for path in collect_files(paths, root):
-        relative = _relative(path, root)
-        if config.is_excluded(relative):
-            continue
-        source = path.read_text(encoding="utf-8")
-        diagnostics.extend(lint_source(source, relative, config, root=root))
-    return sorted(diagnostics)
-
-
-__all__ = ["collect_files", "lint_paths", "lint_source"]
+__all__ = [
+    "LintResult",
+    "analyze_project",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,134 @@
+"""SARIF 2.1.0 serialisation of lint diagnostics.
+
+Static Analysis Results Interchange Format is the lingua franca of
+code-scanning UIs (GitHub's security tab, VS Code SARIF viewers); the
+CI job uploads the checker's verdict as an artifact in this shape.  One
+run object carries:
+
+* the full rule catalogue as ``tool.driver.rules`` (id, name, short
+  description, default level), so viewers can group and document
+  findings without the repo checked out;
+* one ``result`` per diagnostic, with a physical location anchored to
+  ``SRCROOT`` (the repo root) so the report is machine-portable;
+* baseline-waived findings included with a ``suppressions`` entry of
+  kind ``external`` rather than dropped — a SARIF consumer can show or
+  hide them, and the waiver stays auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.rules import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: VPL000 is a parse failure — an error; every invariant rule is a
+#: warning by default (CI still fails the build through the exit code).
+_ERROR_CODES = frozenset({"VPL000"})
+
+
+def _rule_entry(rule: Rule) -> dict[str, Any]:
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": "error" if rule.code in _ERROR_CODES else "warning",
+        },
+    }
+
+
+def _result(
+    diagnostic: Diagnostic,
+    rule_index: Mapping[str, int],
+    *,
+    suppressed: bool,
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": "error" if diagnostic.code in _ERROR_CODES else "warning",
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(diagnostic.line, 1),
+                        "startColumn": diagnostic.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if diagnostic.code in rule_index:
+        result["ruleIndex"] = rule_index[diagnostic.code]
+    if suppressed:
+        result["suppressions"] = [
+            {
+                "kind": "external",
+                "justification": "waived by the checked-in lint baseline",
+            }
+        ]
+    return result
+
+
+def sarif_report(
+    diagnostics: Sequence[Diagnostic],
+    rules: Iterable[Rule],
+    *,
+    waived: Sequence[Diagnostic] = (),
+    root_uri: Optional[str] = None,
+) -> dict[str, Any]:
+    """The SARIF log as a JSON-shaped dict (see :func:`render_sarif`)."""
+    catalogue = sorted(rules, key=lambda rule: rule.code)
+    rule_index = {rule.code: i for i, rule in enumerate(catalogue)}
+    results = [
+        _result(d, rule_index, suppressed=False) for d in diagnostics
+    ] + [
+        _result(d, rule_index, suppressed=True) for d in waived
+    ]
+    run: dict[str, Any] = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri": "docs/static-analysis.md",
+                "rules": [_rule_entry(rule) for rule in catalogue],
+            }
+        },
+        "columnKind": "unicodeCodePoints",
+        "results": results,
+    }
+    if root_uri is not None:
+        run["originalUriBaseIds"] = {"SRCROOT": {"uri": root_uri}}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Iterable[Rule],
+    *,
+    waived: Sequence[Diagnostic] = (),
+    root_uri: Optional[str] = None,
+) -> str:
+    """The SARIF log serialised (stable key order, trailing newline)."""
+    report = sarif_report(
+        diagnostics, rules, waived=waived, root_uri=root_uri
+    )
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif", "sarif_report"]

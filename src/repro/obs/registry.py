@@ -318,7 +318,10 @@ class MetricsRegistry:
         buckets: Sequence[float] | None = None,
         quantiles: Sequence[float] | None = None,
     ):
-        family = self._families.get(name)
+        # Double-checked fast path: the unlocked read is a benign race
+        # (dict get is atomic under the GIL) and the locked re-check
+        # below decides creation.
+        family = self._families.get(name)  # vpl: ignore[VPL310]
         if family is None:
             with self._lock:
                 family = self._families.get(name)

@@ -161,9 +161,11 @@ class TimeSeriesStore:
         extra work per sample (e.g. export health gauges first) gate on
         this and then call :meth:`sample` themselves.
         """
-        if self._last_sample_mono is None:
+        with self._lock:
+            last = self._last_sample_mono
+        if last is None:
             return True
-        return monotonic() - self._last_sample_mono >= self.interval_s
+        return monotonic() - last >= self.interval_s
 
     def maybe_sample(self, now: float | None = None) -> TimePoint | None:
         """Snapshot only when ``interval_s`` has elapsed since the last.

@@ -139,4 +139,5 @@ class BoundedQueue(Generic[T]):
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
